@@ -1,0 +1,68 @@
+// Ablation: response-index capacity and provider-list depth.
+//
+// §4.1.2: "Caching multiple indexes per file may lead to an extra storage
+// requirement. However, each peer can control its cache size in function of
+// its storage capacity." This bench sweeps the filename capacity for the
+// three caching systems (showing where Dicas-Keys' duplicated placement
+// starts paying rent) and the providers-per-file bound for Locaware.
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace {
+
+using namespace locaware;
+
+std::string RunCell(core::ProtocolKind kind, size_t capacity, size_t providers,
+                    uint64_t queries) {
+  core::ExperimentConfig cfg = core::MakePaperConfig(kind, queries, 42);
+  cfg.params.ri.max_filenames = capacity;
+  if (providers > 0) cfg.params.ri.max_providers_per_file = providers;
+  auto r = std::move(core::RunExperiment(cfg, 4)).ValueOrDie();
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-12s %8zu %10zu %9.1f%% %10.1f %12.1f %9.1f%%",
+                r.label.c_str(), capacity,
+                providers > 0 ? providers : cfg.params.ri.max_providers_per_file,
+                r.summary.success_rate * 100, r.summary.msgs_per_query,
+                r.summary.avg_download_ms, r.summary.cache_answer_share * 100);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t queries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2500;
+
+  std::printf("== Ablation: response-index capacity (%llu queries) ==\n\n",
+              static_cast<unsigned long long>(queries));
+  std::printf("%-12s %8s %10s %10s %10s %12s %10s\n", "protocol", "capacity",
+              "providers", "success", "msgs/q", "download ms", "cache-hit");
+
+  std::vector<std::future<std::string>> rows;
+  for (core::ProtocolKind kind :
+       {core::ProtocolKind::kDicas, core::ProtocolKind::kDicasKeys,
+        core::ProtocolKind::kLocaware}) {
+    for (size_t capacity : {3u, 10u, 50u}) {
+      rows.push_back(std::async(std::launch::async, RunCell, kind, capacity,
+                                size_t{0}, queries));
+    }
+  }
+  // Locaware's providers-per-file depth at the paper capacity.
+  for (size_t providers : {1u, 2u, 4u, 8u}) {
+    rows.push_back(std::async(std::launch::async, RunCell,
+                              core::ProtocolKind::kLocaware, size_t{50}, providers,
+                              queries));
+  }
+  for (auto& row : rows) std::printf("%s\n", row.get().c_str());
+
+  std::printf(
+      "\nreading guide: at the paper's response volume per-peer caches stay\n"
+      "far from full, so capacity barely moves success — which is exactly why\n"
+      "Dicas-Keys' duplicated placement is not punished at headline scale\n"
+      "(see EXPERIMENTS.md). Locaware's providers-per-file depth is what buys\n"
+      "its shorter download distance.\n");
+  return 0;
+}

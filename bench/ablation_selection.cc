@@ -1,0 +1,52 @@
+// Ablation: provider-selection strategy (paper §5.1's "adjusted" strategy).
+//
+// Locaware's answer carries several providers; what the requester does with
+// them decides the download distance. The paper uses locId-match first, then
+// RTT probing. This bench isolates that choice on identical runs.
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace locaware;
+  const uint64_t queries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2500;
+
+  std::printf("== Ablation: provider selection (Locaware, %llu queries) ==\n\n",
+              static_cast<unsigned long long>(queries));
+  std::printf("%-16s %10s %12s %10s %12s\n", "strategy", "success",
+              "download ms", "loc-match", "probes/query");
+
+  std::vector<std::future<std::string>> rows;
+  for (core::SelectionStrategy strategy :
+       {core::SelectionStrategy::kLocIdThenRtt, core::SelectionStrategy::kMinRtt,
+        core::SelectionStrategy::kRandom, core::SelectionStrategy::kFirstResponder}) {
+    rows.push_back(std::async(std::launch::async, [strategy, queries] {
+      core::ExperimentConfig cfg =
+          core::MakePaperConfig(core::ProtocolKind::kLocaware, queries, 42);
+      cfg.params.selection = strategy;
+      auto r = std::move(core::RunExperiment(cfg, 4)).ValueOrDie();
+      // Probe traffic is inside msgs_per_query; report it separately by
+      // re-deriving from the records via the series breakdown.
+      char buf[180];
+      std::snprintf(buf, sizeof(buf), "%-16s %9.1f%% %12.1f %9.1f%% %12.2f",
+                    core::SelectionStrategyName(strategy),
+                    r.summary.success_rate * 100, r.summary.avg_download_ms,
+                    r.summary.loc_match_rate * 100,
+                    r.summary.msgs_per_query -
+                        (r.series.empty() ? 0.0
+                                          : r.series.back().query_msgs_per_query));
+      return std::string(buf);
+    }));
+  }
+  for (auto& row : rows) std::printf("%s\n", row.get().c_str());
+
+  std::printf(
+      "\nreading guide: locid-then-rtt gets within a few ms of exhaustive\n"
+      "min-rtt probing while probing far less — locality ids substitute for\n"
+      "measurement. Random/first-responder show what location-obliviousness\n"
+      "costs in download distance.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "fig_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+
+#include "metrics/svg_plot.h"
+
+namespace locaware::bench {
+
+FigOptions ParseArgs(int argc, char** argv) {
+  FigOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--queries=", 10) == 0) {
+      options.num_queries = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--buckets=", 10) == 0) {
+      options.buckets = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--svg=", 6) == 0) {
+      options.svg_path = arg + 6;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: %s [--queries=N] [--seed=S] [--buckets=B] [--svg=PATH]\n",
+                   arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+std::vector<core::ExperimentResult> RunAllProtocols(
+    const FigOptions& options,
+    const std::function<void(core::ExperimentConfig*)>& tweak) {
+  const core::ProtocolKind kinds[] = {
+      core::ProtocolKind::kFlooding,
+      core::ProtocolKind::kDicas,
+      core::ProtocolKind::kDicasKeys,
+      core::ProtocolKind::kLocaware,
+  };
+  std::vector<std::future<core::ExperimentResult>> futures;
+  for (core::ProtocolKind kind : kinds) {
+    futures.push_back(std::async(std::launch::async, [=] {
+      core::ExperimentConfig config =
+          core::MakePaperConfig(kind, options.num_queries, options.seed);
+      if (tweak) tweak(&config);
+      auto result = core::RunExperiment(config, options.buckets);
+      if (!result.ok()) {
+        std::fprintf(stderr, "experiment %s failed: %s\n",
+                     core::ProtocolKindName(kind), result.status().ToString().c_str());
+        std::exit(1);
+      }
+      return std::move(result).ValueOrDie();
+    }));
+  }
+  std::vector<core::ExperimentResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::vector<metrics::LabeledSeries> ToSeries(
+    const std::vector<core::ExperimentResult>& results) {
+  std::vector<metrics::LabeledSeries> series;
+  series.reserve(results.size());
+  for (const auto& r : results) series.push_back({r.label, r.series});
+  return series;
+}
+
+void PrintHeader(const std::string& figure, const FigOptions& options) {
+  std::printf("== %s ==\n", figure.c_str());
+  std::printf(
+      "paper setup: 1000 peers, avg degree 3, TTL 7, 3000 files, 9000 keywords,\n"
+      "             Zipf queries @0.00083 q/s/peer, 4 landmarks (24 locIds)\n");
+  std::printf("run: queries=%llu seed=%llu buckets=%zu\n\n",
+              static_cast<unsigned long long>(options.num_queries),
+              static_cast<unsigned long long>(options.seed), options.buckets);
+}
+
+void MaybeWriteSvg(const std::vector<metrics::LabeledSeries>& series,
+                   metrics::Field field, const std::string& title,
+                   const std::string& y_label, const FigOptions& options) {
+  if (options.svg_path.empty()) return;
+  metrics::SvgChartOptions svg_options;
+  svg_options.y_label = y_label;
+  const Status st =
+      metrics::WriteSvgChart(series, field, title, svg_options, options.svg_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "svg: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("wrote %s\n", options.svg_path.c_str());
+}
+
+void PrintSummaries(const std::vector<core::ExperimentResult>& results) {
+  std::printf("\n%-12s %10s %12s %12s %10s %10s\n", "protocol", "success",
+              "msgs/query", "download ms", "loc-match", "cache-hit");
+  for (const auto& r : results) {
+    std::printf("%-12s %9.1f%% %12.1f %12.1f %9.1f%% %9.1f%%\n", r.label.c_str(),
+                r.summary.success_rate * 100.0, r.summary.msgs_per_query,
+                r.summary.avg_download_ms, r.summary.loc_match_rate * 100.0,
+                r.summary.cache_answer_share * 100.0);
+  }
+}
+
+}  // namespace locaware::bench

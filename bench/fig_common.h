@@ -1,0 +1,48 @@
+// Shared harness for the figure-regeneration benches: runs the paper's four
+// systems on the §5.1 configuration and renders one figure's series as a
+// fixed-width table plus CSV.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "metrics/report.h"
+
+namespace locaware::bench {
+
+/// Command-line knobs shared by every figure bench.
+struct FigOptions {
+  uint64_t num_queries = 5000;
+  uint64_t seed = 42;
+  size_t buckets = 10;
+  /// When non-empty, the bench also renders its figure to this SVG path.
+  std::string svg_path;
+};
+
+/// Parses --queries=N --seed=S --buckets=B --svg=PATH (unknown flags are
+/// fatal, so a typo cannot silently run the default experiment).
+FigOptions ParseArgs(int argc, char** argv);
+
+/// Writes the figure as an SVG chart when options.svg_path is set.
+void MaybeWriteSvg(const std::vector<metrics::LabeledSeries>& series,
+                   metrics::Field field, const std::string& title,
+                   const std::string& y_label, const FigOptions& options);
+
+/// Runs all four protocols on the paper config (plus an optional per-config
+/// tweak), in parallel worker threads. Order: Flooding, Dicas, Dicas-Keys,
+/// Locaware.
+std::vector<core::ExperimentResult> RunAllProtocols(
+    const FigOptions& options,
+    const std::function<void(core::ExperimentConfig*)>& tweak = {});
+
+/// Converts results to labeled series for the report formatters.
+std::vector<metrics::LabeledSeries> ToSeries(
+    const std::vector<core::ExperimentResult>& results);
+
+/// Prints the standard run header (config echo) and per-protocol summaries.
+void PrintHeader(const std::string& figure, const FigOptions& options);
+void PrintSummaries(const std::vector<core::ExperimentResult>& results);
+
+}  // namespace locaware::bench

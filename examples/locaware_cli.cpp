@@ -1,0 +1,184 @@
+// locaware_cli — run any experiment from the command line.
+//
+//   locaware_cli --protocol=locaware --queries=5000 --seed=42
+//   locaware_cli --config=my_run.cfg --json
+//   locaware_cli --protocol=dicas --save-config=dicas.cfg --dry-run
+//   locaware_cli --protocol=locaware --set churn.enabled=true --set params.ttl=5
+//
+// Precedence: paper defaults < --config file < individual flags/--set pairs.
+// Output: human summary by default, --json for machine consumption,
+// --svg=PREFIX to drop per-metric charts.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/config_io.h"
+#include "core/experiment.h"
+#include "metrics/svg_plot.h"
+
+namespace {
+
+using namespace locaware;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --protocol=NAME     flooding | dicas | dicas-keys | locaware\n"
+               "  --queries=N         number of queries (default 5000)\n"
+               "  --seed=S            RNG seed (default 42)\n"
+               "  --buckets=B         series resolution (default 10)\n"
+               "  --config=FILE       load a config file (key = value)\n"
+               "  --set KEY=VALUE     override any config key (repeatable)\n"
+               "  --save-config=FILE  write the effective config and continue\n"
+               "  --dry-run           stop after config handling, run nothing\n"
+               "  --json              print the result as JSON\n"
+               "  --svg=PREFIX        write PREFIX-{success,traffic,distance}.svg\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config =
+      core::MakePaperConfig(core::ProtocolKind::kLocaware, 5000, 42);
+  size_t buckets = 10;
+  bool as_json = false;
+  bool dry_run = false;
+  std::string save_config_path;
+  std::string svg_prefix;
+  std::vector<std::string> overrides;
+
+  // First pass: config file (so flags can override it regardless of order).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--config=", 9) == 0) {
+      auto loaded = core::LoadConfig(argv[i] + 9);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      config = loaded.ValueOrDie();
+    }
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--config=", 9) == 0) {
+      continue;  // handled above
+    } else if (std::strncmp(arg, "--protocol=", 11) == 0) {
+      auto kind = core::ParseProtocolKind(arg + 11);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "error: %s\n", kind.status().ToString().c_str());
+        return 1;
+      }
+      config.protocol = kind.ValueOrDie();
+      config.params = core::MakeDefaultParams(config.protocol);
+      config.label = core::ProtocolKindName(config.protocol);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      config.workload.num_queries = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--buckets=", 10) == 0) {
+      buckets = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strcmp(arg, "--set") == 0 && i + 1 < argc) {
+      overrides.emplace_back(argv[++i]);
+    } else if (std::strncmp(arg, "--save-config=", 14) == 0) {
+      save_config_path = arg + 14;
+    } else if (std::strcmp(arg, "--dry-run") == 0) {
+      dry_run = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      as_json = true;
+    } else if (std::strncmp(arg, "--svg=", 6) == 0) {
+      svg_prefix = arg + 6;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // --set overrides reuse the config parser: each KEY=VALUE is one line.
+  for (const std::string& kv : overrides) {
+    // Re-serialize, append the override, re-parse: keeps one source of truth
+    // for key names and validation.
+    auto patched = core::ParseConfig(core::FormatConfig(config) + "\n" + kv + "\n");
+    if (!patched.ok()) {
+      std::fprintf(stderr, "error in --set '%s': %s\n", kv.c_str(),
+                   patched.status().ToString().c_str());
+      return 1;
+    }
+    config = patched.ValueOrDie();
+  }
+
+  if (!save_config_path.empty()) {
+    const Status st = core::SaveConfig(config, save_config_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote config to %s\n", save_config_path.c_str());
+  }
+  if (dry_run) {
+    std::fputs(core::FormatConfig(config).c_str(), stdout);
+    return 0;
+  }
+
+  auto result = core::RunExperiment(config, buckets);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const core::ExperimentResult& r = result.ValueOrDie();
+
+  if (as_json) {
+    std::printf("%s\n", core::ResultToJson(r).c_str());
+  } else {
+    std::printf("%s: %llu queries, seed %llu\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.summary.num_queries),
+                static_cast<unsigned long long>(config.seed));
+    std::printf("  success rate       %.2f%%\n", r.summary.success_rate * 100);
+    std::printf("  search traffic     %.1f msgs/query (%.0f bytes/query)\n",
+                r.summary.msgs_per_query, r.summary.bytes_per_query);
+    std::printf("  download distance  %.1f ms RTT\n", r.summary.avg_download_ms);
+    std::printf("  same-locality DLs  %.1f%%\n", r.summary.loc_match_rate * 100);
+    std::printf("  cache-served hits  %.1f%%\n", r.summary.cache_answer_share * 100);
+    if (r.summary.bloom_update_msgs > 0) {
+      std::printf("  bloom maintenance  %llu msgs / %llu bytes\n",
+                  static_cast<unsigned long long>(r.summary.bloom_update_msgs),
+                  static_cast<unsigned long long>(r.summary.bloom_update_bytes));
+    }
+    if (r.summary.churn_events > 0) {
+      std::printf("  churn              %llu events, %llu stale failures\n",
+                  static_cast<unsigned long long>(r.summary.churn_events),
+                  static_cast<unsigned long long>(r.summary.stale_failures));
+    }
+  }
+
+  if (!svg_prefix.empty()) {
+    const std::vector<metrics::LabeledSeries> series{{r.label, r.series}};
+    struct Chart {
+      metrics::Field field;
+      const char* suffix;
+      const char* title;
+      const char* y_label;
+    };
+    const Chart charts[] = {
+        {metrics::Field::kSuccessRate, "success", "Success rate", "fraction"},
+        {metrics::Field::kMsgsPerQuery, "traffic", "Search traffic",
+         "messages per query"},
+        {metrics::Field::kDownloadMs, "distance", "Download distance", "ms RTT"},
+    };
+    for (const Chart& chart : charts) {
+      metrics::SvgChartOptions options;
+      options.y_label = chart.y_label;
+      const std::string path = svg_prefix + "-" + chart.suffix + ".svg";
+      const Status st =
+          metrics::WriteSvgChart(series, chart.field, chart.title, options, path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}

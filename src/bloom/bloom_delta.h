@@ -1,0 +1,50 @@
+// Incremental Bloom-filter updates.
+//
+// Paper §4.2 (footnote 1): when a filename is added or removed, only a few
+// bits of the 1200-bit vector change, so a peer transmits just the *positions*
+// of changed bits — each position costs ceil(log2(m)) = 11 bits, and one
+// filename touches at most k·keywords ≈ 12 bits, i.e. ≤ 0.132 Kb per update.
+// This module implements that wire format and its bandwidth accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/status.h"
+
+namespace locaware::bloom {
+
+/// \brief A delta between two same-shape Bloom filters: the positions whose
+/// bits must be toggled to turn `before` into `after`.
+struct BloomDelta {
+  uint32_t filter_bits = 0;           ///< m, so receivers can sanity-check
+  std::vector<uint32_t> positions;    ///< toggled bit positions, ascending
+
+  bool empty() const { return positions.empty(); }
+};
+
+/// Computes the delta turning `before` into `after`. CHECK-fails on shape
+/// mismatch.
+BloomDelta ComputeDelta(const BloomFilter& before, const BloomFilter& after);
+
+/// Applies a delta in place. Fails with InvalidArgument if the delta's shape
+/// does not match `filter` or a position is out of range (a corrupt message
+/// must not crash a peer).
+Status ApplyDelta(const BloomDelta& delta, BloomFilter* filter);
+
+/// Bits needed to encode one position for an m-bit filter: ceil(log2(m)).
+size_t PositionBits(size_t filter_bits);
+
+/// Wire size of a delta in bits: 16-bit count header + count * PositionBits.
+/// This is the quantity charged to the bandwidth metric.
+size_t WireSizeBits(const BloomDelta& delta);
+
+/// Packs a delta into bytes (count:uint16 LE, then bit-packed positions).
+std::vector<uint8_t> EncodeDelta(const BloomDelta& delta);
+
+/// Unpacks EncodeDelta output. Fails with InvalidArgument on truncated or
+/// malformed input.
+Result<BloomDelta> DecodeDelta(const std::vector<uint8_t>& bytes, size_t filter_bits);
+
+}  // namespace locaware::bloom

@@ -1,0 +1,111 @@
+#include "bloom/bloom_filter.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace locaware::bloom {
+
+BloomFilter::BloomFilter(size_t num_bits, size_t num_hashes)
+    : num_bits_(num_bits), num_hashes_(num_hashes) {
+  LOCAWARE_CHECK_GT(num_bits, 0u);
+  LOCAWARE_CHECK_GE(num_hashes, 1u);
+  LOCAWARE_CHECK_LE(num_hashes, 16u);
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+std::vector<uint32_t> BloomFilter::ProbePositions(std::string_view key) const {
+  const auto [h1, h2] = Murmur3_128(key);
+  std::vector<uint32_t> positions(num_hashes_);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    positions[i] = static_cast<uint32_t>((h1 + i * h2) % num_bits_);
+  }
+  return positions;
+}
+
+void BloomFilter::Insert(std::string_view key) {
+  const auto [h1, h2] = Murmur3_128(key);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    SetBit((h1 + i * h2) % num_bits_);
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const auto [h1, h2] = Murmur3_128(key);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    if (!TestBit((h1 + i * h2) % num_bits_)) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() { words_.assign(words_.size(), 0); }
+
+size_t BloomFilter::CountOnes() const {
+  size_t ones = 0;
+  for (uint64_t w : words_) ones += static_cast<size_t>(std::popcount(w));
+  return ones;
+}
+
+double BloomFilter::FillRatio() const {
+  return static_cast<double>(CountOnes()) / static_cast<double>(num_bits_);
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  return std::pow(FillRatio(), static_cast<double>(num_hashes_));
+}
+
+bool BloomFilter::TestBit(size_t pos) const {
+  LOCAWARE_CHECK_LT(pos, num_bits_);
+  return (words_[pos / 64] >> (pos % 64)) & 1u;
+}
+
+void BloomFilter::SetBit(size_t pos) {
+  LOCAWARE_CHECK_LT(pos, num_bits_);
+  words_[pos / 64] |= uint64_t{1} << (pos % 64);
+}
+
+void BloomFilter::ClearBit(size_t pos) {
+  LOCAWARE_CHECK_LT(pos, num_bits_);
+  words_[pos / 64] &= ~(uint64_t{1} << (pos % 64));
+}
+
+void BloomFilter::ToggleBit(size_t pos) {
+  LOCAWARE_CHECK_LT(pos, num_bits_);
+  words_[pos / 64] ^= uint64_t{1} << (pos % 64);
+}
+
+std::vector<uint32_t> BloomFilter::DiffPositions(const BloomFilter& other) const {
+  LOCAWARE_CHECK_EQ(num_bits_, other.num_bits_) << "filter width mismatch";
+  std::vector<uint32_t> diff;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t x = words_[w] ^ other.words_[w];
+    while (x != 0) {
+      const int bit = std::countr_zero(x);
+      diff.push_back(static_cast<uint32_t>(w * 64 + bit));
+      x &= x - 1;
+    }
+  }
+  return diff;
+}
+
+std::string BloomFilter::Describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "m=%zu k=%zu ones=%zu fill=%.1f%%", num_bits_,
+                num_hashes_, CountOnes(), FillRatio() * 100.0);
+  return buf;
+}
+
+size_t OptimalNumHashes(size_t num_bits, size_t expected_keys) {
+  LOCAWARE_CHECK_GT(expected_keys, 0u);
+  const double k =
+      std::round(static_cast<double>(num_bits) / static_cast<double>(expected_keys) *
+                 std::log(2.0));
+  if (k < 1) return 1;
+  if (k > 16) return 16;
+  return static_cast<size_t>(k);
+}
+
+}  // namespace locaware::bloom

@@ -1,0 +1,77 @@
+// Plain Bloom filter (Bloom 1970), the structure each Locaware peer gossips
+// to its neighbors to summarize the keywords of its cached filenames
+// (paper §4.2). Membership answers have no false negatives; false positives
+// cost only a wasted query forward.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace locaware::bloom {
+
+/// \brief Fixed-size Bloom filter over byte strings.
+///
+/// Uses Kirsch–Mitzenmacher double hashing: the i-th probe position is
+/// (h1 + i*h2) mod m with (h1, h2) the two halves of one 128-bit Murmur3
+/// pass — k index computations from a single hash of the key.
+class BloomFilter {
+ public:
+  /// \param num_bits   filter width m (> 0). The paper uses 1200 bits.
+  /// \param num_hashes probe count k (1..16). k = 4 ≈ optimal for the
+  ///                    paper's ~150 keywords in 1200 bits (m/n ≈ 8 → k ≈ 5.5;
+  ///                    4 keeps updates sparse).
+  BloomFilter(size_t num_bits, size_t num_hashes);
+
+  /// Inserts a key.
+  void Insert(std::string_view key);
+
+  /// Membership test: false means definitely absent; true means present with
+  /// probability 1 − fp-rate.
+  bool MayContain(std::string_view key) const;
+
+  /// Zeroes the filter.
+  void Clear();
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_hashes() const { return num_hashes_; }
+
+  /// Number of set bits.
+  size_t CountOnes() const;
+  /// Fraction of set bits in [0, 1].
+  double FillRatio() const;
+  /// (fill_ratio)^k — the classic false-positive estimate at the current fill.
+  double EstimatedFpRate() const;
+
+  // --- bit-level access (delta propagation, tests) ---
+  bool TestBit(size_t pos) const;
+  void SetBit(size_t pos);
+  void ClearBit(size_t pos);
+  void ToggleBit(size_t pos);
+
+  /// Positions where this filter and `other` differ. CHECK-fails on shape
+  /// mismatch. This is the payload of an incremental neighbor update.
+  std::vector<uint32_t> DiffPositions(const BloomFilter& other) const;
+
+  /// The k probe positions for a key (exposed so CountingBloomFilter and the
+  /// tests use identical indexing).
+  std::vector<uint32_t> ProbePositions(std::string_view key) const;
+
+  bool operator==(const BloomFilter& other) const = default;
+
+  /// Debug rendering "m=1200 k=4 ones=87 fill=7.3%".
+  std::string Describe() const;
+
+ private:
+  size_t num_bits_;
+  size_t num_hashes_;
+  std::vector<uint64_t> words_;
+};
+
+/// Optimal k for a filter of m bits expected to hold n keys: round(m/n · ln 2).
+size_t OptimalNumHashes(size_t num_bits, size_t expected_keys);
+
+}  // namespace locaware::bloom

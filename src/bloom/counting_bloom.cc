@@ -1,0 +1,49 @@
+#include "bloom/counting_bloom.h"
+
+#include "common/check.h"
+
+namespace locaware::bloom {
+
+CountingBloomFilter::CountingBloomFilter(size_t num_bits, size_t num_hashes)
+    : counters_(num_bits, 0), plain_(num_bits, num_hashes) {}
+
+void CountingBloomFilter::Insert(std::string_view key) {
+  for (uint32_t pos : plain_.ProbePositions(key)) {
+    uint8_t& c = counters_[pos];
+    if (c < kMaxCount) ++c;
+    plain_.SetBit(pos);
+  }
+}
+
+void CountingBloomFilter::Remove(std::string_view key) {
+  for (uint32_t pos : plain_.ProbePositions(key)) {
+    uint8_t& c = counters_[pos];
+    LOCAWARE_CHECK_GT(c, 0u) << "Remove of never-inserted key (counter underflow)";
+    if (c < kMaxCount) {  // saturated counters stay pinned
+      --c;
+      if (c == 0) plain_.ClearBit(pos);
+    }
+  }
+}
+
+bool CountingBloomFilter::MayContain(std::string_view key) const {
+  return plain_.MayContain(key);
+}
+
+void CountingBloomFilter::Clear() {
+  counters_.assign(counters_.size(), 0);
+  plain_.Clear();
+}
+
+uint8_t CountingBloomFilter::CounterAt(size_t pos) const {
+  LOCAWARE_CHECK_LT(pos, counters_.size());
+  return counters_[pos];
+}
+
+size_t CountingBloomFilter::SaturatedCount() const {
+  size_t n = 0;
+  for (uint8_t c : counters_) n += (c == kMaxCount);
+  return n;
+}
+
+}  // namespace locaware::bloom

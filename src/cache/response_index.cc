@@ -1,0 +1,193 @@
+#include "cache/response_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace locaware::cache {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kFifo:
+      return "fifo";
+    case EvictionPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+ResponseIndex::ResponseIndex(const ResponseIndexConfig& config)
+    : config_(config), eviction_rng_state_(config.eviction_seed | 1) {
+  LOCAWARE_CHECK_GT(config.max_filenames, 0u);
+  LOCAWARE_CHECK_GT(config.max_providers_per_file, 0u);
+}
+
+ResponseIndex::UpdateOutcome ResponseIndex::AddProvider(
+    const std::string& filename, const std::vector<std::string>& filename_keywords,
+    const ProviderEntry& entry, sim::SimTime now) {
+  UpdateOutcome outcome;
+
+  auto it = entries_.find(filename);
+  if (it == entries_.end()) {
+    while (entries_.size() >= config_.max_filenames) EvictOne(&outcome.evicted);
+    use_order_.push_back(filename);
+    Entry fresh;
+    fresh.keywords = filename_keywords;
+    fresh.use_pos = std::prev(use_order_.end());
+    it = entries_.emplace(filename, std::move(fresh)).first;
+    outcome.filename_inserted = true;
+  } else {
+    Touch(filename, &it->second);
+  }
+
+  Entry& e = it->second;
+  // Refresh an existing provider: drop its old slot, re-insert at front.
+  auto existing = std::find_if(e.providers.begin(), e.providers.end(),
+                               [&](const ProviderEntry& p) {
+                                 return p.provider == entry.provider;
+                               });
+  if (existing != e.providers.end()) e.providers.erase(existing);
+
+  ProviderEntry stamped = entry;
+  stamped.added_at = now;
+  e.providers.insert(e.providers.begin(), stamped);
+  if (e.providers.size() > config_.max_providers_per_file) {
+    e.providers.pop_back();  // most-recent replaces oldest (§4.1.2)
+  }
+  outcome.provider_inserted = true;
+  ++stats_.inserts;
+  return outcome;
+}
+
+bool ResponseIndex::PruneStale(Entry* entry, sim::SimTime now) {
+  if (config_.entry_ttl <= 0) return !entry->providers.empty();
+  auto stale = std::remove_if(entry->providers.begin(), entry->providers.end(),
+                              [&](const ProviderEntry& p) {
+                                return now - p.added_at > config_.entry_ttl;
+                              });
+  stats_.expirations += static_cast<uint64_t>(entry->providers.end() - stale);
+  entry->providers.erase(stale, entry->providers.end());
+  return !entry->providers.empty();
+}
+
+std::vector<cache::ProviderEntry> ResponseIndex::LiveProviders(const Entry& entry,
+                                                               sim::SimTime now) const {
+  if (config_.entry_ttl <= 0) return entry.providers;
+  std::vector<ProviderEntry> live;
+  for (const ProviderEntry& p : entry.providers) {
+    if (now - p.added_at <= config_.entry_ttl) live.push_back(p);
+  }
+  return live;
+}
+
+std::vector<ResponseIndex::Hit> ResponseIndex::LookupByKeywords(
+    const std::vector<std::string>& query_keywords, sim::SimTime now) {
+  ++stats_.lookups;
+  // Lookups filter stale providers from what they return but never erase
+  // entries: removal happens only in AddProvider (eviction) and ExpireStale
+  // (sweep), so owners with derived structures (Locaware's counting Bloom
+  // filter) see every removal.
+  std::vector<Hit> hits;
+  for (auto& [name, entry] : entries_) {
+    if (!ContainsAllKeywords(entry.keywords, query_keywords)) continue;
+    std::vector<ProviderEntry> live = LiveProviders(entry, now);
+    if (live.empty()) continue;
+    hits.push_back(Hit{name, std::move(live)});
+  }
+  for (Hit& h : hits) {
+    auto it = entries_.find(h.filename);
+    LOCAWARE_CHECK(it != entries_.end());
+    Touch(h.filename, &it->second);
+  }
+  if (!hits.empty()) ++stats_.hits;
+  return hits;
+}
+
+std::optional<ResponseIndex::Hit> ResponseIndex::LookupFilename(
+    const std::string& filename, sim::SimTime now) {
+  ++stats_.lookups;
+  auto it = entries_.find(filename);
+  if (it == entries_.end()) return std::nullopt;
+  std::vector<ProviderEntry> live = LiveProviders(it->second, now);
+  if (live.empty()) return std::nullopt;
+  Touch(filename, &it->second);
+  ++stats_.hits;
+  return Hit{filename, std::move(live)};
+}
+
+std::vector<ResponseIndex::EvictedFile> ResponseIndex::ExpireStale(sim::SimTime now) {
+  std::vector<EvictedFile> removed;
+  if (config_.entry_ttl <= 0) return removed;
+  for (auto& [name, entry] : entries_) {
+    if (!PruneStale(&entry, now)) removed.push_back(EvictedFile{name, entry.keywords});
+  }
+  for (const EvictedFile& gone : removed) Erase(gone.filename);
+  return removed;
+}
+
+bool ResponseIndex::Erase(const std::string& filename) {
+  auto it = entries_.find(filename);
+  if (it == entries_.end()) return false;
+  use_order_.erase(it->second.use_pos);
+  entries_.erase(it);
+  return true;
+}
+
+bool ResponseIndex::Contains(const std::string& filename) const {
+  return entries_.contains(filename);
+}
+
+size_t ResponseIndex::TotalProviderCount() const {
+  size_t total = 0;
+  for (const auto& [name, entry] : entries_) total += entry.providers.size();
+  return total;
+}
+
+std::vector<std::string> ResponseIndex::Filenames() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+const std::vector<std::string>& ResponseIndex::KeywordsOf(
+    const std::string& filename) const {
+  auto it = entries_.find(filename);
+  LOCAWARE_CHECK(it != entries_.end()) << "KeywordsOf(" << filename << ") absent";
+  return it->second.keywords;
+}
+
+void ResponseIndex::Touch(const std::string& filename, Entry* entry) {
+  if (config_.eviction != EvictionPolicy::kLru) return;  // FIFO/random ignore use
+  use_order_.erase(entry->use_pos);
+  use_order_.push_back(filename);
+  entry->use_pos = std::prev(use_order_.end());
+}
+
+void ResponseIndex::EvictOne(std::vector<EvictedFile>* evicted) {
+  LOCAWARE_CHECK(!entries_.empty());
+  std::string victim;
+  if (config_.eviction == EvictionPolicy::kRandom) {
+    // xorshift64* steps a private generator; cheap and reproducible.
+    eviction_rng_state_ ^= eviction_rng_state_ >> 12;
+    eviction_rng_state_ ^= eviction_rng_state_ << 25;
+    eviction_rng_state_ ^= eviction_rng_state_ >> 27;
+    const uint64_t r = eviction_rng_state_ * 0x2545F4914F6CDD1DULL;
+    size_t idx = static_cast<size_t>(r % entries_.size());
+    auto it = use_order_.begin();
+    std::advance(it, idx);
+    victim = *it;
+  } else {
+    victim = use_order_.front();  // LRU and FIFO both pop the front
+  }
+  auto entry_it = entries_.find(victim);
+  LOCAWARE_CHECK(entry_it != entries_.end());
+  evicted->push_back(EvictedFile{victim, entry_it->second.keywords});
+  Erase(victim);
+  ++stats_.evictions;
+}
+
+}  // namespace locaware::cache

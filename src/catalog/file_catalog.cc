@@ -1,0 +1,91 @@
+#include "catalog/file_catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace locaware::catalog {
+
+Result<FileCatalog> FileCatalog::Generate(const CatalogConfig& config, Rng* rng) {
+  if (config.num_files == 0) {
+    return Status::InvalidArgument("num_files must be > 0");
+  }
+  if (config.keywords_per_file == 0 ||
+      config.keywords_per_file > config.keyword_pool_size) {
+    return Status::InvalidArgument("keywords_per_file out of range");
+  }
+
+  KeywordPool pool(config.keyword_pool_size, rng);
+
+  FileCatalog cat;
+  cat.keywords_per_file_ = config.keywords_per_file;
+  cat.files_.reserve(config.num_files);
+
+  // With 9000 keywords choose-3 there are ~1.2e11 possible filenames for 3000
+  // files, so collisions are rare; still, retry to guarantee uniqueness.
+  constexpr int kMaxAttemptsPerFile = 1000;
+  while (cat.files_.size() < config.num_files) {
+    bool placed = false;
+    for (int attempt = 0; attempt < kMaxAttemptsPerFile; ++attempt) {
+      std::vector<size_t> kw_ids =
+          rng->SampleIndices(config.keyword_pool_size, config.keywords_per_file);
+      std::vector<std::string> kws;
+      kws.reserve(kw_ids.size());
+      for (size_t id : kw_ids) kws.push_back(pool.word(id));
+      std::string name = Join(kws, " ");
+      if (cat.filename_index_.contains(name)) continue;
+
+      const FileId fid = static_cast<FileId>(cat.files_.size());
+      cat.filename_index_.emplace(name, fid);
+      for (const std::string& kw : kws) cat.keyword_index_[kw].push_back(fid);
+      cat.files_.push_back(FileEntry{std::move(name), std::move(kws)});
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      return Status::Internal("could not generate a unique filename");
+    }
+  }
+  return cat;
+}
+
+const std::string& FileCatalog::filename(FileId f) const {
+  LOCAWARE_CHECK_LT(f, files_.size());
+  return files_[f].filename;
+}
+
+const std::vector<std::string>& FileCatalog::keywords(FileId f) const {
+  LOCAWARE_CHECK_LT(f, files_.size());
+  return files_[f].keywords;
+}
+
+bool FileCatalog::Matches(FileId f, const std::vector<std::string>& query_keywords) const {
+  LOCAWARE_CHECK_LT(f, files_.size());
+  return ContainsAllKeywords(files_[f].keywords, query_keywords);
+}
+
+std::vector<FileId> FileCatalog::FindMatches(
+    const std::vector<std::string>& query_keywords) const {
+  if (query_keywords.empty()) return {};
+  // Seed from the rarest keyword's posting list, then verify the rest.
+  const std::vector<FileId>* seed = nullptr;
+  for (const std::string& kw : query_keywords) {
+    auto it = keyword_index_.find(kw);
+    if (it == keyword_index_.end()) return {};  // unknown keyword: no match
+    if (seed == nullptr || it->second.size() < seed->size()) seed = &it->second;
+  }
+  std::vector<FileId> out;
+  for (FileId f : *seed) {
+    if (Matches(f, query_keywords)) out.push_back(f);
+  }
+  return out;
+}
+
+FileId FileCatalog::LookupFilename(const std::string& filename) const {
+  auto it = filename_index_.find(filename);
+  if (it == filename_index_.end()) return kInvalidFile;
+  return it->second;
+}
+
+}  // namespace locaware::catalog

@@ -1,0 +1,72 @@
+// The shared-file universe: filenames, their keyword decomposition, and an
+// inverted keyword index used as ground truth for query matching.
+//
+// Paper §5.1: 3000 files, each filename formed of 3 keywords drawn from a
+// 9000-keyword pool. Matching rule (§3.1): a query is satisfied by any file
+// whose filename contains *all* query keywords.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "catalog/keyword_pool.h"
+
+namespace locaware::catalog {
+
+/// Shape of the synthetic catalog.
+struct CatalogConfig {
+  size_t num_files = 3000;
+  size_t keyword_pool_size = 9000;
+  size_t keywords_per_file = 3;
+};
+
+/// \brief Immutable catalog of files with an inverted keyword index.
+class FileCatalog {
+ public:
+  /// Empty catalog; assign from Generate before use.
+  FileCatalog() = default;
+
+  /// Generates a catalog. Filenames are guaranteed unique (keyword sets are
+  /// re-sampled on collision). Fails with InvalidArgument when the config is
+  /// unsatisfiable (e.g. more keywords per file than the pool holds).
+  static Result<FileCatalog> Generate(const CatalogConfig& config, Rng* rng);
+
+  size_t num_files() const { return files_.size(); }
+  size_t keywords_per_file() const { return keywords_per_file_; }
+
+  /// Full filename, e.g. "runebo katima zuvalo".
+  const std::string& filename(FileId f) const;
+
+  /// The file's keywords in filename order.
+  const std::vector<std::string>& keywords(FileId f) const;
+
+  /// True iff `f`'s filename contains all of `query_keywords`.
+  bool Matches(FileId f, const std::vector<std::string>& query_keywords) const;
+
+  /// All files matching the query, via the inverted index (posting-list
+  /// intersection seeded from the rarest keyword). Empty when any keyword is
+  /// unknown.
+  std::vector<FileId> FindMatches(const std::vector<std::string>& query_keywords) const;
+
+  /// FileId of an exact filename, or kInvalidFile when absent.
+  static constexpr FileId kInvalidFile = UINT32_MAX;
+  FileId LookupFilename(const std::string& filename) const;
+
+ private:
+  struct FileEntry {
+    std::string filename;
+    std::vector<std::string> keywords;
+  };
+
+  size_t keywords_per_file_ = 0;
+  std::vector<FileEntry> files_;
+  std::unordered_map<std::string, std::vector<FileId>> keyword_index_;
+  std::unordered_map<std::string, FileId> filename_index_;
+};
+
+}  // namespace locaware::catalog

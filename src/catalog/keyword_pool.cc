@@ -1,0 +1,45 @@
+#include "catalog/keyword_pool.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace locaware::catalog {
+
+namespace {
+
+constexpr char kConsonants[] = "bcdfgklmnprstvz";
+constexpr char kVowels[] = "aeiou";
+
+std::string MakeWord(Rng* rng) {
+  const size_t syllables = static_cast<size_t>(rng->UniformInt(2, 4));
+  std::string word;
+  word.reserve(syllables * 2 + 1);
+  for (size_t s = 0; s < syllables; ++s) {
+    word += kConsonants[rng->UniformInt(0, sizeof(kConsonants) - 2)];
+    word += kVowels[rng->UniformInt(0, sizeof(kVowels) - 2)];
+  }
+  return word;
+}
+
+}  // namespace
+
+KeywordPool::KeywordPool(size_t size, Rng* rng) {
+  LOCAWARE_CHECK_GT(size, 0u);
+  // 15 consonants * 5 vowels = 75 two-letter syllables; 2-4 syllables give
+  // ~75^2..75^4 combinations, comfortably above any realistic pool size.
+  LOCAWARE_CHECK_LE(size, 1000000u) << "keyword pool too large for the word space";
+  std::unordered_set<std::string> seen;
+  words_.reserve(size);
+  while (words_.size() < size) {
+    std::string w = MakeWord(rng);
+    if (seen.insert(w).second) words_.push_back(std::move(w));
+  }
+}
+
+const std::string& KeywordPool::word(size_t i) const {
+  LOCAWARE_CHECK_LT(i, words_.size());
+  return words_[i];
+}
+
+}  // namespace locaware::catalog

@@ -1,0 +1,32 @@
+// Synthetic keyword vocabulary.
+//
+// The paper's workload draws filenames from a pool of 9000 keywords (§5.1).
+// We generate pronounceable, unique, lowercase words ("runebo", "katima", …)
+// so traces and debug output stay readable, and so the tokenization rules in
+// common/string_util.h roundtrip them exactly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace locaware::catalog {
+
+/// \brief Deterministic pool of unique keywords.
+class KeywordPool {
+ public:
+  /// Generates `size` unique words using `rng`. Words are 4–9 letters,
+  /// alternating consonant/vowel, lowercase ASCII only.
+  KeywordPool(size_t size, Rng* rng);
+
+  size_t size() const { return words_.size(); }
+  const std::string& word(size_t i) const;
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+}  // namespace locaware::catalog

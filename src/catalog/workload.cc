@@ -1,0 +1,132 @@
+#include "catalog/workload.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace locaware::catalog {
+
+Result<QueryWorkload> QueryWorkload::Generate(const WorkloadConfig& config,
+                                              const FileCatalog& catalog,
+                                              size_t num_peers, Rng* rng) {
+  if (num_peers == 0) return Status::InvalidArgument("num_peers must be > 0");
+  if (config.query_rate_per_peer_s <= 0) {
+    return Status::InvalidArgument("query rate must be > 0");
+  }
+  if (config.min_query_keywords == 0 ||
+      config.min_query_keywords > config.max_query_keywords) {
+    return Status::InvalidArgument("query keyword band invalid");
+  }
+
+  QueryWorkload wl;
+
+  // Popularity rank -> file: a random permutation so that file ids and
+  // popularity are uncorrelated.
+  wl.rank_to_file_.resize(catalog.num_files());
+  std::iota(wl.rank_to_file_.begin(), wl.rank_to_file_.end(), 0);
+  rng->Shuffle(&wl.rank_to_file_);
+  wl.file_to_rank_.resize(catalog.num_files());
+  for (size_t rank = 0; rank < wl.rank_to_file_.size(); ++rank) {
+    wl.file_to_rank_[wl.rank_to_file_[rank]] = static_cast<uint32_t>(rank);
+  }
+
+  ZipfDistribution zipf(catalog.num_files(), config.zipf_exponent);
+
+  // Aggregate Poisson process: network-wide rate = per-peer rate * N, with a
+  // uniformly random requester per arrival (equivalent to N independent
+  // processes, cheaper to generate in one stream).
+  const double network_rate = config.query_rate_per_peer_s * static_cast<double>(num_peers);
+  double now_s = 0.0;
+  wl.queries_.reserve(config.num_queries);
+  for (uint64_t i = 0; i < config.num_queries; ++i) {
+    now_s += rng->Exponential(network_rate);
+
+    QueryEvent ev;
+    ev.id = i;
+    ev.requester = static_cast<PeerId>(rng->UniformInt(0, num_peers - 1));
+    ev.target = wl.rank_to_file_[zipf.Sample(rng)];
+    ev.submit_time = sim::FromSeconds(now_s);
+
+    const auto& kws = catalog.keywords(ev.target);
+    const size_t max_x = std::min(config.max_query_keywords, kws.size());
+    const size_t min_x = std::min(config.min_query_keywords, max_x);
+    const size_t x = static_cast<size_t>(rng->UniformInt(min_x, max_x));
+    for (size_t pos : rng->SampleIndices(kws.size(), x)) {
+      ev.keywords.push_back(kws[pos]);
+    }
+    wl.queries_.push_back(std::move(ev));
+  }
+  return wl;
+}
+
+FileId QueryWorkload::FileAtRank(size_t rank) const {
+  LOCAWARE_CHECK_LT(rank, rank_to_file_.size())
+      << "rank out of range (or workload loaded from trace)";
+  return rank_to_file_[rank];
+}
+
+uint32_t QueryWorkload::RankOfFile(FileId file) const {
+  if (file >= file_to_rank_.size()) return kUnknownRank;
+  return file_to_rank_[file];
+}
+
+Status QueryWorkload::SaveTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open trace for writing: " + path);
+  out << "# locaware-trace-v1: id requester target submit_us keywords...\n";
+  for (const QueryEvent& q : queries_) {
+    out << q.id << ' ' << q.requester << ' ' << q.target << ' ' << q.submit_time;
+    for (const std::string& kw : q.keywords) out << ' ' << kw;
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<QueryWorkload> QueryWorkload::LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open trace: " + path);
+  QueryWorkload wl;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    QueryEvent ev;
+    long long submit = 0;
+    if (!(fields >> ev.id >> ev.requester >> ev.target >> submit)) {
+      return Status::InvalidArgument("malformed trace line " + std::to_string(lineno));
+    }
+    ev.submit_time = submit;
+    std::string kw;
+    while (fields >> kw) ev.keywords.push_back(std::move(kw));
+    if (ev.keywords.empty()) {
+      return Status::InvalidArgument("trace line " + std::to_string(lineno) +
+                                     " has no keywords");
+    }
+    wl.queries_.push_back(std::move(ev));
+  }
+  return wl;
+}
+
+std::vector<std::vector<FileId>> AssignInitialFiles(size_t num_peers,
+                                                    size_t files_per_peer,
+                                                    const FileCatalog& catalog,
+                                                    Rng* rng) {
+  LOCAWARE_CHECK_LE(files_per_peer, catalog.num_files());
+  std::vector<std::vector<FileId>> placement(num_peers);
+  for (auto& shared : placement) {
+    for (size_t idx : rng->SampleIndices(catalog.num_files(), files_per_peer)) {
+      shared.push_back(static_cast<FileId>(idx));
+    }
+  }
+  return placement;
+}
+
+}  // namespace locaware::catalog

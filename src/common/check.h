@@ -1,0 +1,55 @@
+// Internal invariant checking. These macros are always on (including release
+// builds): a violated invariant in the simulator would silently corrupt
+// experiment results, which is worse than the negligible branch cost.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace locaware {
+namespace internal {
+
+/// Terminates the process after printing a fatal invariant-violation message.
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+/// Stream collector so call sites can append context:
+///   LOCAWARE_CHECK(x > 0) << "x=" << x;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace locaware
+
+#define LOCAWARE_CHECK(condition)                                                    \
+  if (condition) {                                                                   \
+  } else                                                                             \
+    ::locaware::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define LOCAWARE_CHECK_EQ(a, b) LOCAWARE_CHECK((a) == (b))
+#define LOCAWARE_CHECK_NE(a, b) LOCAWARE_CHECK((a) != (b))
+#define LOCAWARE_CHECK_LT(a, b) LOCAWARE_CHECK((a) < (b))
+#define LOCAWARE_CHECK_LE(a, b) LOCAWARE_CHECK((a) <= (b))
+#define LOCAWARE_CHECK_GT(a, b) LOCAWARE_CHECK((a) > (b))
+#define LOCAWARE_CHECK_GE(a, b) LOCAWARE_CHECK((a) >= (b))

@@ -1,0 +1,42 @@
+// Hash functions used across the library: FNV-1a for cheap string ids
+// (group ids, stream splitting) and MurmurHash3 x64-128 for Bloom filter
+// double hashing (two independent 64-bit halves from one pass).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace locaware {
+
+/// 64-bit FNV-1a of a byte string. Deterministic across platforms.
+uint64_t Fnv1a64(std::string_view data);
+
+/// 64-bit FNV-1a of raw bytes.
+uint64_t Fnv1a64(const void* data, size_t len);
+
+/// 128-bit MurmurHash3 (x64 variant) of a byte string, returned as two
+/// 64-bit halves (h1, h2). The halves are close enough to independent to
+/// drive Kirsch–Mitzenmacher double hashing: g_i(x) = h1 + i * h2.
+std::pair<uint64_t, uint64_t> Murmur3_128(std::string_view data, uint64_t seed = 0);
+
+/// Boost-style hash combiner for building composite keys. Cheap but weak for
+/// small integers (low bits only); run the result through Mix64 before using
+/// high bits.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// SplitMix64 finalizer: full-avalanche mixing of a 64-bit value. Use when
+/// deriving uniform doubles or high bits from small-integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace locaware

@@ -1,0 +1,101 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace locaware {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::Add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Histogram::Reset() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::Percentile(double p) const {
+  LOCAWARE_CHECK_GE(p, 0.0);
+  LOCAWARE_CHECK_LE(p, 100.0);
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  // Nearest-rank: ceil(p/100 * n), 1-indexed.
+  const size_t n = sorted_.size();
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted_[rank - 1];
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%.2f p50=%.2f p95=%.2f max=%.2f",
+                count(), mean(), Percentile(50), Percentile(95), max());
+  return buf;
+}
+
+}  // namespace locaware

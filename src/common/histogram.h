@@ -1,0 +1,63 @@
+// Streaming statistics used by the metrics layer: a Welford running-stat for
+// mean/variance and a sample-retaining histogram for percentiles.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace locaware {
+
+/// \brief Constant-memory accumulator for count/mean/variance/min/max
+/// (Welford's online algorithm — numerically stable).
+class RunningStat {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one (parallel-safe combination).
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Sample-retaining histogram: exact percentiles at the cost of O(n)
+/// memory. Simulation metric volumes (≤ a few 100k samples) make this fine.
+class Histogram {
+ public:
+  void Add(double x);
+  void Reset();
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile by nearest-rank (p in [0, 100]). 0 on empty.
+  double Percentile(double p) const;
+
+  /// One-line summary "n=… mean=… p50=… p95=… max=…".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace locaware

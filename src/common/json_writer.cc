@@ -1,0 +1,165 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace locaware {
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(bool pretty) : pretty_(pretty) {}
+
+void JsonWriter::Indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::PrepareForValue() {
+  LOCAWARE_CHECK(!done_) << "write after TakeString";
+  if (stack_.empty()) {
+    LOCAWARE_CHECK(out_.empty()) << "only one top-level value allowed";
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    LOCAWARE_CHECK(expecting_value_) << "object member requires Key() first";
+    expecting_value_ = false;
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  Indent();
+}
+
+void JsonWriter::BeginObject() {
+  PrepareForValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  LOCAWARE_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  LOCAWARE_CHECK(!expecting_value_) << "dangling Key()";
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  PrepareForValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  LOCAWARE_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  LOCAWARE_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "Key() outside an object";
+  LOCAWARE_CHECK(!expecting_value_) << "two keys in a row";
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  Indent();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += pretty_ ? "\": " : "\":";
+  expecting_value_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  PrepareForValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  PrepareForValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  PrepareForValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  PrepareForValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  PrepareForValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  PrepareForValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::TakeString() {
+  LOCAWARE_CHECK(stack_.empty()) << "unbalanced containers";
+  LOCAWARE_CHECK(!out_.empty()) << "empty document";
+  done_ = true;
+  return std::move(out_);
+}
+
+}  // namespace locaware

@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer (no external dependencies), used by the CLI
+// and the experiment exporters. Produces standards-compliant output: UTF-8
+// pass-through, escaped control characters, no trailing commas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locaware {
+
+/// \brief Builder for one JSON document.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("Locaware");
+///   w.Key("series"); w.BeginArray(); w.Double(1.5); w.EndArray();
+///   w.EndObject();
+///   std::string doc = w.TakeString();
+///
+/// Structural misuse (value without key inside an object, unbalanced ends)
+/// is CHECK-fatal — a malformed export is a bug, not an input error.
+class JsonWriter {
+ public:
+  /// \param pretty  when true, indents nested containers by two spaces.
+  explicit JsonWriter(bool pretty = true);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be directly inside an object and followed by
+  /// exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  /// Doubles are rendered with up to 12 significant digits; NaN/Inf (not
+  /// representable in JSON) render as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Finishes the document and returns it. CHECK-fails if containers remain
+  /// open or nothing was written.
+  std::string TakeString();
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  /// Comma/indent bookkeeping before a value or key is emitted.
+  void PrepareForValue();
+  void Indent();
+
+  bool pretty_;
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  ///< parallel to stack_
+  bool expecting_value_ = false;  ///< a Key was written, value must follow
+  bool done_ = false;
+};
+
+/// Escapes a string per RFC 8259 (without surrounding quotes).
+std::string JsonEscape(std::string_view raw);
+
+}  // namespace locaware

@@ -1,0 +1,130 @@
+// Status / Result error handling, modeled after Apache Arrow's conventions:
+// fallible public APIs return Status (or Result<T>) instead of throwing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace locaware {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a contextual message.
+///
+/// The OK status carries no allocation; error statuses carry a message that
+/// should name the offending value (e.g. "degree 0 is not a valid target").
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status. Never both.
+///
+/// Usage:
+///   Result<Underlay> r = UnderlayBuilder(...).Build();
+///   if (!r.ok()) return r.status();
+///   Underlay u = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from an error Status. CHECK-fails if the status is OK, because
+  /// an OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    LOCAWARE_CHECK(!std::get<Status>(repr_).ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value; CHECK-fails on error results.
+  const T& ValueOrDie() const& {
+    LOCAWARE_CHECK(ok()) << "ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    LOCAWARE_CHECK(ok()) << "ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// The held value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace locaware
+
+/// Propagates a non-OK Status from the current function.
+#define LOCAWARE_RETURN_NOT_OK(expr)           \
+  do {                                         \
+    ::locaware::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace locaware {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(delim, start);
+    if (end == std::string_view::npos) end = s.size();
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeKeywords(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (unsigned char c : text) {
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+bool ContainsAllKeywords(const std::vector<std::string>& filename_keywords,
+                         const std::vector<std::string>& query_keywords) {
+  for (const std::string& kw : query_keywords) {
+    if (std::find(filename_keywords.begin(), filename_keywords.end(), kw) ==
+        filename_keywords.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string HumanCount(double value) {
+  char buf[32];
+  if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", value);
+  }
+  return buf;
+}
+
+}  // namespace locaware

@@ -1,0 +1,38 @@
+// String helpers, including the filename→keywords tokenization rule shared by
+// the catalog, the protocols and the Bloom-filter layer. The paper: "Filenames
+// are broken into keywords following predefined rules" (§3.1); our rule is
+// case-insensitive splitting on any non-alphanumeric character.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locaware {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Splits on a single delimiter character. Empty tokens are dropped.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a delimiter string.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// \brief Canonical filename→keyword tokenization (the "predefined rules").
+///
+/// Lowercases, then splits on every non-alphanumeric byte. "Blue_Monday-live"
+/// tokenizes to {"blue", "monday", "live"}. Used identically when indexing a
+/// filename and when parsing a keyword query, so matching is consistent.
+std::vector<std::string> TokenizeKeywords(std::string_view text);
+
+/// True iff every keyword of `query_keywords` appears in `filename_keywords`
+/// (the paper's match rule: "q can be satisfied by any file f which filename
+/// contains all keywords of q").
+bool ContainsAllKeywords(const std::vector<std::string>& filename_keywords,
+                         const std::vector<std::string>& query_keywords);
+
+/// Fixed-width human formatting used by report tables ("12.3k", "4.56M").
+std::string HumanCount(double value);
+
+}  // namespace locaware

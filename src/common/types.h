@@ -1,0 +1,31 @@
+// Shared identifier types. Plain integer aliases (not strong types) because
+// they cross module boundaries constantly; the alias names keep signatures
+// readable.
+#pragma once
+
+#include <cstdint>
+
+namespace locaware {
+
+/// Index of a participant peer in [0, num_peers).
+using PeerId = uint32_t;
+
+/// Index of a router in the underlay graph.
+using RouterId = uint32_t;
+
+/// Index of a file in the catalog, in [0, num_files).
+using FileId = uint32_t;
+
+/// Location id derived from the landmark-RTT ordering (0 .. k!-1).
+using LocId = uint16_t;
+
+/// Dicas-style group id in [0, M).
+using GroupId = uint16_t;
+
+/// Globally unique query identifier (per submitted query).
+using QueryId = uint64_t;
+
+/// Sentinel for "no peer".
+inline constexpr PeerId kInvalidPeer = UINT32_MAX;
+
+}  // namespace locaware

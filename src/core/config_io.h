@@ -1,0 +1,39 @@
+// Text serialization of ExperimentConfig (simple `key = value` files) and
+// JSON export of ExperimentResult. This is what makes runs shareable: a
+// config file plus a seed reproduces a run bit-for-bit, and the JSON result
+// feeds external plotting.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/experiment.h"
+#include "core/experiment_config.h"
+
+namespace locaware::core {
+
+/// Renders a config as a `key = value` text document (one line per field,
+/// grouped with comments). Every field is written, so a saved file is a
+/// complete record of the run's parameters.
+std::string FormatConfig(const ExperimentConfig& config);
+
+/// Parses FormatConfig output (or a hand-written subset — unspecified fields
+/// keep their defaults). Unknown keys and malformed values fail with
+/// InvalidArgument naming the offending line.
+Result<ExperimentConfig> ParseConfig(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveConfig(const ExperimentConfig& config, const std::string& path);
+Result<ExperimentConfig> LoadConfig(const std::string& path);
+
+/// Serializes an ExperimentResult (summary + series) as a JSON document.
+std::string ResultToJson(const ExperimentResult& result);
+
+/// Parses a protocol name ("flooding", "dicas", "dicas-keys", "locaware",
+/// case-insensitive). Fails with InvalidArgument on anything else.
+Result<ProtocolKind> ParseProtocolKind(const std::string& name);
+
+/// Parses a selection strategy name (see SelectionStrategyName).
+Result<SelectionStrategy> ParseSelectionStrategy(const std::string& name);
+
+}  // namespace locaware::core

@@ -1,0 +1,93 @@
+#include "core/dicas_protocol.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "core/group_hash.h"
+
+namespace locaware::core {
+
+std::vector<GroupId> DicasProtocol::QueryGroups(
+    const std::vector<std::string>& query_keywords) const {
+  return {GroupOfKeywords(query_keywords, params_.num_groups)};
+}
+
+std::vector<GroupId> DicasProtocol::CacheGroups(
+    const overlay::ResponseMessage& /*response*/,
+    const std::vector<std::string>& filename_keywords) const {
+  return {GroupOfKeywords(filename_keywords, params_.num_groups)};
+}
+
+std::vector<PeerId> DicasProtocol::ForwardTargets(Engine& engine, PeerId node,
+                                                  const overlay::QueryMessage& query,
+                                                  PeerId from) {
+  const std::vector<GroupId> groups = QueryGroups(query.keywords);
+  std::vector<PeerId> matching;
+  std::vector<PeerId> others;
+  for (PeerId nb : engine.graph().Neighbors(node)) {
+    if (nb == from) continue;
+    const GroupId g = engine.node(nb).gid;
+    if (std::find(groups.begin(), groups.end(), g) != groups.end()) {
+      matching.push_back(nb);
+    } else {
+      others.push_back(nb);
+    }
+  }
+  if (!matching.empty()) return matching;
+  // No group member among neighbors: hand the query to random neighbors so it
+  // keeps moving toward the group.
+  if (others.empty()) return {};
+  engine.protocol_rng().Shuffle(&others);
+  if (others.size() > params_.fallback_fanout) others.resize(params_.fallback_fanout);
+  return others;
+}
+
+void DicasProtocol::ObserveResponse(Engine& engine, PeerId node,
+                                    const overlay::ResponseMessage& response) {
+  NodeState& state = engine.node(node);
+  if (state.ri == nullptr) return;
+  for (const overlay::ResponseRecord& record : response.records) {
+    if (record.providers.empty()) continue;
+    const std::vector<std::string> kws = TokenizeKeywords(record.filename);
+    const std::vector<GroupId> groups = CacheGroups(response, kws);
+    if (std::find(groups.begin(), groups.end(), state.gid) == groups.end()) continue;
+    // Dicas caches the response as a single index: filename -> the provider
+    // that answered (the record's freshest provider).
+    const overlay::ProviderInfo& p = record.providers.front();
+    state.ri->AddProvider(record.filename, kws,
+                          cache::ProviderEntry{p.peer, p.loc_id, 0},
+                          engine.simulator().Now());
+  }
+}
+
+bool DicasProtocol::HitVisible(const NodeState& /*node*/,
+                               const std::vector<std::string>& hit_keywords,
+                               const overlay::QueryMessage& query) const {
+  // Filename search: the query must name every keyword of the cached
+  // filename (LookupByKeywords already guaranteed the other direction).
+  return ContainsAllKeywords(query.keywords, hit_keywords);
+}
+
+std::vector<overlay::ResponseRecord> DicasProtocol::AnswerFromIndex(
+    Engine& engine, PeerId node, const overlay::QueryMessage& query) {
+  NodeState& state = engine.node(node);
+  if (state.ri == nullptr) return {};
+  std::vector<overlay::ResponseRecord> records;
+  for (const cache::ResponseIndex::Hit& hit :
+       state.ri->LookupByKeywords(query.keywords, engine.simulator().Now())) {
+    if (!HitVisible(state, state.ri->KeywordsOf(hit.filename), query)) continue;
+    overlay::ResponseRecord record;
+    record.filename = hit.filename;
+    record.from_index = true;
+    const size_t limit = std::min(hit.providers.size(), params_.max_response_providers);
+    for (size_t i = 0; i < limit; ++i) {
+      record.providers.push_back(
+          overlay::ProviderInfo{hit.providers[i].provider, hit.providers[i].loc_id});
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace locaware::core

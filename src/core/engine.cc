@@ -1,0 +1,524 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "core/provider_selection.h"
+#include "net/landmark.h"
+
+namespace locaware::core {
+
+Engine::Engine(const ExperimentConfig& config)
+    : config_(config),
+      root_rng_(config.seed),
+      protocol_rng_(root_rng_.Split("protocol")),
+      selection_rng_(root_rng_.Split("selection")),
+      churn_rng_(root_rng_.Split("churn")) {}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const ExperimentConfig& config) {
+  // Normalize nested sizes from the top-level fields so callers set each
+  // quantity exactly once.
+  ExperimentConfig cfg = config;
+  cfg.underlay.num_peers = cfg.num_peers;
+  cfg.underlay.num_landmarks = cfg.num_landmarks;
+
+  auto engine = std::unique_ptr<Engine>(new Engine(cfg));
+  LOCAWARE_RETURN_NOT_OK(engine->Setup());
+  return engine;
+}
+
+Status Engine::Setup() {
+  if (config_.num_landmarks == 0) {
+    return Status::InvalidArgument("num_landmarks must be > 0 (locIds need landmarks)");
+  }
+
+  // 1. Underlay (physical network + landmarks).
+  Rng underlay_rng = root_rng_.Split("underlay");
+  if (config_.use_uniform_underlay) {
+    net::UniformUnderlayConfig ucfg;
+    ucfg.num_peers = config_.num_peers;
+    ucfg.num_landmarks = config_.num_landmarks;
+    ucfg.min_rtt_ms = config_.underlay.min_rtt_ms;
+    ucfg.max_rtt_ms = config_.underlay.max_rtt_ms;
+    auto built = net::UniformUnderlay::Build(ucfg, &underlay_rng);
+    if (!built.ok()) return built.status();
+    underlay_ = std::move(built).ValueOrDie();
+  } else {
+    auto built = net::GeometricUnderlay::Build(config_.underlay, &underlay_rng);
+    if (!built.ok()) return built.status();
+    underlay_ = std::move(built).ValueOrDie();
+  }
+  const std::vector<LocId> loc_ids = net::ComputeAllLocIds(*underlay_);
+
+  // 2. Overlay.
+  Rng overlay_rng = root_rng_.Split("overlay");
+  overlay::OverlayConfig ocfg;
+  ocfg.num_peers = config_.num_peers;
+  ocfg.avg_degree = config_.avg_degree;
+  auto built_graph = overlay::OverlayGraph::Generate(ocfg, &overlay_rng);
+  if (!built_graph.ok()) return built_graph.status();
+  graph_ = std::make_unique<overlay::OverlayGraph>(std::move(built_graph).ValueOrDie());
+
+  // 3. Catalog + workload + initial placement.
+  Rng catalog_rng = root_rng_.Split("catalog");
+  auto built_catalog = catalog::FileCatalog::Generate(config_.catalog, &catalog_rng);
+  if (!built_catalog.ok()) return built_catalog.status();
+  catalog_ = std::move(built_catalog).ValueOrDie();
+
+  if (!config_.trace_path.empty()) {
+    auto loaded = catalog::QueryWorkload::LoadTrace(config_.trace_path);
+    if (!loaded.ok()) return loaded.status();
+    workload_ = std::move(loaded).ValueOrDie();
+    // A trace written against a different universe must not index out of
+    // bounds silently.
+    for (const catalog::QueryEvent& ev : workload_.queries()) {
+      if (ev.requester >= config_.num_peers) {
+        return Status::InvalidArgument("trace requester exceeds num_peers");
+      }
+      if (ev.target >= catalog_.num_files()) {
+        return Status::InvalidArgument("trace target exceeds catalog size");
+      }
+    }
+  } else {
+    Rng workload_rng = root_rng_.Split("workload");
+    auto built_workload = catalog::QueryWorkload::Generate(
+        config_.workload, catalog_, config_.num_peers, &workload_rng);
+    if (!built_workload.ok()) return built_workload.status();
+    workload_ = std::move(built_workload).ValueOrDie();
+  }
+
+  Rng placement_rng = root_rng_.Split("placement");
+  const auto placement = catalog::AssignInitialFiles(
+      config_.num_peers, config_.files_per_peer, catalog_, &placement_rng);
+
+  // 4. Nodes.
+  if (config_.params.num_groups == 0) {
+    return Status::InvalidArgument("num_groups must be > 0");
+  }
+  Rng gid_rng = root_rng_.Split("gids");
+  nodes_.resize(config_.num_peers);
+  const bool caches = config_.protocol != ProtocolKind::kFlooding;
+  const bool is_locaware = config_.protocol == ProtocolKind::kLocaware;
+  for (PeerId p = 0; p < config_.num_peers; ++p) {
+    NodeState& n = nodes_[p];
+    n.id = p;
+    n.loc_id = loc_ids[p];
+    n.gid = static_cast<GroupId>(gid_rng.UniformInt(0, config_.params.num_groups - 1));
+    n.file_store = placement[p];
+    if (caches) {
+      cache::ResponseIndexConfig ri_cfg = config_.params.ri;
+      ri_cfg.eviction_seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1));
+      n.ri = std::make_unique<cache::ResponseIndex>(ri_cfg);
+    }
+    if (is_locaware) {
+      n.keyword_filter = std::make_unique<bloom::CountingBloomFilter>(
+          config_.params.bloom_bits, config_.params.bloom_hashes);
+      n.advertised_filter = std::make_unique<bloom::BloomFilter>(
+          config_.params.bloom_bits, config_.params.bloom_hashes);
+    }
+  }
+
+  // 5. Protocol + initial link handshakes.
+  protocol_ = MakeProtocol(config_.protocol, config_.params);
+  for (PeerId p = 0; p < config_.num_peers; ++p) {
+    for (PeerId nb : graph_->Neighbors(p)) {
+      if (nb > p) protocol_->OnLinkUp(*this, p, nb);
+    }
+  }
+
+  // 6. Churn.
+  auto churn = overlay::ChurnModel::Create(config_.churn);
+  if (!churn.ok()) return churn.status();
+  churn_model_ = std::move(churn).ValueOrDie();
+  if (config_.churn.enabled) {
+    for (PeerId p = 0; p < config_.num_peers; ++p) ScheduleDeparture(p);
+  }
+
+  // 7. Periodic maintenance (index expiry; Locaware Bloom gossip). Start
+  // ticks are staggered so 1000 nodes do not fire in the same microsecond.
+  if (caches) {
+    Rng stagger_rng = root_rng_.Split("maintenance");
+    for (PeerId p = 0; p < config_.num_peers; ++p) {
+      const sim::SimTime offset = static_cast<sim::SimTime>(stagger_rng.UniformInt(
+          0, static_cast<uint64_t>(config_.params.maintenance_interval)));
+      sim_.ScheduleAfter(offset, [this, p] {
+        sim_.SchedulePeriodic(config_.params.maintenance_interval, [this, p] {
+          if (graph_->IsAlive(p)) protocol_->OnMaintenanceTick(*this, p);
+          return true;
+        });
+        if (graph_->IsAlive(p)) protocol_->OnMaintenanceTick(*this, p);
+      });
+    }
+  }
+  return Status::OK();
+}
+
+NodeState& Engine::node(PeerId p) {
+  LOCAWARE_CHECK_LT(p, nodes_.size());
+  return nodes_[p];
+}
+
+const NodeState& Engine::node(PeerId p) const {
+  LOCAWARE_CHECK_LT(p, nodes_.size());
+  return nodes_[p];
+}
+
+LocId Engine::loc_of(PeerId p) const { return node(p).loc_id; }
+
+sim::SimTime Engine::OneWayDelay(PeerId a, PeerId b) const {
+  return sim::FromMs(underlay_->RttMs(a, b) / 2.0);
+}
+
+void Engine::Run() {
+  const auto& queries = workload_.queries();
+  for (const catalog::QueryEvent& ev : queries) {
+    sim_.ScheduleAt(ev.submit_time, [this, &ev] { SubmitQuery(ev); });
+  }
+  sim::SimTime horizon = 0;
+  if (!queries.empty()) {
+    horizon = queries.back().submit_time + 2 * config_.params.query_deadline +
+              sim::kSecond;
+  }
+  sim_.Run(horizon);
+}
+
+size_t Engine::SlotOf(QueryId qid) const {
+  auto it = slot_of_.find(qid);
+  if (it == slot_of_.end()) return SIZE_MAX;
+  return it->second;
+}
+
+std::vector<overlay::ResponseRecord> Engine::AnswerFromFileStore(
+    PeerId node_id, const overlay::QueryMessage& query) {
+  std::vector<overlay::ResponseRecord> records;
+  const NodeState& n = node(node_id);
+  for (FileId f : n.file_store) {
+    if (!catalog_.Matches(f, query.keywords)) continue;
+    overlay::ResponseRecord record;
+    record.filename = catalog_.filename(f);
+    record.providers.push_back(overlay::ProviderInfo{node_id, n.loc_id});
+    record.from_index = false;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
+  const size_t slot = metrics_.BeginQuery(ev.id, ev.requester, sim_.Now());
+  slot_of_[ev.id] = slot;
+  metrics_.Record(slot)->target_rank = workload_.RankOfFile(ev.target);
+
+  if (!graph_->IsAlive(ev.requester)) {
+    // Offline requester: the query is never issued. No messages exist, so
+    // the tracking entry can go immediately.
+    CleanupQuery(ev.id);
+    return;
+  }
+
+  NodeState& origin = node(ev.requester);
+
+  // A peer that already shares a matching file needs neither search nor
+  // download.
+  for (FileId f : origin.file_store) {
+    if (catalog_.Matches(f, ev.keywords)) {
+      metrics::QueryRecord* record = metrics_.Record(slot);
+      record->success = true;
+      record->source = metrics::AnswerSource::kLocalStore;
+      record->provider_loc_match = true;
+      CleanupQuery(ev.id);  // nothing in flight
+      return;
+    }
+  }
+
+  overlay::QueryMessage query;
+  query.qid = ev.id;
+  query.origin = ev.requester;
+  query.origin_loc = origin.loc_id;
+  query.keywords = ev.keywords;
+  query.ttl = config_.params.ttl;
+  query.hops = 0;
+
+  PendingQuery pq;
+  pq.slot = slot;
+  pq.requester = ev.requester;
+  pq.requester_loc = origin.loc_id;
+  pq.keywords = ev.keywords;
+
+  // The requester's own response index may already know providers.
+  std::vector<overlay::ResponseRecord> local =
+      protocol_->AnswerFromIndex(*this, ev.requester, query);
+  if (!local.empty()) {
+    for (overlay::ResponseRecord& record : local) {
+      pq.offers.push_back(PendingQuery::Offer{std::move(record), ev.requester});
+    }
+    pending_.emplace(ev.id, std::move(pq));
+    FinalizeQuery(ev.id);
+    return;
+  }
+
+  pending_.emplace(ev.id, std::move(pq));
+  origin.seen_queries.insert(ev.id);
+  touched_[ev.id].push_back(ev.requester);
+
+  ForwardQuery(ev.requester, kInvalidPeer, query);
+  sim_.ScheduleAfter(config_.params.query_deadline, [this, qid = ev.id] {
+    FinalizeQuery(qid);
+  });
+}
+
+void Engine::ForwardQuery(PeerId node_id, PeerId from,
+                          const overlay::QueryMessage& msg) {
+  if (msg.ttl == 0) return;
+  const std::vector<PeerId> targets =
+      protocol_->ForwardTargets(*this, node_id, msg, from);
+  if (targets.empty()) return;
+
+  overlay::QueryMessage fwd = msg;
+  fwd.ttl -= 1;
+  fwd.hops += 1;
+
+  const size_t slot = SlotOf(msg.qid);
+  const size_t wire_bytes = EstimateSizeBytes(fwd);
+  for (PeerId target : targets) {
+    if (slot != SIZE_MAX) {
+      metrics::QueryRecord* record = metrics_.Record(slot);
+      ++record->query_msgs;
+      record->query_bytes += wire_bytes;
+    }
+    sim_.ScheduleAfter(OneWayDelay(node_id, target), [this, target, node_id, fwd] {
+      DeliverQuery(target, node_id, fwd);
+    });
+  }
+}
+
+void Engine::DeliverQuery(PeerId to, PeerId from, overlay::QueryMessage msg) {
+  if (!graph_->IsAlive(to)) return;  // lost on a dead peer
+  NodeState& n = node(to);
+  if (!n.seen_queries.insert(msg.qid).second) return;  // duplicate: dropped
+  n.reverse_path[msg.qid] = from;
+  touched_[msg.qid].push_back(to);
+
+  // Answer from the shared-file store first, then the response index
+  // ("either in its file storage or in its response index", §4.2).
+  std::vector<overlay::ResponseRecord> records = AnswerFromFileStore(to, msg);
+  if (records.empty()) records = protocol_->AnswerFromIndex(*this, to, msg);
+
+  const bool hit = !records.empty();
+  if (hit) {
+    overlay::ResponseMessage response;
+    response.qid = msg.qid;
+    response.responder = to;
+    response.origin = msg.origin;
+    response.origin_loc = msg.origin_loc;
+    response.query_keywords = msg.keywords;
+    response.records = std::move(records);
+    SendResponse(to, from, response);
+  }
+  if (!hit || protocol_->ForwardAfterHit()) {
+    ForwardQuery(to, from, msg);
+  }
+}
+
+void Engine::SendResponse(PeerId sender, PeerId next_hop,
+                          overlay::ResponseMessage msg) {
+  const size_t slot = SlotOf(msg.qid);
+  if (slot != SIZE_MAX) {
+    metrics::QueryRecord* record = metrics_.Record(slot);
+    ++record->response_msgs;
+    record->response_bytes += EstimateSizeBytes(msg);
+  }
+  sim_.ScheduleAfter(OneWayDelay(sender, next_hop),
+                     [this, next_hop, sender, msg = std::move(msg)] {
+                       DeliverResponse(next_hop, sender, msg);
+                     });
+}
+
+void Engine::DeliverResponse(PeerId to, PeerId /*from*/, overlay::ResponseMessage msg) {
+  if (!graph_->IsAlive(to)) return;  // response lost with the dead relay
+  msg.hops += 1;
+
+  // Every reverse-path peer (the requester included) may cache the passing
+  // response, per the protocol's rule.
+  protocol_->ObserveResponse(*this, to, msg);
+
+  if (to == msg.origin) {
+    auto it = pending_.find(msg.qid);
+    if (it == pending_.end()) return;  // arrived after the deadline
+    PendingQuery& pq = it->second;
+    const size_t slot = pq.slot;
+    metrics::QueryRecord* record = metrics_.Record(slot);
+    ++record->responses_received;
+    if (record->first_response_at == 0) {
+      record->first_response_at = sim_.Now();
+      record->first_response_hops = msg.hops;
+    }
+    for (overlay::ResponseRecord& rec : msg.records) {
+      pq.offers.push_back(PendingQuery::Offer{std::move(rec), msg.responder});
+    }
+    return;
+  }
+
+  NodeState& n = node(to);
+  auto next = n.reverse_path.find(msg.qid);
+  if (next == n.reverse_path.end()) return;  // path lost (churn or cleanup)
+  SendResponse(to, next->second, msg);
+}
+
+void Engine::FinalizeQuery(QueryId qid) {
+  auto it = pending_.find(qid);
+  if (it == pending_.end()) return;
+  PendingQuery pq = std::move(it->second);
+  pending_.erase(it);
+
+  metrics::QueryRecord* record = metrics_.Record(pq.slot);
+
+  // Distinct candidate providers, preserving offer order (earliest response
+  // first; freshest providers first within a record). The requester itself is
+  // never a candidate.
+  std::vector<Candidate> candidates;
+  bool filtered_dead = false;
+  for (const PendingQuery::Offer& offer : pq.offers) {
+    for (const overlay::ProviderInfo& p : offer.record.providers) {
+      if (p.peer == pq.requester) continue;
+      bool already = false;
+      for (const Candidate& c : candidates) {
+        if (c.provider == p.peer) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      Candidate cand;
+      cand.provider = p.peer;
+      cand.loc_id = p.loc_id;
+      cand.from_index = offer.record.from_index;
+      cand.responder = offer.responder;
+      cand.filename = offer.record.filename;
+      candidates.push_back(std::move(cand));
+    }
+  }
+  record->providers_offered = static_cast<uint32_t>(candidates.size());
+
+  // A provider that has gone offline cannot serve the download (stale index).
+  if (config_.churn.enabled) {
+    std::vector<Candidate> alive;
+    for (Candidate& c : candidates) {
+      if (graph_->IsAlive(c.provider)) {
+        alive.push_back(std::move(c));
+      } else {
+        filtered_dead = true;
+      }
+    }
+    candidates = std::move(alive);
+  }
+
+  if (candidates.empty()) {
+    if (filtered_dead) metrics_.AddStaleFailure();
+    sim_.ScheduleAfter(config_.params.query_deadline, [this, qid] { CleanupQuery(qid); });
+    return;  // record stays a failure
+  }
+
+  const SelectionStrategy strategy =
+      config_.params.selection.value_or(protocol_->DefaultSelection());
+  const SelectionOutcome outcome = SelectProvider(
+      strategy, candidates, pq.requester, pq.requester_loc, *underlay_, &selection_rng_);
+  record->probe_msgs += outcome.probe_msgs;
+  record->probe_bytes += outcome.probe_msgs * EstimateSizeBytes(overlay::ProbeMessage{});
+
+  const Candidate& chosen = candidates[outcome.chosen];
+  record->success = true;
+  if (chosen.responder == pq.requester) {
+    record->source = metrics::AnswerSource::kLocalIndex;
+  } else if (chosen.from_index) {
+    record->source = metrics::AnswerSource::kResponseIndex;
+  } else {
+    record->source = metrics::AnswerSource::kFileStore;
+  }
+  record->download_distance_ms = underlay_->RttMs(pq.requester, chosen.provider);
+  record->provider_loc_match = (loc_of(chosen.provider) == pq.requester_loc);
+
+  // Natural replication (§3.1): the requester downloads the file and shares
+  // it from now on.
+  const FileId fid = catalog_.LookupFilename(chosen.filename);
+  if (fid != catalog::FileCatalog::kInvalidFile) {
+    NodeState& requester = node(pq.requester);
+    if (!requester.SharesFile(fid)) requester.file_store.push_back(fid);
+  }
+
+  sim_.ScheduleAfter(config_.params.query_deadline, [this, qid] { CleanupQuery(qid); });
+}
+
+void Engine::CleanupQuery(QueryId qid) {
+  auto touched = touched_.find(qid);
+  if (touched != touched_.end()) {
+    for (PeerId p : touched->second) {
+      NodeState& n = node(p);
+      n.seen_queries.erase(qid);
+      n.reverse_path.erase(qid);
+    }
+    touched_.erase(touched);
+  }
+  slot_of_.erase(qid);
+}
+
+void Engine::SendBloomUpdate(PeerId from, PeerId to,
+                             overlay::BloomUpdateMessage update) {
+  metrics_.AddBloomUpdate(1, EstimateSizeBytes(update));
+  sim_.ScheduleAfter(OneWayDelay(from, to), [this, to, update = std::move(update)] {
+    if (!graph_->IsAlive(to)) return;
+    protocol_->OnBloomUpdate(*this, to, update);
+  });
+}
+
+void Engine::ChargeMaintenance(uint64_t messages, uint64_t bytes) {
+  metrics_.AddBloomUpdate(messages, bytes);
+}
+
+void Engine::ScheduleDeparture(PeerId p) {
+  sim_.ScheduleAfter(churn_model_.SampleSession(&churn_rng_),
+                     [this, p] { HandleDeparture(p); });
+}
+
+void Engine::ScheduleRejoin(PeerId p) {
+  sim_.ScheduleAfter(churn_model_.SampleOffline(&churn_rng_),
+                     [this, p] { HandleRejoin(p); });
+}
+
+void Engine::HandleDeparture(PeerId p) {
+  if (!graph_->IsAlive(p)) return;
+  metrics_.AddChurnEvent();
+
+  const std::vector<PeerId> dropped = graph_->Depart(p);
+  for (PeerId nb : dropped) protocol_->OnLinkDown(*this, p, nb);
+
+  // Session state dies with the session; the response index survives on disk
+  // (its entries age out through entry_ttl instead).
+  NodeState& n = node(p);
+  n.seen_queries.clear();
+  n.reverse_path.clear();
+  n.neighbor_filters.clear();
+
+  // Orphaned neighbors re-attach to keep the overlay usable.
+  for (PeerId nb : dropped) {
+    if (graph_->IsAlive(nb) && graph_->Degree(nb) == 0) RepairLinks(nb, 1);
+  }
+
+  ScheduleRejoin(p);
+}
+
+void Engine::HandleRejoin(PeerId p) {
+  if (graph_->IsAlive(p)) return;
+  metrics_.AddChurnEvent();
+  graph_->Join(p);
+  RepairLinks(p, config_.churn.rejoin_links);
+  ScheduleDeparture(p);
+}
+
+void Engine::RepairLinks(PeerId p, size_t count) {
+  for (PeerId nb : graph_->LinkToRandomPeers(p, count, &churn_rng_)) {
+    protocol_->OnLinkUp(*this, p, nb);
+  }
+}
+
+}  // namespace locaware::core

@@ -1,0 +1,153 @@
+// The simulation engine: wires underlay, overlay, catalog, workload, nodes
+// and one protocol into the discrete-event simulator, and implements the
+// message plumbing every protocol shares — TTL-bounded forwarding, GUID
+// duplicate suppression, reverse-path response routing (paper §3.1), query
+// finalization with provider selection, churn, and periodic maintenance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/file_catalog.h"
+#include "catalog/workload.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/experiment_config.h"
+#include "core/node_state.h"
+#include "core/protocol.h"
+#include "metrics/metrics.h"
+#include "net/underlay.h"
+#include "overlay/churn.h"
+#include "overlay/message.h"
+#include "overlay/overlay_graph.h"
+#include "sim/simulator.h"
+
+namespace locaware::core {
+
+/// \brief One experiment instance. Create → Run → read metrics.
+///
+/// Engine is also the service interface protocols program against: node
+/// state, topology, latency, RNG streams and traffic accounting.
+class Engine {
+ public:
+  /// Builds every subsystem deterministically from config.seed. Fails if any
+  /// subsystem rejects its configuration.
+  static Result<std::unique_ptr<Engine>> Create(const ExperimentConfig& config);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Schedules the full workload and runs the simulation until every query
+  /// has been finalized (last submission + query deadline + response slack).
+  void Run();
+
+  // --- services for protocols, benches and tests ---
+  size_t num_peers() const { return nodes_.size(); }
+  NodeState& node(PeerId p);
+  const NodeState& node(PeerId p) const;
+  LocId loc_of(PeerId p) const;
+
+  const net::Underlay& underlay() const { return *underlay_; }
+  overlay::OverlayGraph& graph() { return *graph_; }
+  const overlay::OverlayGraph& graph() const { return *graph_; }
+  const catalog::FileCatalog& catalog() const { return catalog_; }
+  const catalog::QueryWorkload& workload() const { return workload_; }
+  sim::Simulator& simulator() { return sim_; }
+  metrics::MetricsCollector& metrics() { return metrics_; }
+  const metrics::MetricsCollector& metrics() const { return metrics_; }
+  Protocol& protocol() { return *protocol_; }
+  const ExperimentConfig& config() const { return config_; }
+  const ProtocolParams& params() const { return config_.params; }
+
+  /// RNG stream for protocol decisions (random fallback neighbor, ...).
+  Rng& protocol_rng() { return protocol_rng_; }
+
+  /// Queries currently awaiting their deadline (0 after Run()).
+  size_t pending_query_count() const { return pending_.size(); }
+  /// Queries whose metrics slots are still addressable by in-flight messages
+  /// (0 after Run(): every query was cleaned up).
+  size_t tracked_query_count() const { return slot_of_.size(); }
+
+  /// One-way overlay-link delay between two peers (RTT/2).
+  sim::SimTime OneWayDelay(PeerId a, PeerId b) const;
+
+  /// Sends a Bloom delta from `from` to neighbor `to`: schedules delivery and
+  /// charges the maintenance-traffic accounts.
+  void SendBloomUpdate(PeerId from, PeerId to, overlay::BloomUpdateMessage update);
+
+  /// Charges maintenance traffic without a scheduled message (used by the
+  /// full-filter exchange when a link comes up).
+  void ChargeMaintenance(uint64_t messages, uint64_t bytes);
+
+ private:
+  explicit Engine(const ExperimentConfig& config);
+
+  /// Responses a query collects while in flight, finalized at the deadline.
+  struct PendingQuery {
+    size_t slot = 0;
+    PeerId requester = kInvalidPeer;
+    LocId requester_loc = 0;
+    std::vector<std::string> keywords;
+    struct Offer {
+      overlay::ResponseRecord record;
+      PeerId responder = kInvalidPeer;
+    };
+    std::vector<Offer> offers;
+  };
+
+  Status Setup();
+
+  // Query lifecycle.
+  void SubmitQuery(const catalog::QueryEvent& ev);
+  void DeliverQuery(PeerId to, PeerId from, overlay::QueryMessage msg);
+  void DeliverResponse(PeerId to, PeerId from, overlay::ResponseMessage msg);
+  void ForwardQuery(PeerId node, PeerId from, const overlay::QueryMessage& msg);
+  void SendResponse(PeerId responder, PeerId next_hop,
+                    overlay::ResponseMessage msg);
+  void FinalizeQuery(QueryId qid);
+  void CleanupQuery(QueryId qid);
+
+  /// Records a file-store answer's records for `node` against `query`
+  /// (empty when nothing matches).
+  std::vector<overlay::ResponseRecord> AnswerFromFileStore(
+      PeerId node, const overlay::QueryMessage& query);
+
+  // Churn lifecycle.
+  void ScheduleDeparture(PeerId p);
+  void ScheduleRejoin(PeerId p);
+  void HandleDeparture(PeerId p);
+  void HandleRejoin(PeerId p);
+
+  /// Registers `count` new links from p to random peers and fires OnLinkUp.
+  void RepairLinks(PeerId p, size_t count);
+
+  /// Metrics slot of a query, or SIZE_MAX after cleanup.
+  size_t SlotOf(QueryId qid) const;
+
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  Rng root_rng_;
+  Rng protocol_rng_;
+  Rng selection_rng_;
+  Rng churn_rng_;
+
+  std::unique_ptr<net::Underlay> underlay_;
+  std::unique_ptr<overlay::OverlayGraph> graph_;
+  catalog::FileCatalog catalog_;
+  catalog::QueryWorkload workload_;
+  std::unique_ptr<Protocol> protocol_;
+  overlay::ChurnModel churn_model_;
+
+  std::vector<NodeState> nodes_;
+  std::unordered_map<QueryId, PendingQuery> pending_;
+  std::unordered_map<QueryId, size_t> slot_of_;
+  /// Peers whose seen/reverse-path tables mention a query (for cleanup).
+  std::unordered_map<QueryId, std::vector<PeerId>> touched_;
+
+  metrics::MetricsCollector metrics_;
+};
+
+}  // namespace locaware::core

@@ -1,0 +1,37 @@
+#include "core/experiment.h"
+
+#include "core/engine.h"
+
+namespace locaware::core {
+
+ExperimentConfig MakePaperConfig(ProtocolKind kind, uint64_t num_queries,
+                                 uint64_t seed) {
+  ExperimentConfig config;
+  config.label = ProtocolKindName(kind);
+  config.protocol = kind;
+  config.params = MakeDefaultParams(kind);
+  config.workload.num_queries = num_queries;
+  config.seed = seed;
+  // Everything else already defaults to the paper's §5.1 values: 1000 peers,
+  // degree 3, 4 landmarks, 3000 files / 9000 keywords / 3 kw per file,
+  // 3 files per peer, Zipf(1.0), 0.00083 q/s/peer, TTL 7, 1200-bit filters.
+  return config;
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config,
+                                       size_t num_buckets) {
+  auto built = Engine::Create(config);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<Engine> engine = std::move(built).ValueOrDie();
+
+  engine->Run();
+
+  ExperimentResult result;
+  result.label = config.label.empty() ? ProtocolKindName(config.protocol) : config.label;
+  result.summary = metrics::Summarize(engine->metrics());
+  result.series = metrics::Bucketize(engine->metrics().records(), num_buckets);
+  result.records = engine->metrics().records();
+  return result;
+}
+
+}  // namespace locaware::core

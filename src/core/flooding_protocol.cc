@@ -1,0 +1,27 @@
+#include "core/flooding_protocol.h"
+
+#include "core/engine.h"
+
+namespace locaware::core {
+
+std::vector<PeerId> FloodingProtocol::ForwardTargets(Engine& engine, PeerId node,
+                                                     const overlay::QueryMessage& /*query*/,
+                                                     PeerId from) {
+  std::vector<PeerId> targets;
+  for (PeerId nb : engine.graph().Neighbors(node)) {
+    if (nb != from) targets.push_back(nb);
+  }
+  return targets;
+}
+
+void FloodingProtocol::ObserveResponse(Engine& /*engine*/, PeerId /*node*/,
+                                       const overlay::ResponseMessage& /*response*/) {
+  // Flooding never caches.
+}
+
+std::vector<overlay::ResponseRecord> FloodingProtocol::AnswerFromIndex(
+    Engine& /*engine*/, PeerId /*node*/, const overlay::QueryMessage& /*query*/) {
+  return {};  // no index to answer from
+}
+
+}  // namespace locaware::core

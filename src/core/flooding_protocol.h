@@ -1,0 +1,28 @@
+// Blind Gnutella flooding — the paper's traffic baseline. Every query copy
+// goes to every neighbor (minus the sender), nothing is cached, and answers
+// come only from file stores. Gnutella semantics: a node that answers keeps
+// forwarding, so the flood always covers the TTL horizon.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace locaware::core {
+
+class FloodingProtocol final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  ProtocolKind kind() const override { return ProtocolKind::kFlooding; }
+  const char* name() const override { return "Flooding"; }
+
+  std::vector<PeerId> ForwardTargets(Engine& engine, PeerId node,
+                                     const overlay::QueryMessage& query,
+                                     PeerId from) override;
+  void ObserveResponse(Engine& engine, PeerId node,
+                       const overlay::ResponseMessage& response) override;
+  std::vector<overlay::ResponseRecord> AnswerFromIndex(
+      Engine& engine, PeerId node, const overlay::QueryMessage& query) override;
+  bool ForwardAfterHit() const override { return true; }
+};
+
+}  // namespace locaware::core

@@ -1,0 +1,40 @@
+#include "core/group_hash.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace locaware::core {
+
+GroupId GroupOfKeywords(const std::vector<std::string>& keywords, uint16_t num_groups) {
+  LOCAWARE_CHECK_GT(num_groups, 0u);
+  std::vector<std::string> sorted = keywords;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string canonical = Join(sorted, " ");
+  return static_cast<GroupId>(Fnv1a64(canonical) % num_groups);
+}
+
+GroupId GroupOfFilename(const std::string& filename, uint16_t num_groups) {
+  return GroupOfKeywords(TokenizeKeywords(filename), num_groups);
+}
+
+GroupId GroupOfKeyword(const std::string& keyword, uint16_t num_groups) {
+  LOCAWARE_CHECK_GT(num_groups, 0u);
+  return static_cast<GroupId>(Fnv1a64(keyword) % num_groups);
+}
+
+std::vector<GroupId> KeywordGroups(const std::vector<std::string>& keywords,
+                                   uint16_t num_groups) {
+  std::vector<GroupId> groups;
+  for (const std::string& kw : keywords) {
+    const GroupId g = GroupOfKeyword(kw, num_groups);
+    if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+      groups.push_back(g);
+    }
+  }
+  return groups;
+}
+
+}  // namespace locaware::core

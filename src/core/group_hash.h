@@ -1,0 +1,32 @@
+// Group-id hashing (paper §3.2, eq. 1): Gid(n) matches filename f when
+// hash(f) mod M == Gid(n).
+//
+// Filenames are hashed over their *canonically ordered* keywords, so a query
+// carrying all K keywords of a filename (in any order) hashes to the
+// filename's group — that is the "filename search" Dicas was designed for.
+// A query with fewer keywords hashes to an unrelated group, which is exactly
+// the keyword-search weakness the paper describes (§2, §4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace locaware::core {
+
+/// Group of a filename's keyword set: hash over sorted keywords, mod M.
+GroupId GroupOfKeywords(const std::vector<std::string>& keywords, uint16_t num_groups);
+
+/// Group of a raw filename string (tokenizes, then GroupOfKeywords).
+GroupId GroupOfFilename(const std::string& filename, uint16_t num_groups);
+
+/// Group of a single keyword — the Dicas-Keys per-keyword hash.
+GroupId GroupOfKeyword(const std::string& keyword, uint16_t num_groups);
+
+/// All distinct per-keyword groups of a keyword set (Dicas-Keys caches one
+/// index copy in each of these groups — the duplication the paper criticizes).
+std::vector<GroupId> KeywordGroups(const std::vector<std::string>& keywords,
+                                   uint16_t num_groups);
+
+}  // namespace locaware::core

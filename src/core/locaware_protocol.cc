@@ -1,0 +1,221 @@
+#include "core/locaware_protocol.h"
+
+#include <algorithm>
+
+#include "bloom/bloom_delta.h"
+#include "common/check.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "core/group_hash.h"
+
+namespace locaware::core {
+
+std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node,
+                                                     const overlay::QueryMessage& query,
+                                                     PeerId from) {
+  NodeState& state = engine.node(node);
+  const auto& neighbors = engine.graph().Neighbors(node);
+
+  // 1. Neighbors whose Bloom filter matches every query keyword.
+  std::vector<PeerId> bloom_matched;
+  for (PeerId nb : neighbors) {
+    if (nb == from) continue;
+    auto it = state.neighbor_filters.find(nb);
+    if (it == state.neighbor_filters.end()) continue;  // no filter yet = no match
+    bool all = true;
+    for (const std::string& kw : query.keywords) {
+      if (!it->second.MayContain(kw)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) bloom_matched.push_back(nb);
+  }
+  if (!bloom_matched.empty()) return bloom_matched;
+
+  // Optional §6 extension: prefer same-locality neighbors within a tier.
+  const auto prefer_local = [&](std::vector<PeerId>* tier) {
+    if (!params_.loc_aware_routing || tier->empty()) return;
+    std::vector<PeerId> local;
+    for (PeerId nb : *tier) {
+      if (engine.node(nb).loc_id == query.origin_loc) local.push_back(nb);
+    }
+    if (!local.empty()) *tier = std::move(local);
+  };
+
+  // 2. Neighbors whose Gid matches the query hash.
+  const GroupId query_group = GroupOfKeywords(query.keywords, params_.num_groups);
+  std::vector<PeerId> gid_matched;
+  for (PeerId nb : neighbors) {
+    if (nb == from) continue;
+    if (engine.node(nb).gid == query_group) gid_matched.push_back(nb);
+  }
+  prefer_local(&gid_matched);
+  if (!gid_matched.empty()) return gid_matched;
+
+  // 3. Last resort: the most connected neighbors, "to avoid blocking the
+  // query forwarding" (§4.2). With the §6 extension, locality outranks
+  // degree.
+  std::vector<PeerId> rest;
+  for (PeerId nb : neighbors) {
+    if (nb != from) rest.push_back(nb);
+  }
+  std::sort(rest.begin(), rest.end(), [&](PeerId a, PeerId b) {
+    if (params_.loc_aware_routing) {
+      const bool la = engine.node(a).loc_id == query.origin_loc;
+      const bool lb = engine.node(b).loc_id == query.origin_loc;
+      if (la != lb) return la;
+    }
+    const size_t da = engine.graph().Degree(a);
+    const size_t db = engine.graph().Degree(b);
+    if (da != db) return da > db;
+    return a < b;  // deterministic tie-break
+  });
+  if (rest.size() > params_.fallback_fanout) rest.resize(params_.fallback_fanout);
+  return rest;
+}
+
+void LocawareProtocol::AddToIndex(Engine& engine, NodeState& state,
+                                  const std::string& filename,
+                                  const std::vector<std::string>& keywords,
+                                  PeerId provider, LocId provider_loc) {
+  LOCAWARE_CHECK(state.ri != nullptr);
+  const auto outcome = state.ri->AddProvider(
+      filename, keywords, cache::ProviderEntry{provider, provider_loc, 0},
+      engine.simulator().Now());
+  // Keep the counting filter consistent: one Insert per filename arrival,
+  // one Remove per filename eviction (§4.2: "built incrementally as new
+  // filenames are inserted in RI and existing ones discarded").
+  if (state.keyword_filter != nullptr) {
+    if (outcome.filename_inserted) {
+      for (const std::string& kw : keywords) state.keyword_filter->Insert(kw);
+    }
+    for (const auto& evicted : outcome.evicted) {
+      for (const std::string& kw : evicted.keywords) state.keyword_filter->Remove(kw);
+    }
+  }
+}
+
+void LocawareProtocol::ObserveResponse(Engine& engine, PeerId node,
+                                       const overlay::ResponseMessage& response) {
+  NodeState& state = engine.node(node);
+  if (state.ri == nullptr) return;
+  for (const overlay::ResponseRecord& record : response.records) {
+    const std::vector<std::string> kws = TokenizeKeywords(record.filename);
+    if (GroupOfKeywords(kws, params_.num_groups) != state.gid) continue;
+    // Cache every provider the record carries. Iterate in reverse so the
+    // record's freshest provider ends up most recent in our index.
+    for (auto it = record.providers.rbegin(); it != record.providers.rend(); ++it) {
+      AddToIndex(engine, state, record.filename, kws, it->peer, it->loc_id);
+    }
+    // Leverage natural replication: the requester is about to hold a copy
+    // ("the query response qrf holds the information about peer D as well as
+    // peer A to be considered as a new provider", §4.1.2).
+    if (params_.requester_becomes_provider && response.origin != node) {
+      AddToIndex(engine, state, record.filename, kws, response.origin,
+                 response.origin_loc);
+    }
+  }
+}
+
+std::vector<overlay::ResponseRecord> LocawareProtocol::AnswerFromIndex(
+    Engine& engine, PeerId node, const overlay::QueryMessage& query) {
+  NodeState& state = engine.node(node);
+  if (state.ri == nullptr) return {};
+
+  std::vector<overlay::ResponseRecord> records;
+  for (const cache::ResponseIndex::Hit& hit :
+       state.ri->LookupByKeywords(query.keywords, engine.simulator().Now())) {
+    overlay::ResponseRecord record;
+    record.filename = hit.filename;
+    record.from_index = true;
+    // Providers in the requester's locality first, then the freshest others,
+    // "to guarantee that E will find an available copy of f with minimum
+    // bandwidth requirements" (§4.1.2).
+    for (const cache::ProviderEntry& p : hit.providers) {
+      if (record.providers.size() >= params_.max_response_providers) break;
+      if (p.loc_id == query.origin_loc) {
+        record.providers.push_back(overlay::ProviderInfo{p.provider, p.loc_id});
+      }
+    }
+    for (const cache::ProviderEntry& p : hit.providers) {
+      if (record.providers.size() >= params_.max_response_providers) break;
+      if (p.loc_id == query.origin_loc) continue;  // already added
+      record.providers.push_back(overlay::ProviderInfo{p.provider, p.loc_id});
+    }
+    records.push_back(std::move(record));
+  }
+
+  // Record the requester as a new provider of each answered file (Fig. 1:
+  // "Peer B then adds in its RI the entry (E, 1)").
+  if (params_.requester_becomes_provider && query.origin != node) {
+    for (const overlay::ResponseRecord& record : records) {
+      AddToIndex(engine, state, record.filename,
+                 state.ri->KeywordsOf(record.filename), query.origin,
+                 query.origin_loc);
+    }
+  }
+  return records;
+}
+
+void LocawareProtocol::OnMaintenanceTick(Engine& engine, PeerId node) {
+  NodeState& state = engine.node(node);
+  LOCAWARE_CHECK(state.ri != nullptr && state.keyword_filter != nullptr &&
+                 state.advertised_filter != nullptr);
+
+  // Index expiry, mirrored into the counting filter.
+  for (const auto& evicted : state.ri->ExpireStale(engine.simulator().Now())) {
+    for (const std::string& kw : evicted.keywords) state.keyword_filter->Remove(kw);
+  }
+
+  // Gossip: transmit only the changed bit positions (§4.2 footnote 1).
+  const bloom::BloomFilter& current = state.keyword_filter->projection();
+  const bloom::BloomDelta delta =
+      bloom::ComputeDelta(*state.advertised_filter, current);
+  if (delta.empty()) return;
+
+  overlay::BloomUpdateMessage update;
+  update.sender = node;
+  update.filter_bits = static_cast<uint32_t>(current.num_bits());
+  update.toggled_positions = delta.positions;
+  for (PeerId nb : engine.graph().Neighbors(node)) {
+    engine.SendBloomUpdate(node, nb, update);
+  }
+  *state.advertised_filter = current;
+}
+
+void LocawareProtocol::OnBloomUpdate(Engine& engine, PeerId node,
+                                     const overlay::BloomUpdateMessage& update) {
+  NodeState& state = engine.node(node);
+  auto [it, inserted] = state.neighbor_filters.try_emplace(
+      update.sender, params_.bloom_bits, params_.bloom_hashes);
+  bloom::BloomDelta delta;
+  delta.filter_bits = update.filter_bits;
+  delta.positions = update.toggled_positions;
+  const Status st = bloom::ApplyDelta(delta, &it->second);
+  if (!st.ok()) {
+    // A malformed or shape-mismatched update: drop our copy rather than keep
+    // a corrupt view (false negatives would break routing guarantees).
+    state.neighbor_filters.erase(it);
+  }
+}
+
+void LocawareProtocol::OnLinkUp(Engine& engine, PeerId a, PeerId b) {
+  NodeState& na = engine.node(a);
+  NodeState& nb = engine.node(b);
+  LOCAWARE_CHECK(na.advertised_filter != nullptr && nb.advertised_filter != nullptr);
+  // Full-filter handshake: each side learns the other's advertised filter, so
+  // subsequent deltas (always computed against the sender's advertised state)
+  // apply cleanly.
+  na.neighbor_filters.insert_or_assign(b, *nb.advertised_filter);
+  nb.neighbor_filters.insert_or_assign(a, *na.advertised_filter);
+  const uint64_t filter_bytes = (params_.bloom_bits + 7) / 8 + 29;  // + headers
+  engine.ChargeMaintenance(2, 2 * filter_bytes);
+}
+
+void LocawareProtocol::OnLinkDown(Engine& engine, PeerId a, PeerId b) {
+  engine.node(a).neighbor_filters.erase(b);
+  engine.node(b).neighbor_filters.erase(a);
+}
+
+}  // namespace locaware::core

@@ -1,0 +1,59 @@
+// Locaware (paper §4): location-aware index caching plus Bloom-filter-routed
+// keyword search.
+//
+// Caching (§4.1): responses are cached at reverse-path peers with matching
+// Gid (as in Dicas), but each index keeps *several* providers with their
+// locIds, most recent first, and the original requester is appended as a new
+// provider — the natural-replication leverage that makes download distance
+// improve over time (Fig. 2). A peer answering from its index also records
+// the new requester (Fig. 1's "(E, 1)" entry).
+//
+// Routing (§4.2): each peer summarizes the keywords of its cached filenames
+// in a Bloom filter and gossips (delta-encoded) copies to neighbors. Queries
+// forward to neighbors whose filter matches all keywords, then to neighbors
+// with matching Gid, then to the highest-degree neighbor as a last resort.
+#pragma once
+
+#include "core/node_state.h"
+#include "core/protocol.h"
+
+namespace locaware::core {
+
+class LocawareProtocol final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  ProtocolKind kind() const override { return ProtocolKind::kLocaware; }
+  const char* name() const override { return "Locaware"; }
+
+  std::vector<PeerId> ForwardTargets(Engine& engine, PeerId node,
+                                     const overlay::QueryMessage& query,
+                                     PeerId from) override;
+  void ObserveResponse(Engine& engine, PeerId node,
+                       const overlay::ResponseMessage& response) override;
+  std::vector<overlay::ResponseRecord> AnswerFromIndex(
+      Engine& engine, PeerId node, const overlay::QueryMessage& query) override;
+
+  /// Expires stale index entries (keeping the Bloom filter in sync) and
+  /// gossips a delta of the keyword filter to every neighbor when it changed.
+  void OnMaintenanceTick(Engine& engine, PeerId node) override;
+  /// Applies a neighbor's delta to our copy of its filter.
+  void OnBloomUpdate(Engine& engine, PeerId node,
+                     const overlay::BloomUpdateMessage& update) override;
+  /// New neighbors exchange their full advertised filters (and Gids).
+  void OnLinkUp(Engine& engine, PeerId a, PeerId b) override;
+  void OnLinkDown(Engine& engine, PeerId a, PeerId b) override;
+
+  SelectionStrategy DefaultSelection() const override {
+    return SelectionStrategy::kLocIdThenRtt;
+  }
+
+ private:
+  /// Inserts one provider into `node`'s index, keeping the counting Bloom
+  /// filter consistent with filename insertions and evictions.
+  void AddToIndex(Engine& engine, NodeState& state, const std::string& filename,
+                  const std::vector<std::string>& keywords, PeerId provider,
+                  LocId provider_loc);
+};
+
+}  // namespace locaware::core

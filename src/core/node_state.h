@@ -1,0 +1,58 @@
+// Per-peer protocol state. One NodeState per participant, owned by the
+// Engine; protocols mutate it through their hooks.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/counting_bloom.h"
+#include "cache/response_index.h"
+#include "common/types.h"
+
+namespace locaware::core {
+
+/// All state a peer carries. The Bloom-filter members are populated only for
+/// Locaware; they stay null under the other protocols.
+struct NodeState {
+  PeerId id = kInvalidPeer;
+  LocId loc_id = 0;   ///< landmark-ordering location id (§4.1.1)
+  GroupId gid = 0;    ///< Dicas group id, uniform in [0, M) (§3.2)
+
+  /// Files this peer shares: the initial 3 plus everything it downloads
+  /// ("the requesting peer ... becomes a provider pf", §3.1).
+  std::vector<FileId> file_store;
+
+  /// The response index RI_n. Null for Flooding (which never caches).
+  std::unique_ptr<cache::ResponseIndex> ri;
+
+  // --- Locaware only (§4.2) ---
+  /// Local deletable summary of RI keywords; its plain projection is what
+  /// neighbors receive.
+  std::unique_ptr<bloom::CountingBloomFilter> keyword_filter;
+  /// Last projection actually gossiped; deltas are computed against it.
+  std::unique_ptr<bloom::BloomFilter> advertised_filter;
+  /// Our copy of each neighbor's advertised filter.
+  std::unordered_map<PeerId, bloom::BloomFilter> neighbor_filters;
+  /// Neighbors' group ids as learned at link establishment ("neighboring
+  /// peers exchange their group Ids as well as their Bloom filters").
+  std::unordered_map<PeerId, GroupId> neighbor_gids;
+
+  // --- message plumbing ---
+  /// Query GUIDs already seen (duplicate suppression).
+  std::unordered_set<QueryId> seen_queries;
+  /// Reverse-path routing: query GUID -> the neighbor it arrived from.
+  std::unordered_map<QueryId, PeerId> reverse_path;
+
+  /// Convenience: does this peer share a file (linear scan; stores are tiny).
+  bool SharesFile(FileId f) const {
+    for (FileId mine : file_store) {
+      if (mine == f) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace locaware::core

@@ -1,0 +1,89 @@
+#include "core/protocol.h"
+
+#include "common/check.h"
+#include "core/dicas_keys_protocol.h"
+#include "core/dicas_protocol.h"
+#include "core/engine.h"
+#include "core/flooding_protocol.h"
+#include "core/locaware_protocol.h"
+
+namespace locaware::core {
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kFlooding:
+      return "Flooding";
+    case ProtocolKind::kDicas:
+      return "Dicas";
+    case ProtocolKind::kDicasKeys:
+      return "Dicas-Keys";
+    case ProtocolKind::kLocaware:
+      return "Locaware";
+  }
+  return "?";
+}
+
+const char* SelectionStrategyName(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kLocIdThenRtt:
+      return "locid-then-rtt";
+    case SelectionStrategy::kMinRtt:
+      return "min-rtt";
+    case SelectionStrategy::kRandom:
+      return "random";
+    case SelectionStrategy::kFirstResponder:
+      return "first-responder";
+  }
+  return "?";
+}
+
+ProtocolParams MakeDefaultParams(ProtocolKind kind) {
+  ProtocolParams params;
+  switch (kind) {
+    case ProtocolKind::kFlooding:
+      // No caching: the RI config is unused (nodes carry no index).
+      break;
+    case ProtocolKind::kDicas:
+    case ProtocolKind::kDicasKeys:
+      // Dicas indexes hold a single provider per filename (§4.1.2: "the
+      // response index in Locaware has for each file more possibilities of
+      // providers than in Dicas and Dicas-keys").
+      params.ri.max_providers_per_file = 1;
+      break;
+    case ProtocolKind::kLocaware:
+      params.ri.max_providers_per_file = 8;
+      break;
+  }
+  return params;
+}
+
+void Protocol::OnMaintenanceTick(Engine& engine, PeerId node) {
+  NodeState& state = engine.node(node);
+  if (state.ri != nullptr) {
+    state.ri->ExpireStale(engine.simulator().Now());
+  }
+}
+
+void Protocol::OnBloomUpdate(Engine& /*engine*/, PeerId /*node*/,
+                             const overlay::BloomUpdateMessage& /*update*/) {}
+
+void Protocol::OnLinkUp(Engine& /*engine*/, PeerId /*a*/, PeerId /*b*/) {}
+
+void Protocol::OnLinkDown(Engine& /*engine*/, PeerId /*a*/, PeerId /*b*/) {}
+
+std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind, const ProtocolParams& params) {
+  switch (kind) {
+    case ProtocolKind::kFlooding:
+      return std::make_unique<FloodingProtocol>(params);
+    case ProtocolKind::kDicas:
+      return std::make_unique<DicasProtocol>(params);
+    case ProtocolKind::kDicasKeys:
+      return std::make_unique<DicasKeysProtocol>(params);
+    case ProtocolKind::kLocaware:
+      return std::make_unique<LocawareProtocol>(params);
+  }
+  LOCAWARE_CHECK(false) << "unknown protocol kind";
+  return nullptr;
+}
+
+}  // namespace locaware::core

@@ -1,0 +1,79 @@
+// The strategy interface the Engine drives. All four systems share the same
+// message plumbing (TTL, GUID dedup, reverse-path responses — Engine's job)
+// and differ in three decisions:
+//   1. which neighbors receive a forwarded query        (ForwardTargets)
+//   2. who caches a passing response, and how           (ObserveResponse)
+//   3. how a node answers from its response index       (AnswerFromIndex)
+// plus periodic maintenance (Locaware's Bloom gossip) and link-lifecycle
+// hooks (filter exchange on new links).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/protocol_params.h"
+#include "overlay/message.h"
+
+namespace locaware::core {
+
+class Engine;
+
+/// \brief Per-protocol behaviour. Stateless apart from the params copy; all
+/// mutable state lives in the Engine's NodeState array.
+class Protocol {
+ public:
+  explicit Protocol(const ProtocolParams& params) : params_(params) {}
+  virtual ~Protocol() = default;
+
+  virtual ProtocolKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Neighbors of `node` that should receive `query`, never including
+  /// `from` (the neighbor it arrived from; kInvalidPeer at the origin).
+  virtual std::vector<PeerId> ForwardTargets(Engine& engine, PeerId node,
+                                             const overlay::QueryMessage& query,
+                                             PeerId from) = 0;
+
+  /// Called at every reverse-path hop (including the requester) with a
+  /// passing response; implements each protocol's caching rule.
+  virtual void ObserveResponse(Engine& engine, PeerId node,
+                               const overlay::ResponseMessage& response) = 0;
+
+  /// Attempts to answer `query` from `node`'s response index. Returns the
+  /// records to send back (empty = no index answer). May mutate the index
+  /// (Locaware appends the requester as a new provider, §4.1.2).
+  virtual std::vector<overlay::ResponseRecord> AnswerFromIndex(
+      Engine& engine, PeerId node, const overlay::QueryMessage& query) = 0;
+
+  /// Whether a node that answered keeps forwarding the query. Flooding does
+  /// (Gnutella semantics); the routed protocols stop on hit ("propagated
+  /// until a satisfying file is found", §4.2).
+  virtual bool ForwardAfterHit() const { return false; }
+
+  /// Periodic maintenance. Base implementation expires stale index entries;
+  /// Locaware additionally syncs its Bloom filter and gossips deltas.
+  virtual void OnMaintenanceTick(Engine& engine, PeerId node);
+
+  /// Bloom-update delivery (Locaware only; default ignores).
+  virtual void OnBloomUpdate(Engine& engine, PeerId node,
+                             const overlay::BloomUpdateMessage& update);
+
+  /// A link appeared / disappeared (join, leave, repair). Locaware exchanges
+  /// full filters and Gids on new links.
+  virtual void OnLinkUp(Engine& engine, PeerId a, PeerId b);
+  virtual void OnLinkDown(Engine& engine, PeerId a, PeerId b);
+
+  /// Provider-selection default when the config leaves it unset.
+  virtual SelectionStrategy DefaultSelection() const { return SelectionStrategy::kRandom; }
+
+  const ProtocolParams& params() const { return params_; }
+
+ protected:
+  ProtocolParams params_;
+};
+
+/// Builds the protocol implementation for `kind`.
+std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind, const ProtocolParams& params);
+
+}  // namespace locaware::core

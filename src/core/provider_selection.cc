@@ -1,0 +1,64 @@
+#include "core/provider_selection.h"
+
+#include "common/check.h"
+
+namespace locaware::core {
+
+namespace {
+
+/// Probes every candidate and returns the index of the smallest RTT.
+/// Ties break toward the earlier (more recent / earlier-arrived) candidate.
+size_t ProbeForClosest(const std::vector<Candidate>& candidates, PeerId requester,
+                       const net::Underlay& underlay, uint64_t* probe_msgs) {
+  size_t best = 0;
+  double best_rtt = underlay.RttMs(requester, candidates[0].provider);
+  *probe_msgs += 2;  // probe + reply
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const double rtt = underlay.RttMs(requester, candidates[i].provider);
+    *probe_msgs += 2;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SelectionOutcome SelectProvider(SelectionStrategy strategy,
+                                const std::vector<Candidate>& candidates,
+                                PeerId requester, LocId requester_loc,
+                                const net::Underlay& underlay, Rng* rng) {
+  LOCAWARE_CHECK(!candidates.empty()) << "SelectProvider with no candidates";
+  SelectionOutcome outcome;
+  switch (strategy) {
+    case SelectionStrategy::kLocIdThenRtt: {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].loc_id == requester_loc) {
+          outcome.chosen = i;
+          return outcome;
+        }
+      }
+      // §5.1: "when a requestor peer does not find a provider with matching
+      // locId ... it measures its RTT to the set of available providers and
+      // chooses the one with the smallest RTT".
+      outcome.chosen =
+          ProbeForClosest(candidates, requester, underlay, &outcome.probe_msgs);
+      return outcome;
+    }
+    case SelectionStrategy::kMinRtt:
+      outcome.chosen =
+          ProbeForClosest(candidates, requester, underlay, &outcome.probe_msgs);
+      return outcome;
+    case SelectionStrategy::kRandom:
+      outcome.chosen = static_cast<size_t>(rng->UniformInt(0, candidates.size() - 1));
+      return outcome;
+    case SelectionStrategy::kFirstResponder:
+      outcome.chosen = 0;
+      return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace locaware::core

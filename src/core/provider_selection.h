@@ -1,0 +1,43 @@
+// Provider selection: which of the offered replicas the requester downloads
+// from. Locaware's strategy (paper §4.1.2 + the §5.1 adjustment): take a
+// provider in the requester's own locality if one was returned, otherwise
+// probe the RTT to every candidate and take the closest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/protocol_params.h"
+#include "net/underlay.h"
+
+namespace locaware::core {
+
+/// A distinct provider offered to the requester, in offer-arrival order
+/// (within a record: most recent first — the ResponseIndex guarantee).
+struct Candidate {
+  PeerId provider = kInvalidPeer;
+  LocId loc_id = 0;          ///< locId as carried in the response
+  bool from_index = false;   ///< offered by a cached index (vs a file store)
+  PeerId responder = kInvalidPeer;  ///< peer whose response offered this candidate
+  std::string filename;      ///< the matching file this provider serves
+};
+
+/// Outcome of a selection.
+struct SelectionOutcome {
+  /// Index into the candidate vector; always valid (callers never pass an
+  /// empty candidate list).
+  size_t chosen = 0;
+  /// RTT probe traffic incurred (2 messages per probed candidate).
+  uint64_t probe_msgs = 0;
+};
+
+/// Applies `strategy` to non-empty `candidates`. CHECK-fails on empty input.
+SelectionOutcome SelectProvider(SelectionStrategy strategy,
+                                const std::vector<Candidate>& candidates,
+                                PeerId requester, LocId requester_loc,
+                                const net::Underlay& underlay, Rng* rng);
+
+}  // namespace locaware::core

@@ -1,0 +1,21 @@
+#include "metrics/metrics.h"
+
+#include "common/check.h"
+
+namespace locaware::metrics {
+
+size_t MetricsCollector::BeginQuery(QueryId qid, PeerId requester, sim::SimTime now) {
+  QueryRecord record;
+  record.qid = qid;
+  record.requester = requester;
+  record.submitted_at = now;
+  records_.push_back(std::move(record));
+  return records_.size() - 1;
+}
+
+QueryRecord* MetricsCollector::Record(size_t slot) {
+  LOCAWARE_CHECK_LT(slot, records_.size());
+  return &records_[slot];
+}
+
+}  // namespace locaware::metrics

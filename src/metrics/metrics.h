@@ -1,0 +1,97 @@
+// Per-query and aggregate measurement, mirroring the paper's three metrics
+// (§5.1): download distance, search traffic, success rate — plus the
+// secondary quantities the prose discusses (locality match rate, cache hit
+// share, Bloom maintenance bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/sim_time.h"
+
+namespace locaware::metrics {
+
+/// How a successful query was ultimately answered.
+enum class AnswerSource {
+  kNone = 0,       ///< query failed
+  kLocalStore,     ///< requester already shared a matching file
+  kLocalIndex,     ///< requester's own response index had providers
+  kFileStore,      ///< a remote peer's shared-file store
+  kResponseIndex,  ///< a remote peer's cached index
+};
+
+/// Everything recorded about one query's lifetime.
+struct QueryRecord {
+  QueryId qid = 0;
+  PeerId requester = kInvalidPeer;
+  sim::SimTime submitted_at = 0;
+
+  uint64_t query_msgs = 0;     ///< forwarded query copies (incl. duplicates)
+  uint64_t response_msgs = 0;  ///< response relay hops
+  uint64_t probe_msgs = 0;     ///< RTT probe + reply messages
+
+  uint64_t query_bytes = 0;     ///< wire bytes of the query copies
+  uint64_t response_bytes = 0;  ///< wire bytes of the response relays
+  uint64_t probe_bytes = 0;     ///< wire bytes of the probe exchanges
+
+  uint32_t responses_received = 0;
+  uint32_t providers_offered = 0;  ///< distinct providers across all responses
+
+  bool success = false;
+  AnswerSource source = AnswerSource::kNone;
+  double download_distance_ms = 0.0;  ///< RTT requester→chosen provider
+  bool provider_loc_match = false;    ///< chosen provider shares requester's locId
+  sim::SimTime first_response_at = 0;  ///< 0 when no response arrived
+  uint32_t first_response_hops = 0;    ///< overlay hops the first response traveled
+
+  /// Popularity rank of the queried file (0 = hottest; Zipf head). Lets the
+  /// analysis split metrics by popularity decile.
+  uint32_t target_rank = 0;
+
+  /// Search messages for this query (the paper's Fig. 3 quantity).
+  uint64_t TotalSearchMessages() const { return query_msgs + response_msgs + probe_msgs; }
+
+  /// Search bytes for this query (Gnutella 0.4-style framing estimates).
+  uint64_t TotalSearchBytes() const { return query_bytes + response_bytes + probe_bytes; }
+};
+
+/// \brief Accumulates QueryRecords plus network-maintenance counters.
+///
+/// The engine owns one collector per run. Records are appended in submission
+/// order, which is the x-axis ("number of queries") of every figure.
+class MetricsCollector {
+ public:
+  /// Starts tracking a query; returns its record slot index.
+  size_t BeginQuery(QueryId qid, PeerId requester, sim::SimTime now);
+
+  /// Mutable access while a query is in flight.
+  QueryRecord* Record(size_t slot);
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+
+  // --- maintenance traffic (not charged to any single query) ---
+  void AddBloomUpdate(uint64_t messages, uint64_t bytes) {
+    bloom_update_msgs_ += messages;
+    bloom_update_bytes_ += bytes;
+  }
+  uint64_t bloom_update_msgs() const { return bloom_update_msgs_; }
+  uint64_t bloom_update_bytes() const { return bloom_update_bytes_; }
+
+  void AddChurnEvent() { ++churn_events_; }
+  uint64_t churn_events() const { return churn_events_; }
+
+  /// Queries that received a response but whose every offered provider was
+  /// offline at download time (stale index under churn).
+  void AddStaleFailure() { ++stale_failures_; }
+  uint64_t stale_failures() const { return stale_failures_; }
+
+ private:
+  std::vector<QueryRecord> records_;
+  uint64_t bloom_update_msgs_ = 0;
+  uint64_t bloom_update_bytes_ = 0;
+  uint64_t churn_events_ = 0;
+  uint64_t stale_failures_ = 0;
+};
+
+}  // namespace locaware::metrics

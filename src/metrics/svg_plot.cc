@@ -1,0 +1,192 @@
+#include "metrics/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace locaware::metrics {
+
+namespace {
+
+/// Color-blind-friendly palette (Okabe–Ito).
+constexpr const char* kPalette[] = {"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+                                    "#E69F00", "#56B4E9", "#F0E442", "#000000"};
+
+std::string EscapeXml(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Picks a "nice" tick step (1/2/5 × 10^k) for a value range.
+double NiceStep(double range, int target_ticks) {
+  if (range <= 0) return 1.0;
+  const double raw = range / std::max(1, target_ticks);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step;
+  if (norm <= 1.0) {
+    step = 1.0;
+  } else if (norm <= 2.0) {
+    step = 2.0;
+  } else if (norm <= 5.0) {
+    step = 5.0;
+  } else {
+    step = 10.0;
+  }
+  return step * mag;
+}
+
+}  // namespace
+
+std::string RenderSvgChart(const std::vector<LabeledSeries>& series, Field field,
+                           const std::string& title,
+                           const SvgChartOptions& options) {
+  LOCAWARE_CHECK(!series.empty()) << "no series to plot";
+  const size_t points = series.front().points.size();
+  LOCAWARE_CHECK_GT(points, 0u) << "empty series";
+  for (const LabeledSeries& s : series) {
+    LOCAWARE_CHECK_EQ(s.points.size(), points) << "ragged series";
+  }
+
+  // Data ranges.
+  double x_min = static_cast<double>(series.front().points.front().queries_end);
+  double x_max = x_min;
+  double y_min = options.y_from_zero ? 0.0 : 1e300;
+  double y_max = -1e300;
+  for (const LabeledSeries& s : series) {
+    for (const BucketPoint& p : s.points) {
+      const double x = static_cast<double>(p.queries_end);
+      const double y = FieldValue(p, field);
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1;
+  if (y_max <= y_min) y_max = y_min + 1;
+  y_max *= 1.05;  // headroom so the top line is not clipped
+
+  // Layout.
+  const double W = options.width_px;
+  const double H = options.height_px;
+  const double ml = 70, mr = 160, mt = 40, mb = 55;  // margins (legend right)
+  const double plot_w = W - ml - mr;
+  const double plot_h = H - mt - mb;
+  const auto sx = [&](double x) { return ml + (x - x_min) / (x_max - x_min) * plot_w; };
+  const auto sy = [&](double y) {
+    return mt + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << W << "\" height=\""
+      << H << "\" viewBox=\"0 0 " << W << " " << H << "\">\n";
+  svg << "<rect width=\"" << W << "\" height=\"" << H << "\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << W / 2 << "\" y=\"22\" text-anchor=\"middle\" "
+      << "font-family=\"sans-serif\" font-size=\"15\" font-weight=\"bold\">"
+      << EscapeXml(title) << "</text>\n";
+
+  // Gridlines + y ticks.
+  const double y_step = NiceStep(y_max - y_min, 6);
+  for (double y = std::ceil(y_min / y_step) * y_step; y <= y_max; y += y_step) {
+    svg << "<line x1=\"" << ml << "\" y1=\"" << Num(sy(y)) << "\" x2=\"" << ml + plot_w
+        << "\" y2=\"" << Num(sy(y)) << "\" stroke=\"#dddddd\" stroke-width=\"1\"/>\n";
+    svg << "<text x=\"" << ml - 8 << "\" y=\"" << Num(sy(y) + 4)
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" font-size=\"11\">"
+        << Num(y) << "</text>\n";
+  }
+  // X ticks.
+  const double x_step = NiceStep(x_max - x_min, 8);
+  for (double x = std::ceil(x_min / x_step) * x_step; x <= x_max + 1e-9; x += x_step) {
+    svg << "<line x1=\"" << Num(sx(x)) << "\" y1=\"" << mt + plot_h << "\" x2=\""
+        << Num(sx(x)) << "\" y2=\"" << mt + plot_h + 5
+        << "\" stroke=\"#444444\" stroke-width=\"1\"/>\n";
+    svg << "<text x=\"" << Num(sx(x)) << "\" y=\"" << mt + plot_h + 18
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">"
+        << Num(x) << "</text>\n";
+  }
+
+  // Axes.
+  svg << "<line x1=\"" << ml << "\" y1=\"" << mt << "\" x2=\"" << ml << "\" y2=\""
+      << mt + plot_h << "\" stroke=\"#444444\" stroke-width=\"1.5\"/>\n";
+  svg << "<line x1=\"" << ml << "\" y1=\"" << mt + plot_h << "\" x2=\"" << ml + plot_w
+      << "\" y2=\"" << mt + plot_h << "\" stroke=\"#444444\" stroke-width=\"1.5\"/>\n";
+  svg << "<text x=\"" << ml + plot_w / 2 << "\" y=\"" << H - 14
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\">"
+      << EscapeXml(options.x_label) << "</text>\n";
+  if (!options.y_label.empty()) {
+    svg << "<text x=\"18\" y=\"" << mt + plot_h / 2
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\" "
+        << "transform=\"rotate(-90 18 " << mt + plot_h / 2 << ")\">"
+        << EscapeXml(options.y_label) << "</text>\n";
+  }
+
+  // Series.
+  for (size_t i = 0; i < series.size(); ++i) {
+    const char* color = kPalette[i % (sizeof(kPalette) / sizeof(kPalette[0]))];
+    svg << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"2\" points=\"";
+    for (const BucketPoint& p : series[i].points) {
+      svg << Num(sx(static_cast<double>(p.queries_end))) << ","
+          << Num(sy(FieldValue(p, field))) << " ";
+    }
+    svg << "\"/>\n";
+    for (const BucketPoint& p : series[i].points) {
+      svg << "<circle cx=\"" << Num(sx(static_cast<double>(p.queries_end)))
+          << "\" cy=\"" << Num(sy(FieldValue(p, field))) << "\" r=\"3\" fill=\""
+          << color << "\"/>\n";
+    }
+    // Legend entry.
+    const double ly = mt + 14 + 20 * static_cast<double>(i);
+    svg << "<line x1=\"" << ml + plot_w + 12 << "\" y1=\"" << ly << "\" x2=\""
+        << ml + plot_w + 36 << "\" y2=\"" << ly << "\" stroke=\"" << color
+        << "\" stroke-width=\"2.5\"/>\n";
+    svg << "<text x=\"" << ml + plot_w + 42 << "\" y=\"" << ly + 4
+        << "\" font-family=\"sans-serif\" font-size=\"12\">"
+        << EscapeXml(series[i].label) << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+Status WriteSvgChart(const std::vector<LabeledSeries>& series, Field field,
+                     const std::string& title, const SvgChartOptions& options,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << RenderSvgChart(series, field, title, options);
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace locaware::metrics

@@ -1,0 +1,39 @@
+// Self-contained SVG line-chart rendering for the figure benches — no
+// gnuplot/matplotlib dependency, just a string of standards-compliant SVG.
+// Each figure bench can drop a .svg next to its text table so the paper's
+// figures are regenerated as actual pictures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/report.h"
+
+namespace locaware::metrics {
+
+/// Chart appearance knobs.
+struct SvgChartOptions {
+  int width_px = 720;
+  int height_px = 440;
+  std::string x_label = "number of queries";
+  std::string y_label;
+  /// Force the y-axis to start at zero (the paper's figures do).
+  bool y_from_zero = true;
+};
+
+/// \brief Renders one metric of several labeled series as an SVG line chart
+/// with axes, tick labels and a legend.
+///
+/// All series must have equal length (they come from the same bucketing).
+/// Returns a complete standalone <svg> document.
+std::string RenderSvgChart(const std::vector<LabeledSeries>& series, Field field,
+                           const std::string& title, const SvgChartOptions& options);
+
+/// Renders and writes to a file. Fails with IOError when the file cannot be
+/// written.
+Status WriteSvgChart(const std::vector<LabeledSeries>& series, Field field,
+                     const std::string& title, const SvgChartOptions& options,
+                     const std::string& path);
+
+}  // namespace locaware::metrics

@@ -1,0 +1,21 @@
+// 2D geometry for the synthetic Internet plane.
+#pragma once
+
+#include <cmath>
+
+namespace locaware::net {
+
+/// A position on the unit plane routers and peers are embedded in.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace locaware::net

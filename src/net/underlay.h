@@ -1,0 +1,166 @@
+// The physical ("underlay") network beneath the P2P overlay.
+//
+// The paper generates "an underlying topology of peers connected with links of
+// variable latencies; the model inspired by BRITE assigns latencies between 10
+// and 500 ms" (§5.1). We reproduce BRITE's Waxman mode: routers are placed on
+// a unit plane, edges appear with probability α·exp(−d/(β·L)), link latency is
+// proportional to Euclidean length, and peers hang off routers via short
+// access links. Peer-to-peer RTT is twice the one-way shortest-path latency.
+//
+// The plane geometry matters: it is what makes landmark-RTT orderings
+// (locIds) spatially coherent, the property Locaware's provider selection
+// exploits. A geometry-free alternative (UniformUnderlay) is provided for the
+// ablation that shows the locId mechanism needs coherent distances.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/point.h"
+
+namespace locaware::net {
+
+/// \brief Abstract physical network: pairwise peer RTTs plus RTTs from peers
+/// to a small set of landmark hosts.
+class Underlay {
+ public:
+  virtual ~Underlay() = default;
+
+  virtual size_t num_peers() const = 0;
+  virtual size_t num_landmarks() const = 0;
+
+  /// Round-trip time between two peers in milliseconds. Symmetric;
+  /// RttMs(a, a) is the loopback cost (0 for all current implementations).
+  virtual double RttMs(PeerId a, PeerId b) const = 0;
+
+  /// Round-trip time from a peer to a landmark host in milliseconds.
+  virtual double LandmarkRttMs(PeerId peer, size_t landmark) const = 0;
+
+  /// One-line description for reports.
+  virtual std::string Describe() const = 0;
+};
+
+/// How router-level edges are generated — BRITE's two standard models.
+enum class RouterGraphModel {
+  /// Waxman 1988: P(edge u,v) = α·exp(−d/(β·L)). Geometric, flat degrees.
+  kWaxman,
+  /// Barabási–Albert 1999: incremental preferential attachment. Heavy-tailed
+  /// degrees (transit hubs), still embedded in the plane for latencies.
+  kBarabasiAlbert,
+};
+
+const char* RouterGraphModelName(RouterGraphModel model);
+
+/// Parameters for the BRITE-inspired geometric underlay.
+struct GeometricUnderlayConfig {
+  /// Router-level graph size. 200 routers for 1000 peers gives ~5 peers per
+  /// access router, a common transit-stub shape.
+  size_t num_routers = 200;
+  size_t num_peers = 1000;
+  size_t num_landmarks = 4;
+
+  RouterGraphModel model = RouterGraphModel::kWaxman;
+
+  /// Waxman parameters: P(edge u,v) = waxman_alpha * exp(-d(u,v)/(waxman_beta * L))
+  /// with L the plane diagonal. Defaults give mean router degree ≈ 6 at 200
+  /// routers; the builder patches any disconnection with shortest bridges.
+  double waxman_alpha = 0.15;
+  double waxman_beta = 0.18;
+
+  /// Barabási–Albert: edges each arriving router attaches preferentially.
+  size_t ba_links_per_router = 2;
+
+  /// Target peer-to-peer RTT band in milliseconds (paper: 10–500 ms).
+  double min_rtt_ms = 10.0;
+  double max_rtt_ms = 500.0;
+
+  /// Access-link one-way latency band (peer to its router).
+  double access_min_ms = 1.0;
+  double access_max_ms = 5.0;
+};
+
+/// \brief Waxman router graph with distance-proportional latencies.
+///
+/// Build via GeometricUnderlay::Build. Router-level all-pairs shortest paths
+/// are precomputed, so RttMs is O(1).
+class GeometricUnderlay final : public Underlay {
+ public:
+  /// Constructs the underlay. Fails with InvalidArgument on nonsensical
+  /// configs (zero sizes, inverted bands, more landmarks than routers).
+  static Result<std::unique_ptr<GeometricUnderlay>> Build(
+      const GeometricUnderlayConfig& config, Rng* rng);
+
+  size_t num_peers() const override { return peer_router_.size(); }
+  size_t num_landmarks() const override { return landmark_router_.size(); }
+  double RttMs(PeerId a, PeerId b) const override;
+  double LandmarkRttMs(PeerId peer, size_t landmark) const override;
+  std::string Describe() const override;
+
+  // --- introspection (tests, reports, visualization) ---
+  size_t num_routers() const { return router_pos_.size(); }
+  size_t num_router_edges() const { return num_edges_; }
+  RouterGraphModel model() const { return model_; }
+  /// Degree of a router in the generated graph (for topology diagnostics).
+  size_t RouterDegree(RouterId rid) const;
+  RouterId peer_router(PeerId p) const { return peer_router_[p]; }
+  const Point& router_pos(RouterId r) const { return router_pos_[r]; }
+  RouterId landmark_router(size_t l) const { return landmark_router_[l]; }
+  /// One-way router-to-router latency (ms) along the shortest path.
+  double RouterLatencyMs(RouterId a, RouterId b) const;
+  /// One-way access latency of a peer (ms).
+  double AccessLatencyMs(PeerId p) const { return peer_access_ms_[p]; }
+
+ private:
+  GeometricUnderlay() = default;
+
+  double OneWayMs(PeerId a, PeerId b) const;
+
+  std::vector<Point> router_pos_;
+  std::vector<double> router_spath_ms_;  // row-major num_routers^2, one-way ms
+  std::vector<RouterId> peer_router_;
+  std::vector<double> peer_access_ms_;
+  std::vector<RouterId> landmark_router_;
+  std::vector<uint32_t> router_degree_;
+  size_t num_edges_ = 0;
+  RouterGraphModel model_ = RouterGraphModel::kWaxman;
+};
+
+/// Parameters for the geometry-free control underlay.
+struct UniformUnderlayConfig {
+  size_t num_peers = 1000;
+  size_t num_landmarks = 4;
+  double min_rtt_ms = 10.0;
+  double max_rtt_ms = 500.0;
+};
+
+/// \brief Control model: every peer pair gets an i.i.d. uniform RTT; landmark
+/// RTTs are i.i.d. too, so locIds carry no spatial information. Used by the
+/// locality ablation; pairwise RTTs are derived on the fly from a hash of the
+/// pair, so memory stays O(num_peers).
+class UniformUnderlay final : public Underlay {
+ public:
+  static Result<std::unique_ptr<UniformUnderlay>> Build(
+      const UniformUnderlayConfig& config, Rng* rng);
+
+  size_t num_peers() const override { return num_peers_; }
+  size_t num_landmarks() const override { return num_landmarks_; }
+  double RttMs(PeerId a, PeerId b) const override;
+  double LandmarkRttMs(PeerId peer, size_t landmark) const override;
+  std::string Describe() const override;
+
+ private:
+  UniformUnderlay() = default;
+
+  size_t num_peers_ = 0;
+  size_t num_landmarks_ = 0;
+  double min_rtt_ms_ = 0.0;
+  double max_rtt_ms_ = 0.0;
+  uint64_t pair_seed_ = 0;
+};
+
+}  // namespace locaware::net

@@ -1,0 +1,25 @@
+#include "overlay/churn.h"
+
+namespace locaware::overlay {
+
+Result<ChurnModel> ChurnModel::Create(const ChurnConfig& config) {
+  if (config.enabled) {
+    if (config.mean_session_s <= 0 || config.mean_offline_s <= 0) {
+      return Status::InvalidArgument("churn means must be > 0 when enabled");
+    }
+    if (config.rejoin_links == 0) {
+      return Status::InvalidArgument("rejoin_links must be > 0 when churn enabled");
+    }
+  }
+  return ChurnModel(config);
+}
+
+sim::SimTime ChurnModel::SampleSession(Rng* rng) const {
+  return sim::FromSeconds(rng->Exponential(1.0 / config_.mean_session_s));
+}
+
+sim::SimTime ChurnModel::SampleOffline(Rng* rng) const {
+  return sim::FromSeconds(rng->Exponential(1.0 / config_.mean_offline_s));
+}
+
+}  // namespace locaware::overlay

@@ -1,0 +1,50 @@
+// Session-based churn model: "participant peers are highly dynamic and
+// autonomous, failing or leaving the network at any moment" (paper §3.1).
+//
+// Each peer alternates exponentially distributed online sessions and offline
+// gaps. The paper's headline experiments run without churn (§5 does not
+// enable it); the churn ablation (`bench/ablation_churn`) uses this model to
+// show how index staleness erodes each protocol.
+#pragma once
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/sim_time.h"
+
+namespace locaware::overlay {
+
+/// Churn intensity parameters.
+struct ChurnConfig {
+  bool enabled = false;
+  /// Mean online session length in seconds (Gnutella measurements put the
+  /// median around tens of minutes; default 30 min).
+  double mean_session_s = 1800.0;
+  /// Mean offline gap before rejoining, in seconds.
+  double mean_offline_s = 600.0;
+  /// Links a rejoining peer establishes.
+  size_t rejoin_links = 3;
+};
+
+/// \brief Samples session/offline durations for the engine's churn events.
+class ChurnModel {
+ public:
+  /// Disabled model (no churn).
+  ChurnModel() = default;
+
+  /// Fails with InvalidArgument on non-positive means when enabled.
+  static Result<ChurnModel> Create(const ChurnConfig& config);
+
+  const ChurnConfig& config() const { return config_; }
+
+  /// Duration of the next online session.
+  sim::SimTime SampleSession(Rng* rng) const;
+  /// Duration of the next offline gap.
+  sim::SimTime SampleOffline(Rng* rng) const;
+
+ private:
+  explicit ChurnModel(const ChurnConfig& config) : config_(config) {}
+
+  ChurnConfig config_{};
+};
+
+}  // namespace locaware::overlay

@@ -1,0 +1,42 @@
+#include "overlay/message.h"
+
+#include "bloom/bloom_delta.h"
+
+namespace locaware::overlay {
+
+namespace {
+constexpr size_t kDescriptorHeader = 23;  // Gnutella 0.4 header
+constexpr size_t kAddress = 6;            // IPv4 + port
+constexpr size_t kLocId = 1;              // 24 locIds fit a byte
+}  // namespace
+
+size_t EstimateSizeBytes(const QueryMessage& m) {
+  size_t bytes = kDescriptorHeader + kAddress + kLocId + 2;  // origin + loc + ttl/hops
+  for (const std::string& kw : m.keywords) bytes += kw.size() + 1;
+  return bytes;
+}
+
+size_t EstimateSizeBytes(const ResponseMessage& m) {
+  size_t bytes = kDescriptorHeader + 2 * kAddress + kLocId + 1;
+  for (const std::string& kw : m.query_keywords) bytes += kw.size() + 1;
+  for (const ResponseRecord& r : m.records) {
+    bytes += r.filename.size() + 1;
+    bytes += r.providers.size() * (kAddress + kLocId);
+  }
+  return bytes;
+}
+
+size_t EstimateSizeBytes(const BloomUpdateMessage& m) {
+  // Header + the delta wire format from bloom/bloom_delta.h (16-bit count +
+  // ceil(log2(m)) bits per changed position — the paper's 0.132 Kb bound).
+  bloom::BloomDelta delta;
+  delta.filter_bits = m.filter_bits;
+  delta.positions = m.toggled_positions;
+  return kDescriptorHeader + kAddress + (bloom::WireSizeBits(delta) + 7) / 8;
+}
+
+size_t EstimateSizeBytes(const ProbeMessage& /*m*/) {
+  return kDescriptorHeader + 2 * kAddress;
+}
+
+}  // namespace locaware::overlay

@@ -1,0 +1,83 @@
+// Wire messages exchanged over overlay links.
+//
+// Four message families cover every protocol in the paper: keyword queries
+// (flooded/routed forward), query responses (routed back hop-by-hop along the
+// query's reverse path, §3.1), Bloom-filter delta updates (Locaware §4.2),
+// and RTT probes (Locaware's provider-selection fallback, §5.1). Sizes are
+// estimated for the bandwidth-accounting metric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace locaware::overlay {
+
+/// A provider as carried in responses: address + locId (paper Fig. 1, the
+/// "(D, 1)" entries).
+struct ProviderInfo {
+  PeerId peer = kInvalidPeer;
+  LocId loc_id = 0;
+
+  bool operator==(const ProviderInfo&) const = default;
+};
+
+/// Forward-direction query. Each forwarded copy is a distinct message; the
+/// payload is immutable except ttl/hops.
+struct QueryMessage {
+  QueryId qid = 0;
+  PeerId origin = kInvalidPeer;          ///< requesting peer (peer A in Fig. 1)
+  LocId origin_loc = 0;                  ///< requester's locId, used to pick providers
+  std::vector<std::string> keywords;     ///< 1..K keywords (lowercase)
+  uint32_t ttl = 7;                      ///< remaining hops (paper: starts at 7)
+  uint32_t hops = 0;                     ///< hops traveled so far
+};
+
+/// One answered file inside a response.
+struct ResponseRecord {
+  std::string filename;
+  /// Known providers, most recent first. For a file-store answer this is just
+  /// the responder; for an index answer it is the locId-selected subset of
+  /// the cached provider list.
+  std::vector<ProviderInfo> providers;
+  /// True when this record was answered from a response index (cache hit)
+  /// rather than the responder's own file store.
+  bool from_index = false;
+};
+
+/// Backward-direction response, relayed along the reverse path.
+struct ResponseMessage {
+  QueryId qid = 0;
+  PeerId responder = kInvalidPeer;  ///< the peer that answered
+  PeerId origin = kInvalidPeer;     ///< final destination (the requester)
+  LocId origin_loc = 0;             ///< copied from the query
+  std::vector<std::string> query_keywords;  ///< so cachers can match Gid/keywords
+  std::vector<ResponseRecord> records;
+  uint32_t hops = 0;  ///< hops traveled back so far
+};
+
+/// Locaware Bloom-filter delta gossip (one neighbor-to-neighbor hop).
+struct BloomUpdateMessage {
+  PeerId sender = kInvalidPeer;
+  uint32_t filter_bits = 0;
+  std::vector<uint32_t> toggled_positions;
+};
+
+/// RTT probe / reply used by provider selection ("it measures its RTT to the
+/// set of available providers", §5.1). Probes travel the underlay directly.
+struct ProbeMessage {
+  PeerId prober = kInvalidPeer;
+  PeerId target = kInvalidPeer;
+};
+
+/// Estimated wire sizes in bytes, for the bandwidth metric. The constants
+/// follow Gnutella 0.4 framing: 23-byte descriptor header, 4-byte IPv4 + 2-byte
+/// port per address.
+size_t EstimateSizeBytes(const QueryMessage& m);
+size_t EstimateSizeBytes(const ResponseMessage& m);
+size_t EstimateSizeBytes(const BloomUpdateMessage& m);
+size_t EstimateSizeBytes(const ProbeMessage& m);
+
+}  // namespace locaware::overlay

@@ -1,0 +1,192 @@
+#include "overlay/overlay_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace locaware::overlay {
+
+Result<OverlayGraph> OverlayGraph::Generate(const OverlayConfig& config, Rng* rng) {
+  if (config.num_peers == 0) return Status::InvalidArgument("num_peers must be > 0");
+  if (config.avg_degree < 1.0 && config.num_peers > 1) {
+    return Status::InvalidArgument("avg_degree must be >= 1 for a connected overlay");
+  }
+
+  OverlayGraph g;
+  g.adjacency_.resize(config.num_peers);
+  g.alive_.assign(config.num_peers, 1);
+  g.num_alive_ = config.num_peers;
+
+  const size_t n = config.num_peers;
+  const size_t target_links = static_cast<size_t>(config.avg_degree * n / 2.0);
+
+  // G(n, m): sample distinct random pairs until m links exist.
+  size_t placed = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = target_links * 50 + 1000;
+  while (placed < target_links && attempts < max_attempts) {
+    ++attempts;
+    const PeerId a = static_cast<PeerId>(rng->UniformInt(0, n - 1));
+    const PeerId b = static_cast<PeerId>(rng->UniformInt(0, n - 1));
+    if (g.AddLink(a, b)) ++placed;
+  }
+  if (placed < target_links) {
+    return Status::Internal("could not place the requested number of links");
+  }
+
+  // Connectivity patch: BFS labels components, then each non-root component
+  // gets one bridge to a random peer of the giant component.
+  std::vector<int> component(n, -1);
+  int num_components = 0;
+  for (PeerId seed = 0; seed < n; ++seed) {
+    if (component[seed] != -1) continue;
+    const int c = num_components++;
+    std::deque<PeerId> frontier{seed};
+    component[seed] = c;
+    while (!frontier.empty()) {
+      const PeerId u = frontier.front();
+      frontier.pop_front();
+      for (PeerId v : g.adjacency_[u]) {
+        if (component[v] == -1) {
+          component[v] = c;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  if (num_components > 1) {
+    // Collect one representative per component; bridge them in a chain with
+    // random anchors so no single peer becomes a hub.
+    std::vector<PeerId> representative(num_components, kInvalidPeer);
+    std::vector<std::vector<PeerId>> members(num_components);
+    for (PeerId p = 0; p < n; ++p) members[component[p]].push_back(p);
+    for (int c = 1; c < num_components; ++c) {
+      const PeerId from =
+          members[c][rng->UniformInt(0, members[c].size() - 1)];
+      const PeerId to =
+          members[0][rng->UniformInt(0, members[0].size() - 1)];
+      LOCAWARE_CHECK(g.AddLink(from, to));
+    }
+  }
+  LOCAWARE_CHECK(g.IsConnected());
+  return g;
+}
+
+double OverlayGraph::AverageDegree() const {
+  if (num_alive_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_links_) / static_cast<double>(num_alive_);
+}
+
+bool OverlayGraph::IsAlive(PeerId p) const {
+  LOCAWARE_CHECK_LT(p, alive_.size());
+  return alive_[p] != 0;
+}
+
+const std::vector<PeerId>& OverlayGraph::Neighbors(PeerId p) const {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  return adjacency_[p];
+}
+
+size_t OverlayGraph::Degree(PeerId p) const { return Neighbors(p).size(); }
+
+bool OverlayGraph::AreNeighbors(PeerId a, PeerId b) const {
+  const auto& adj = Neighbors(a);
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+PeerId OverlayGraph::HighestDegreeNeighbor(PeerId p) const {
+  PeerId best = kInvalidPeer;
+  size_t best_degree = 0;
+  for (PeerId nb : Neighbors(p)) {
+    const size_t d = Degree(nb);
+    if (best == kInvalidPeer || d > best_degree) {
+      best = nb;
+      best_degree = d;
+    }
+  }
+  return best;
+}
+
+bool OverlayGraph::AddLink(PeerId a, PeerId b) {
+  LOCAWARE_CHECK_LT(a, adjacency_.size());
+  LOCAWARE_CHECK_LT(b, adjacency_.size());
+  if (a == b || !alive_[a] || !alive_[b] || AreNeighbors(a, b)) return false;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_links_;
+  return true;
+}
+
+bool OverlayGraph::RemoveLink(PeerId a, PeerId b) {
+  LOCAWARE_CHECK_LT(a, adjacency_.size());
+  LOCAWARE_CHECK_LT(b, adjacency_.size());
+  auto ita = std::find(adjacency_[a].begin(), adjacency_[a].end(), b);
+  if (ita == adjacency_[a].end()) return false;
+  adjacency_[a].erase(ita);
+  auto itb = std::find(adjacency_[b].begin(), adjacency_[b].end(), a);
+  LOCAWARE_CHECK(itb != adjacency_[b].end()) << "asymmetric adjacency";
+  adjacency_[b].erase(itb);
+  --num_links_;
+  return true;
+}
+
+std::vector<PeerId> OverlayGraph::Depart(PeerId p) {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  LOCAWARE_CHECK(alive_[p]) << "Depart of offline peer " << p;
+  std::vector<PeerId> dropped = adjacency_[p];
+  for (PeerId nb : dropped) RemoveLink(p, nb);
+  alive_[p] = 0;
+  --num_alive_;
+  return dropped;
+}
+
+void OverlayGraph::Join(PeerId p) {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  LOCAWARE_CHECK(!alive_[p]) << "Join of online peer " << p;
+  alive_[p] = 1;
+  ++num_alive_;
+}
+
+std::vector<PeerId> OverlayGraph::LinkToRandomPeers(PeerId p, size_t count, Rng* rng) {
+  const size_t n = adjacency_.size();
+  std::vector<PeerId> made;
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * count + 100;
+  while (made.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const PeerId other = static_cast<PeerId>(rng->UniformInt(0, n - 1));
+    if (AddLink(p, other)) made.push_back(other);
+  }
+  return made;
+}
+
+bool OverlayGraph::IsConnected() const { return LargestComponentFraction() >= 1.0; }
+
+double OverlayGraph::LargestComponentFraction() const {
+  if (num_alive_ == 0) return 0.0;
+  std::vector<char> visited(adjacency_.size(), 0);
+  size_t largest = 0;
+  for (PeerId seed = 0; seed < adjacency_.size(); ++seed) {
+    if (!alive_[seed] || visited[seed]) continue;
+    size_t size = 0;
+    std::deque<PeerId> frontier{seed};
+    visited[seed] = 1;
+    while (!frontier.empty()) {
+      const PeerId u = frontier.front();
+      frontier.pop_front();
+      ++size;
+      for (PeerId v : adjacency_[u]) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+    largest = std::max(largest, size);
+  }
+  return static_cast<double>(largest) / static_cast<double>(num_alive_);
+}
+
+}  // namespace locaware::overlay

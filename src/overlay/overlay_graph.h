@@ -1,0 +1,85 @@
+// The unstructured P2P overlay: "each peer joins the network by establishing
+// logical links to randomly chosen peers ... without knowledge of the
+// underlying topology" (paper §3.1). Locality-obliviousness is deliberate —
+// it is exactly the mismatch between overlay and underlay that Locaware's
+// locIds compensate for.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace locaware::overlay {
+
+/// Overlay shape parameters.
+struct OverlayConfig {
+  size_t num_peers = 1000;
+  /// Target average degree (paper: 3). Realized as an Erdős–Rényi G(n, m)
+  /// graph with m = n·avg/2 edges plus bridges that join stray components,
+  /// so the realized average can exceed the target slightly.
+  double avg_degree = 3.0;
+};
+
+/// \brief Mutable random graph of peers with join/leave support for churn.
+///
+/// Degree-3 graphs are sparse; adjacency is small vectors with linear scans,
+/// which beats hash sets at these sizes.
+class OverlayGraph {
+ public:
+  /// Generates a connected overlay. Fails with InvalidArgument when the
+  /// config cannot make a connected graph (n = 0, degree too small).
+  static Result<OverlayGraph> Generate(const OverlayConfig& config, Rng* rng);
+
+  size_t num_peers() const { return adjacency_.size(); }
+  /// Peers currently online.
+  size_t num_alive() const { return num_alive_; }
+  size_t num_links() const { return num_links_; }
+  double AverageDegree() const;
+
+  bool IsAlive(PeerId p) const;
+  const std::vector<PeerId>& Neighbors(PeerId p) const;
+  size_t Degree(PeerId p) const;
+  bool AreNeighbors(PeerId a, PeerId b) const;
+
+  /// The neighbor of `p` with the highest degree (Locaware's last-resort
+  /// forwarding target), or kInvalidPeer if `p` has no neighbors.
+  PeerId HighestDegreeNeighbor(PeerId p) const;
+
+  /// Adds an undirected link. No-op (returns false) if it already exists,
+  /// would self-loop, or either endpoint is offline.
+  bool AddLink(PeerId a, PeerId b);
+  /// Removes an undirected link; returns whether it existed.
+  bool RemoveLink(PeerId a, PeerId b);
+
+  /// Takes a peer offline, dropping all of its links. Returns the dropped
+  /// neighbor list so the caller can run link-down hooks and repair orphans
+  /// (see LinkToRandomPeers).
+  std::vector<PeerId> Depart(PeerId p);
+
+  /// Brings a peer back online with no links; callers follow up with
+  /// LinkToRandomPeers ("establishing logical links to randomly chosen
+  /// peers").
+  void Join(PeerId p);
+
+  /// Links `p` to up to `count` random alive non-neighbors; returns the
+  /// neighbors actually linked (fewer when the network is too small).
+  std::vector<PeerId> LinkToRandomPeers(PeerId p, size_t count, Rng* rng);
+
+  /// True when every alive peer can reach every other alive peer.
+  bool IsConnected() const;
+  /// Fraction of alive peers in the largest connected component.
+  double LargestComponentFraction() const;
+
+ private:
+  OverlayGraph() = default;
+
+  std::vector<std::vector<PeerId>> adjacency_;
+  std::vector<char> alive_;
+  size_t num_alive_ = 0;
+  size_t num_links_ = 0;
+};
+
+}  // namespace locaware::overlay

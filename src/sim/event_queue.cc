@@ -1,0 +1,29 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace locaware::sim {
+
+void EventQueue::Push(SimTime at, EventFn fn) {
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::PeekTime() const {
+  LOCAWARE_CHECK(!heap_.empty()) << "PeekTime on empty queue";
+  return heap_.top().time;
+}
+
+EventFn EventQueue::Pop(SimTime* time) {
+  LOCAWARE_CHECK(!heap_.empty()) << "Pop on empty queue";
+  // priority_queue::top() is const; the move is safe because we pop right
+  // after and never touch the moved-from entry.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *time = top.time;
+  EventFn fn = std::move(top.fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace locaware::sim

@@ -1,0 +1,57 @@
+// Time-ordered event queue with deterministic tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace locaware::sim {
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// \brief Min-heap of (time, sequence) ordered events.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO via a
+/// monotonically increasing sequence number), which keeps simulations
+/// deterministic regardless of heap internals.
+class EventQueue {
+ public:
+  /// Enqueues `fn` to fire at absolute time `at`.
+  void Push(SimTime at, EventFn fn);
+
+  /// True when no events remain.
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Firing time of the earliest event. CHECK-fails when empty.
+  SimTime PeekTime() const;
+
+  /// Removes and returns the earliest event's callback, setting *time to its
+  /// firing time. CHECK-fails when empty.
+  EventFn Pop(SimTime* time);
+
+  /// Total number of events ever pushed.
+  uint64_t pushed_count() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace locaware::sim

@@ -1,0 +1,37 @@
+// Simulation time base.
+//
+// Time is an integer count of microseconds. Integer time makes event ordering
+// exact and runs reproducible: floating-point latency sums would make tie
+// ordering depend on accumulation order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace locaware::sim {
+
+/// Microseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+/// Converts a millisecond quantity (e.g. a link latency) to SimTime,
+/// rounding to the nearest microsecond.
+inline constexpr SimTime FromMs(double ms) {
+  return static_cast<SimTime>(ms * 1000.0 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a second quantity to SimTime.
+inline constexpr SimTime FromSeconds(double s) { return FromMs(s * 1000.0); }
+
+inline constexpr double ToMs(SimTime t) { return static_cast<double>(t) / 1000.0; }
+inline constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// "12.345s" / "678ms" style rendering for logs and reports.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace locaware::sim

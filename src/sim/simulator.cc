@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace locaware::sim {
+
+std::string FormatSimTime(SimTime t) {
+  char buf[48];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(t));
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMs(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+void Simulator::ScheduleAt(SimTime at, EventFn fn) {
+  LOCAWARE_CHECK_GE(at, now_) << "scheduling into the past";
+  queue_.Push(at, std::move(fn));
+}
+
+void Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
+  LOCAWARE_CHECK_GE(delay, 0);
+  queue_.Push(now_ + delay, std::move(fn));
+}
+
+void Simulator::SchedulePeriodic(SimTime interval, std::function<bool()> fn) {
+  LOCAWARE_CHECK_GT(interval, 0);
+  // Self-rescheduling closure; stops rescheduling once fn returns false.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, interval, fn = std::move(fn), tick]() {
+    if (fn()) ScheduleAfter(interval, [tick] { (*tick)(); });
+  };
+  ScheduleAfter(interval, [tick] { (*tick)(); });
+}
+
+uint64_t Simulator::Run(SimTime horizon) {
+  stop_requested_ = false;
+  uint64_t executed_this_run = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.PeekTime() > horizon) break;
+    Step();
+    ++executed_this_run;
+  }
+  if (queue_.empty() && horizon != kNoHorizon && now_ < horizon) {
+    now_ = horizon;  // idle advance so repeated Run(horizon) calls compose
+  }
+  return executed_this_run;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  SimTime t;
+  EventFn fn = queue_.Pop(&t);
+  LOCAWARE_CHECK_GE(t, now_);
+  now_ = t;
+  ++executed_;
+  fn();
+  return true;
+}
+
+}  // namespace locaware::sim

@@ -1,0 +1,350 @@
+#include "catalog/file_catalog.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/keyword_pool.h"
+#include "catalog/workload.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace locaware::catalog {
+namespace {
+
+TEST(KeywordPoolTest, GeneratesUniqueLowercaseWords) {
+  Rng rng(1);
+  KeywordPool pool(500, &rng);
+  EXPECT_EQ(pool.size(), 500u);
+  std::set<std::string> seen;
+  for (const auto& w : pool.words()) {
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate " << w;
+    EXPECT_GE(w.size(), 4u);
+    EXPECT_LE(w.size(), 9u);
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(KeywordPoolTest, WordsSurviveTokenization) {
+  // Keywords must be fixed points of the filename tokenizer.
+  Rng rng(2);
+  KeywordPool pool(100, &rng);
+  for (const auto& w : pool.words()) {
+    const auto tokens = TokenizeKeywords(w);
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0], w);
+  }
+}
+
+TEST(KeywordPoolTest, DeterministicForSeed) {
+  Rng a(3), b(3);
+  KeywordPool p1(50, &a), p2(50, &b);
+  EXPECT_EQ(p1.words(), p2.words());
+}
+
+TEST(KeywordPoolTest, OutOfRangeAccessDies) {
+  Rng rng(4);
+  KeywordPool pool(10, &rng);
+  EXPECT_DEATH(pool.word(10), "CHECK");
+}
+
+CatalogConfig PaperCatalog() {
+  CatalogConfig cfg;
+  cfg.num_files = 3000;
+  cfg.keyword_pool_size = 9000;
+  cfg.keywords_per_file = 3;
+  return cfg;
+}
+
+TEST(FileCatalogTest, GeneratesPaperShape) {
+  Rng rng(5);
+  auto built = FileCatalog::Generate(PaperCatalog(), &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const FileCatalog& cat = built.ValueOrDie();
+  EXPECT_EQ(cat.num_files(), 3000u);
+  EXPECT_EQ(cat.keywords_per_file(), 3u);
+  for (FileId f = 0; f < 100; ++f) {
+    EXPECT_EQ(cat.keywords(f).size(), 3u);
+    EXPECT_EQ(TokenizeKeywords(cat.filename(f)), cat.keywords(f));
+  }
+}
+
+TEST(FileCatalogTest, FilenamesAreUnique) {
+  Rng rng(6);
+  CatalogConfig cfg;
+  cfg.num_files = 2000;
+  cfg.keyword_pool_size = 300;  // force some collision pressure
+  cfg.keywords_per_file = 2;
+  auto cat = std::move(FileCatalog::Generate(cfg, &rng)).ValueOrDie();
+  std::set<std::string> names;
+  for (FileId f = 0; f < cat.num_files(); ++f) {
+    EXPECT_TRUE(names.insert(cat.filename(f)).second) << cat.filename(f);
+  }
+}
+
+TEST(FileCatalogTest, RejectsBadConfigs) {
+  Rng rng(7);
+  CatalogConfig cfg;
+  cfg.num_files = 0;
+  EXPECT_FALSE(FileCatalog::Generate(cfg, &rng).ok());
+
+  cfg = CatalogConfig{};
+  cfg.keywords_per_file = 0;
+  EXPECT_FALSE(FileCatalog::Generate(cfg, &rng).ok());
+
+  cfg = CatalogConfig{};
+  cfg.keyword_pool_size = 2;
+  cfg.keywords_per_file = 3;
+  EXPECT_FALSE(FileCatalog::Generate(cfg, &rng).ok());
+}
+
+TEST(FileCatalogTest, MatchesImplementsContainment) {
+  Rng rng(8);
+  auto cat = std::move(FileCatalog::Generate(PaperCatalog(), &rng)).ValueOrDie();
+  const auto& kws = cat.keywords(0);
+  EXPECT_TRUE(cat.Matches(0, {kws[0]}));
+  EXPECT_TRUE(cat.Matches(0, {kws[2], kws[0]}));
+  EXPECT_TRUE(cat.Matches(0, kws));
+  EXPECT_FALSE(cat.Matches(0, {kws[0], "definitelynotakeyword"}));
+}
+
+TEST(FileCatalogTest, FindMatchesAgreesWithBruteForce) {
+  Rng rng(9);
+  CatalogConfig cfg;
+  cfg.num_files = 400;
+  cfg.keyword_pool_size = 120;  // dense keyword reuse -> multi-file matches
+  cfg.keywords_per_file = 3;
+  auto cat = std::move(FileCatalog::Generate(cfg, &rng)).ValueOrDie();
+
+  for (FileId probe = 0; probe < 50; ++probe) {
+    const std::vector<std::string> query{cat.keywords(probe)[0]};
+    std::set<FileId> brute;
+    for (FileId f = 0; f < cat.num_files(); ++f) {
+      if (cat.Matches(f, query)) brute.insert(f);
+    }
+    const auto fast = cat.FindMatches(query);
+    EXPECT_EQ(std::set<FileId>(fast.begin(), fast.end()), brute);
+    EXPECT_TRUE(brute.contains(probe));
+  }
+}
+
+TEST(FileCatalogTest, FindMatchesUnknownKeywordIsEmpty) {
+  Rng rng(10);
+  auto cat = std::move(FileCatalog::Generate(PaperCatalog(), &rng)).ValueOrDie();
+  EXPECT_TRUE(cat.FindMatches({"zzzznotaword"}).empty());
+  EXPECT_TRUE(cat.FindMatches({}).empty());
+  EXPECT_TRUE(cat.FindMatches({cat.keywords(0)[0], "zzzznotaword"}).empty());
+}
+
+TEST(FileCatalogTest, LookupFilenameRoundTrip) {
+  Rng rng(11);
+  auto cat = std::move(FileCatalog::Generate(PaperCatalog(), &rng)).ValueOrDie();
+  for (FileId f = 0; f < 100; ++f) {
+    EXPECT_EQ(cat.LookupFilename(cat.filename(f)), f);
+  }
+  EXPECT_EQ(cat.LookupFilename("no such file"), FileCatalog::kInvalidFile);
+}
+
+// --- workload ---
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(12);
+    catalog_ = std::move(FileCatalog::Generate(PaperCatalog(), &rng)).ValueOrDie();
+  }
+
+  WorkloadConfig PaperWorkload(uint64_t n = 2000) {
+    WorkloadConfig cfg;
+    cfg.num_queries = n;
+    return cfg;
+  }
+
+  FileCatalog catalog_;
+};
+
+TEST_F(WorkloadFixture, GeneratesRequestedCount) {
+  Rng rng(13);
+  auto wl = std::move(QueryWorkload::Generate(PaperWorkload(), catalog_, 1000, &rng))
+                .ValueOrDie();
+  EXPECT_EQ(wl.queries().size(), 2000u);
+}
+
+TEST_F(WorkloadFixture, QueryKeywordsComeFromTargetFile) {
+  Rng rng(14);
+  auto wl = std::move(QueryWorkload::Generate(PaperWorkload(), catalog_, 1000, &rng))
+                .ValueOrDie();
+  for (const QueryEvent& q : wl.queries()) {
+    EXPECT_GE(q.keywords.size(), 1u);
+    EXPECT_LE(q.keywords.size(), 3u);
+    EXPECT_TRUE(catalog_.Matches(q.target, q.keywords))
+        << "query " << q.id << " does not match its own target";
+    EXPECT_LT(q.requester, 1000u);
+  }
+}
+
+TEST_F(WorkloadFixture, SubmitTimesAreMonotoneAndPoissonish) {
+  Rng rng(15);
+  auto wl = std::move(QueryWorkload::Generate(PaperWorkload(5000), catalog_, 1000, &rng))
+                .ValueOrDie();
+  const auto& qs = wl.queries();
+  for (size_t i = 1; i < qs.size(); ++i) {
+    EXPECT_GE(qs[i].submit_time, qs[i - 1].submit_time);
+  }
+  // Aggregate rate 0.83/s -> 5000 queries in ~6024 s (±15%).
+  const double span_s = sim::ToSeconds(qs.back().submit_time);
+  EXPECT_NEAR(span_s, 5000.0 / 0.83, 5000.0 / 0.83 * 0.15);
+}
+
+TEST_F(WorkloadFixture, PopularityIsZipfSkewed) {
+  Rng rng(16);
+  auto wl = std::move(QueryWorkload::Generate(PaperWorkload(20000), catalog_, 1000, &rng))
+                .ValueOrDie();
+  std::map<FileId, int> counts;
+  for (const QueryEvent& q : wl.queries()) ++counts[q.target];
+  // The most popular file (rank 0) should dominate.
+  const FileId top = wl.FileAtRank(0);
+  int max_count = 0;
+  for (const auto& [f, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_EQ(counts[top], max_count);
+  // Zipf(1.0) over 3000 items: rank 0 carries ~1/ln(3000)/1 ≈ 11% of mass.
+  EXPECT_GT(counts[top], 20000 * 0.05);
+  // And a long tail exists: many files queried just a few times.
+  int singletons = 0;
+  for (const auto& [f, c] : counts) singletons += (c <= 2);
+  EXPECT_GT(singletons, 100);
+}
+
+TEST_F(WorkloadFixture, RankOfFileInvertsFileAtRank) {
+  Rng rng(25);
+  auto wl = std::move(QueryWorkload::Generate(PaperWorkload(100), catalog_, 100, &rng))
+                .ValueOrDie();
+  for (size_t rank = 0; rank < 50; ++rank) {
+    EXPECT_EQ(wl.RankOfFile(wl.FileAtRank(rank)), rank);
+  }
+  EXPECT_EQ(wl.RankOfFile(static_cast<FileId>(catalog_.num_files() + 5)),
+            QueryWorkload::kUnknownRank);
+}
+
+TEST_F(WorkloadFixture, LoadedTraceHasUnknownRanks) {
+  Rng rng(26);
+  auto wl = std::move(QueryWorkload::Generate(PaperWorkload(50), catalog_, 50, &rng))
+                .ValueOrDie();
+  const std::string path = ::testing::TempDir() + "/locaware_rank_trace.txt";
+  ASSERT_TRUE(wl.SaveTrace(path).ok());
+  auto loaded = std::move(QueryWorkload::LoadTrace(path)).ValueOrDie();
+  EXPECT_EQ(loaded.RankOfFile(0), QueryWorkload::kUnknownRank);
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadFixture, DeterministicForSeed) {
+  Rng r1(17), r2(17);
+  auto w1 = std::move(QueryWorkload::Generate(PaperWorkload(500), catalog_, 100, &r1))
+                .ValueOrDie();
+  auto w2 = std::move(QueryWorkload::Generate(PaperWorkload(500), catalog_, 100, &r2))
+                .ValueOrDie();
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(w1.queries()[i].requester, w2.queries()[i].requester);
+    EXPECT_EQ(w1.queries()[i].target, w2.queries()[i].target);
+    EXPECT_EQ(w1.queries()[i].submit_time, w2.queries()[i].submit_time);
+    EXPECT_EQ(w1.queries()[i].keywords, w2.queries()[i].keywords);
+  }
+}
+
+TEST_F(WorkloadFixture, RejectsBadConfigs) {
+  Rng rng(18);
+  EXPECT_FALSE(QueryWorkload::Generate(PaperWorkload(), catalog_, 0, &rng).ok());
+
+  WorkloadConfig cfg = PaperWorkload();
+  cfg.query_rate_per_peer_s = 0;
+  EXPECT_FALSE(QueryWorkload::Generate(cfg, catalog_, 10, &rng).ok());
+
+  cfg = PaperWorkload();
+  cfg.min_query_keywords = 0;
+  EXPECT_FALSE(QueryWorkload::Generate(cfg, catalog_, 10, &rng).ok());
+
+  cfg = PaperWorkload();
+  cfg.min_query_keywords = 3;
+  cfg.max_query_keywords = 2;
+  EXPECT_FALSE(QueryWorkload::Generate(cfg, catalog_, 10, &rng).ok());
+}
+
+TEST_F(WorkloadFixture, TraceSaveLoadRoundTrip) {
+  Rng rng(19);
+  auto wl = std::move(QueryWorkload::Generate(PaperWorkload(300), catalog_, 100, &rng))
+                .ValueOrDie();
+  const std::string path = ::testing::TempDir() + "/locaware_trace_test.txt";
+  ASSERT_TRUE(wl.SaveTrace(path).ok());
+
+  auto loaded = QueryWorkload::LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& a = wl.queries();
+  const auto& b = loaded.ValueOrDie().queries();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].requester, b[i].requester);
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadFixture, LoadTraceRejectsMissingAndMalformed) {
+  EXPECT_FALSE(QueryWorkload::LoadTrace("/nonexistent/path/trace.txt").ok());
+
+  const std::string path = ::testing::TempDir() + "/locaware_bad_trace.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1 2 3\n", f);  // too few fields
+    std::fclose(f);
+  }
+  EXPECT_FALSE(QueryWorkload::LoadTrace(path).ok());
+
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1 2 3 400\n", f);  // no keywords
+    std::fclose(f);
+  }
+  EXPECT_FALSE(QueryWorkload::LoadTrace(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadFixture, InitialPlacementShape) {
+  Rng rng(20);
+  const auto placement = AssignInitialFiles(1000, 3, catalog_, &rng);
+  ASSERT_EQ(placement.size(), 1000u);
+  size_t total = 0;
+  for (const auto& files : placement) {
+    EXPECT_EQ(files.size(), 3u);
+    std::set<FileId> unique(files.begin(), files.end());
+    EXPECT_EQ(unique.size(), 3u);  // distinct per peer
+    for (FileId f : files) EXPECT_LT(f, catalog_.num_files());
+    total += files.size();
+  }
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST_F(WorkloadFixture, PlacementLeavesSomeFilesUnhosted) {
+  // 3000 file slots over 3000 files: ~1/e of files get no initial provider.
+  // This is the structural success-rate ceiling discussed in EXPERIMENTS.md.
+  Rng rng(21);
+  const auto placement = AssignInitialFiles(1000, 3, catalog_, &rng);
+  std::set<FileId> hosted;
+  for (const auto& files : placement) hosted.insert(files.begin(), files.end());
+  const double hosted_fraction =
+      static_cast<double>(hosted.size()) / static_cast<double>(catalog_.num_files());
+  EXPECT_NEAR(hosted_fraction, 1.0 - std::exp(-1.0), 0.05);
+}
+
+}  // namespace
+}  // namespace locaware::catalog

@@ -1,0 +1,398 @@
+#include "core/engine.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "core/experiment.h"
+#include "core/group_hash.h"
+
+namespace locaware::core {
+namespace {
+
+/// A scaled-down paper setup that runs in well under a second: 150 peers,
+/// 300 files over a 900-keyword pool, 200 queries at a boosted rate.
+ExperimentConfig TinyConfig(ProtocolKind kind, uint64_t seed = 7) {
+  ExperimentConfig cfg = MakePaperConfig(kind, /*num_queries=*/200, seed);
+  cfg.num_peers = 150;
+  cfg.underlay.num_routers = 40;
+  cfg.catalog.num_files = 300;
+  cfg.catalog.keyword_pool_size = 900;
+  cfg.workload.query_rate_per_peer_s = 0.01;  // compress simulated time
+  return cfg;
+}
+
+TEST(EngineTest, CreateRejectsZeroLandmarks) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kLocaware);
+  cfg.num_landmarks = 0;
+  EXPECT_FALSE(Engine::Create(cfg).ok());
+}
+
+TEST(EngineTest, CreateRejectsZeroGroups) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
+  cfg.params.num_groups = 0;
+  EXPECT_FALSE(Engine::Create(cfg).ok());
+}
+
+TEST(EngineTest, NodesInitializedPerProtocol) {
+  auto flooding =
+      std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  EXPECT_EQ(flooding->node(0).ri, nullptr);
+  EXPECT_EQ(flooding->node(0).keyword_filter, nullptr);
+
+  auto dicas = std::move(Engine::Create(TinyConfig(ProtocolKind::kDicas))).ValueOrDie();
+  EXPECT_NE(dicas->node(0).ri, nullptr);
+  EXPECT_EQ(dicas->node(0).keyword_filter, nullptr);
+
+  auto locaware =
+      std::move(Engine::Create(TinyConfig(ProtocolKind::kLocaware))).ValueOrDie();
+  EXPECT_NE(locaware->node(0).ri, nullptr);
+  EXPECT_NE(locaware->node(0).keyword_filter, nullptr);
+  EXPECT_NE(locaware->node(0).advertised_filter, nullptr);
+}
+
+TEST(EngineTest, InitialStateMatchesConfig) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kLocaware))).ValueOrDie();
+  EXPECT_EQ(e->num_peers(), 150u);
+  EXPECT_EQ(e->underlay().num_peers(), 150u);
+  EXPECT_EQ(e->graph().num_peers(), 150u);
+  EXPECT_EQ(e->catalog().num_files(), 300u);
+  EXPECT_EQ(e->workload().queries().size(), 200u);
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    EXPECT_EQ(e->node(p).file_store.size(), 3u);
+    EXPECT_LT(e->node(p).gid, 4u);
+    EXPECT_LT(e->node(p).loc_id, 24u);
+  }
+}
+
+TEST(EngineTest, RunRecordsEveryQuery) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  e->Run();
+  EXPECT_EQ(e->metrics().records().size(), 200u);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run = [](ProtocolKind kind) {
+    auto e = std::move(Engine::Create(TinyConfig(kind, 99))).ValueOrDie();
+    e->Run();
+    return metrics::Summarize(e->metrics());
+  };
+  for (ProtocolKind kind : {ProtocolKind::kFlooding, ProtocolKind::kDicas,
+                            ProtocolKind::kLocaware}) {
+    const auto a = run(kind);
+    const auto b = run(kind);
+    EXPECT_EQ(a.success_rate, b.success_rate);
+    EXPECT_EQ(a.msgs_per_query, b.msgs_per_query);
+    EXPECT_EQ(a.avg_download_ms, b.avg_download_ms);
+    EXPECT_EQ(a.bloom_update_bytes, b.bloom_update_bytes);
+  }
+}
+
+TEST(EngineTest, FloodingCoversTheNetwork) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  e->Run();
+  const auto summary = metrics::Summarize(e->metrics());
+  // TTL 7 on a degree-3 graph of 150 peers: the flood reaches most links, so
+  // messages per query must be on the order of the link count.
+  EXPECT_GT(summary.msgs_per_query, 100.0);
+  EXPECT_GT(summary.success_rate, 0.5);
+  EXPECT_EQ(summary.bloom_update_msgs, 0u);  // flooding has no maintenance
+}
+
+TEST(EngineTest, DicasCachingRespectsGroupCondition) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kDicas))).ValueOrDie();
+  e->Run();
+  // Invariant (eq. 1): every filename in RI_n satisfies hash(f) mod M = Gid_n.
+  size_t cached_total = 0;
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    const NodeState& n = e->node(p);
+    for (const std::string& f : n.ri->Filenames()) {
+      EXPECT_EQ(GroupOfFilename(f, e->params().num_groups), n.gid)
+          << "peer " << p << " cached " << f << " outside its group";
+      ++cached_total;
+    }
+  }
+  EXPECT_GT(cached_total, 0u) << "Dicas cached nothing at all";
+}
+
+TEST(EngineTest, DicasKeysCachingUsesKeywordGroups) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kDicasKeys))).ValueOrDie();
+  e->Run();
+  size_t cached_total = 0;
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    const NodeState& n = e->node(p);
+    for (const std::string& f : n.ri->Filenames()) {
+      const auto groups = KeywordGroups(n.ri->KeywordsOf(f), e->params().num_groups);
+      EXPECT_NE(std::find(groups.begin(), groups.end(), n.gid), groups.end())
+          << "peer " << p << " cached " << f << " outside every keyword group";
+      ++cached_total;
+    }
+  }
+  EXPECT_GT(cached_total, 0u);
+}
+
+TEST(EngineTest, DicasIndexesHoldSingleProvider) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kDicas))).ValueOrDie();
+  e->Run();
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    const NodeState& n = e->node(p);
+    EXPECT_LE(n.ri->TotalProviderCount(), n.ri->num_filenames());
+  }
+}
+
+TEST(EngineTest, LocawareIndexesHoldMultipleProviders) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kLocaware))).ValueOrDie();
+  e->Run();
+  size_t filenames = 0, providers = 0;
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    filenames += e->node(p).ri->num_filenames();
+    providers += e->node(p).ri->TotalProviderCount();
+  }
+  ASSERT_GT(filenames, 0u);
+  // "The response index in Locaware has for each file more possibilities of
+  // providers" — on a Zipf workload the average must exceed 1 per filename.
+  EXPECT_GT(static_cast<double>(providers) / static_cast<double>(filenames), 1.05);
+}
+
+TEST(EngineTest, LocawareBloomFilterMatchesIndexContents) {
+  // Strong invariant: after a full run, each peer's counting-filter
+  // projection equals a filter rebuilt from its current RI keywords. This
+  // exercises insert + evict + expiry bookkeeping end to end.
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kLocaware))).ValueOrDie();
+  e->Run();
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    const NodeState& n = e->node(p);
+    bloom::BloomFilter rebuilt(e->params().bloom_bits, e->params().bloom_hashes);
+    for (const std::string& f : n.ri->Filenames()) {
+      for (const std::string& kw : n.ri->KeywordsOf(f)) rebuilt.Insert(kw);
+    }
+    EXPECT_EQ(n.keyword_filter->projection(), rebuilt) << "peer " << p;
+  }
+}
+
+TEST(EngineTest, LocawareNeighborsLearnFilters) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kLocaware))).ValueOrDie();
+  e->Run();
+  // After the run every neighbor pair has exchanged filters at link-up, and
+  // gossip kept them fresh; spot-check that copies exist and have content
+  // somewhere.
+  size_t copies = 0, nonzero = 0;
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    for (const auto& [nb, filter] : e->node(p).neighbor_filters) {
+      ++copies;
+      nonzero += (filter.CountOnes() > 0);
+    }
+  }
+  EXPECT_GT(copies, 0u);
+  EXPECT_GT(nonzero, 0u);
+  EXPECT_GT(e->metrics().bloom_update_msgs(), 0u);
+  EXPECT_GT(e->metrics().bloom_update_bytes(), 0u);
+}
+
+TEST(EngineTest, LocawareGossipKeepsNeighborCopiesExact) {
+  // Because gossip always sends deltas against the sender's advertised state
+  // and link-up copies that state, a neighbor's copy must equal the sender's
+  // advertised filter at all quiescent points (end of run).
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kLocaware))).ValueOrDie();
+  e->Run();
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    for (const auto& [nb, filter] : e->node(p).neighbor_filters) {
+      if (!e->graph().AreNeighbors(p, nb)) continue;  // stale ex-neighbor copy
+      EXPECT_EQ(filter, *e->node(nb).advertised_filter)
+          << "peer " << p << " has a diverged copy of " << nb;
+    }
+  }
+}
+
+TEST(EngineTest, NaturalReplicationGrowsFileStores) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  e->Run();
+  size_t total_files = 0;
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    total_files += e->node(p).file_store.size();
+  }
+  // 150 peers x 3 initial + one copy per successful downloaded query.
+  const auto summary = metrics::Summarize(e->metrics());
+  EXPECT_GT(summary.success_rate, 0.0);
+  EXPECT_GT(total_files, 150u * 3u);
+}
+
+TEST(EngineTest, UniformUnderlayRuns) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kLocaware);
+  cfg.use_uniform_underlay = true;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  e->Run();
+  EXPECT_EQ(e->metrics().records().size(), 200u);
+}
+
+TEST(EngineTest, ChurnRunCompletesAndTracksEvents) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kLocaware);
+  cfg.churn.enabled = true;
+  cfg.churn.mean_session_s = 600;
+  cfg.churn.mean_offline_s = 200;
+  cfg.params.ri.entry_ttl = 120 * sim::kSecond;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  e->Run();
+  EXPECT_EQ(e->metrics().records().size(), 200u);
+  EXPECT_GT(e->metrics().churn_events(), 0u);
+  // The overlay stays meaningfully connected despite departures.
+  EXPECT_GT(e->graph().num_alive(), 50u);
+  EXPECT_GT(e->graph().LargestComponentFraction(), 0.5);
+}
+
+TEST(EngineTest, ProtocolSeesExpectedKindAndSelection) {
+  auto loc = std::move(Engine::Create(TinyConfig(ProtocolKind::kLocaware))).ValueOrDie();
+  EXPECT_EQ(loc->protocol().kind(), ProtocolKind::kLocaware);
+  EXPECT_EQ(loc->protocol().DefaultSelection(), SelectionStrategy::kLocIdThenRtt);
+  auto flood =
+      std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  EXPECT_EQ(flood->protocol().DefaultSelection(), SelectionStrategy::kRandom);
+}
+
+TEST(EngineTest, ByteAccountingTracksMessages) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  e->Run();
+  uint64_t total_msgs = 0, total_bytes = 0;
+  for (const auto& r : e->metrics().records()) {
+    total_msgs += r.TotalSearchMessages();
+    total_bytes += r.TotalSearchBytes();
+    // Every counted message carries at least a Gnutella header.
+    EXPECT_GE(r.TotalSearchBytes(), r.TotalSearchMessages() * 23);
+  }
+  EXPECT_GT(total_bytes, total_msgs * 23);
+  const auto summary = metrics::Summarize(e->metrics());
+  EXPECT_GT(summary.bytes_per_query, summary.msgs_per_query * 23);
+}
+
+TEST(EngineTest, LocAwareRoutingVariantRunsAndStaysLocal) {
+  ExperimentConfig off_cfg = TinyConfig(ProtocolKind::kLocaware);
+  ExperimentConfig on_cfg = off_cfg;
+  on_cfg.params.loc_aware_routing = true;
+
+  auto off = std::move(Engine::Create(off_cfg)).ValueOrDie();
+  off->Run();
+  auto on = std::move(Engine::Create(on_cfg)).ValueOrDie();
+  on->Run();
+
+  const auto s_off = metrics::Summarize(off->metrics());
+  const auto s_on = metrics::Summarize(on->metrics());
+  EXPECT_EQ(s_on.num_queries, 200u);
+  // The extension must not change the workload outcome dramatically at this
+  // scale; it should not *hurt* locality.
+  EXPECT_GE(s_on.loc_match_rate, s_off.loc_match_rate * 0.8);
+}
+
+TEST(EngineTest, BarabasiAlbertUnderlayRuns) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kLocaware);
+  cfg.underlay.model = net::RouterGraphModel::kBarabasiAlbert;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  e->Run();
+  EXPECT_EQ(e->metrics().records().size(), 200u);
+  const auto summary = metrics::Summarize(e->metrics());
+  EXPECT_GT(summary.success_rate, 0.0);
+}
+
+TEST(EngineTest, TraceReplayReproducesGeneratedRun) {
+  // Run once with a generated workload, save its trace, run again from the
+  // trace: same topology seed + same query stream => identical results.
+  const ExperimentConfig cfg = TinyConfig(ProtocolKind::kLocaware, 77);
+  auto original = std::move(Engine::Create(cfg)).ValueOrDie();
+  const std::string path = ::testing::TempDir() + "/locaware_engine_trace.txt";
+  ASSERT_TRUE(original->workload().SaveTrace(path).ok());
+  original->Run();
+  const auto base = metrics::Summarize(original->metrics());
+
+  ExperimentConfig replay_cfg = cfg;
+  replay_cfg.trace_path = path;
+  auto replay = std::move(Engine::Create(replay_cfg)).ValueOrDie();
+  replay->Run();
+  const auto replayed = metrics::Summarize(replay->metrics());
+
+  EXPECT_EQ(base.success_rate, replayed.success_rate);
+  EXPECT_EQ(base.msgs_per_query, replayed.msgs_per_query);
+  EXPECT_EQ(base.avg_download_ms, replayed.avg_download_ms);
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, TraceReplayRejectsOutOfRangeEvents) {
+  const std::string path = ::testing::TempDir() + "/locaware_bad_engine_trace.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    // requester 5000 does not exist in a 150-peer network.
+    std::fputs("0 5000 1 1000 somekeyword\n", f);
+    std::fclose(f);
+  }
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
+  cfg.trace_path = path;
+  EXPECT_FALSE(Engine::Create(cfg).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    // file 900000 does not exist in a 300-file catalog.
+    std::fputs("0 3 900000 1000 somekeyword\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(Engine::Create(cfg).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, SummaryReportsFirstResponseLatency) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  e->Run();
+  const auto s = metrics::Summarize(e->metrics());
+  // Flooding always collects responses for successful queries; latency must
+  // be positive, bounded by the query deadline, and ordered p50 <= p95.
+  ASSERT_GT(s.success_rate, 0.0);
+  EXPECT_GT(s.first_response_ms_p50, 0.0);
+  EXPECT_GE(s.first_response_ms_p95, s.first_response_ms_p50);
+  EXPECT_LE(s.first_response_ms_p95, sim::ToMs(e->params().query_deadline));
+  EXPECT_GT(s.first_response_hops_mean, 0.0);
+  EXPECT_LE(s.first_response_hops_mean, 7.0);
+}
+
+TEST(EngineTest, OneWayDelayIsHalfRtt) {
+  auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kFlooding))).ValueOrDie();
+  const double rtt_ms = e->underlay().RttMs(1, 2);
+  EXPECT_EQ(e->OneWayDelay(1, 2), sim::FromMs(rtt_ms / 2.0));
+}
+
+class AllProtocolsTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(AllProtocolsTest, RunsToCompletionWithSaneMetrics) {
+  auto e = std::move(Engine::Create(TinyConfig(GetParam()))).ValueOrDie();
+  e->Run();
+  const auto summary = metrics::Summarize(e->metrics());
+  EXPECT_EQ(summary.num_queries, 200u);
+  EXPECT_GE(summary.success_rate, 0.0);
+  EXPECT_LE(summary.success_rate, 1.0);
+  EXPECT_GT(summary.msgs_per_query, 0.0);
+  if (summary.success_rate > 0) {
+    EXPECT_GT(summary.avg_download_ms, 0.0);
+    EXPECT_LE(summary.avg_download_ms, 500.0);
+  }
+}
+
+TEST_P(AllProtocolsTest, ChurnVariantAlsoCompletes) {
+  ExperimentConfig cfg = TinyConfig(GetParam());
+  cfg.churn.enabled = true;
+  cfg.churn.mean_session_s = 400;
+  cfg.churn.mean_offline_s = 150;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  e->Run();
+  EXPECT_EQ(e->metrics().records().size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllProtocolsTest,
+                         ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
+                                           ProtocolKind::kDicasKeys,
+                                           ProtocolKind::kLocaware),
+                         [](const auto& info) {
+                           return std::string(ProtocolKindName(info.param)) == "Dicas-Keys"
+                                      ? "DicasKeys"
+                                      : ProtocolKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace locaware::core

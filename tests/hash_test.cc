@@ -1,0 +1,97 @@
+#include "common/hash.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace locaware {
+namespace {
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Canonical FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, RawBytesOverloadAgrees) {
+  const std::string s = "locaware";
+  EXPECT_EQ(Fnv1a64(s), Fnv1a64(s.data(), s.size()));
+}
+
+TEST(Fnv1aTest, SensitiveToEveryByte) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("bbc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abc "));
+}
+
+TEST(Murmur3Test, DeterministicAcrossCalls) {
+  const auto a = Murmur3_128("hello world");
+  const auto b = Murmur3_128("hello world");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Murmur3Test, SeedChangesOutput) {
+  EXPECT_NE(Murmur3_128("hello", 0), Murmur3_128("hello", 1));
+}
+
+TEST(Murmur3Test, EmptyInputIsValid) {
+  const auto [h1, h2] = Murmur3_128("");
+  // Zero-length input with seed 0 hashes to (0, 0) in canonical Murmur3.
+  EXPECT_EQ(h1, 0u);
+  EXPECT_EQ(h2, 0u);
+  const auto seeded = Murmur3_128("", 42);
+  EXPECT_NE(seeded.first, 0u);
+}
+
+TEST(Murmur3Test, AllTailLengthsDistinct) {
+  // Exercise every tail-switch branch (lengths 0..16) and beyond one block.
+  std::set<std::pair<uint64_t, uint64_t>> hashes;
+  std::string s;
+  for (int len = 0; len <= 40; ++len) {
+    hashes.insert(Murmur3_128(s));
+    s += static_cast<char>('a' + (len % 26));
+  }
+  EXPECT_EQ(hashes.size(), 41u);
+}
+
+TEST(Murmur3Test, HalvesDifferFromEachOther) {
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto [h1, h2] = Murmur3_128("key" + std::to_string(i));
+    equal += (h1 == h2);
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Murmur3Test, AvalancheOnSingleBitChange) {
+  const auto a = Murmur3_128("keyword0");
+  const auto b = Murmur3_128("keyword1");
+  // Count differing bits in the first halves; a good hash flips ~32 of 64.
+  const int diff = __builtin_popcountll(a.first ^ b.first);
+  EXPECT_GT(diff, 10);
+  EXPECT_LT(diff, 54);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2), HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashCombineTest, NoTrivialFixedPoint) {
+  EXPECT_NE(HashCombine(0, 0), 0u);
+}
+
+TEST(HashDistributionTest, FnvModSmallIsBalanced) {
+  // The Dicas group hash uses Fnv1a64(filename) mod M; verify no pathological
+  // skew for M = 4 over realistic keyword-like strings.
+  constexpr int kGroups = 4;
+  int counts[kGroups] = {};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[Fnv1a64("kw" + std::to_string(i) + " other words") % kGroups];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+}  // namespace
+}  // namespace locaware

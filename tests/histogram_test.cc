@@ -1,0 +1,121 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace locaware {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStat whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble(-50, 50);
+    whole.Add(x);
+    (i % 2 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Merge(b);  // empty rhs
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(3.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, ExactPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Percentile(50), 50.0);
+  EXPECT_EQ(h.Percentile(95), 95.0);
+  EXPECT_EQ(h.Percentile(100), 100.0);
+  EXPECT_EQ(h.Percentile(0), 1.0);  // nearest-rank clamps to the first sample
+  EXPECT_EQ(h.Percentile(1), 1.0);
+}
+
+TEST(HistogramTest, UnsortedInsertOrder) {
+  Histogram h;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) h.Add(x);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 9.0);
+  EXPECT_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, AddAfterPercentileInvalidatesCache) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_EQ(h.Percentile(50), 1.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, OutOfRangePercentileDies) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_DEATH(h.Percentile(-1), "CHECK");
+  EXPECT_DEATH(h.Percentile(101), "CHECK");
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(2.0);
+  h.Add(4.0);
+  EXPECT_NE(h.Summary().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locaware

@@ -1,0 +1,160 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace locaware {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world 123"), "hello world 123");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{}");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter w(false);
+  w.BeginArray();
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[]");
+}
+
+TEST(JsonWriterTest, CompactObject) {
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Key("name");
+  w.String("locaware");
+  w.Key("peers");
+  w.Int(1000);
+  w.Key("rate");
+  w.Double(0.5);
+  w.Key("on");
+  w.Bool(true);
+  w.Key("none");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            R"({"name":"locaware","peers":1000,"rate":0.5,"on":true,"none":null})");
+}
+
+TEST(JsonWriterTest, ArrayCommas) {
+  JsonWriter w(false);
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.Int(3);
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Key("series");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("x");
+  w.Int(1);
+  w.EndObject();
+  w.BeginObject();
+  w.Key("x");
+  w.Int(2);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), R"({"series":[{"x":1},{"x":2}]})");
+}
+
+TEST(JsonWriterTest, PrettyModeIndents) {
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.EndObject();
+  const std::string doc = w.TakeString();
+  EXPECT_EQ(doc, "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter w(false);
+  w.String("alone");
+  EXPECT_EQ(w.TakeString(), "\"alone\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w(false);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(1.25);
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[null,null,1.25]");
+}
+
+TEST(JsonWriterTest, UintMaxRoundTrips) {
+  JsonWriter w(false);
+  w.Uint(UINT64_MAX);
+  EXPECT_EQ(w.TakeString(), "18446744073709551615");
+}
+
+TEST(JsonWriterTest, KeysAreEscaped) {
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Key("we\"ird");
+  w.Int(1);
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), R"({"we\"ird":1})");
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyInObject) {
+  JsonWriter w(false);
+  w.BeginObject();
+  EXPECT_DEATH(w.Int(1), "Key");
+}
+
+TEST(JsonWriterDeathTest, DoubleKey) {
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Key("a");
+  EXPECT_DEATH(w.Key("b"), "two keys");
+}
+
+TEST(JsonWriterDeathTest, KeyInArray) {
+  JsonWriter w(false);
+  w.BeginArray();
+  EXPECT_DEATH(w.Key("a"), "outside an object");
+}
+
+TEST(JsonWriterDeathTest, UnbalancedTake) {
+  JsonWriter w(false);
+  w.BeginObject();
+  EXPECT_DEATH(w.TakeString(), "unbalanced");
+}
+
+TEST(JsonWriterDeathTest, DanglingKeyAtEndObject) {
+  JsonWriter w(false);
+  w.BeginObject();
+  w.Key("a");
+  EXPECT_DEATH(w.EndObject(), "dangling");
+}
+
+TEST(JsonWriterDeathTest, TwoTopLevelValues) {
+  JsonWriter w(false);
+  w.Int(1);
+  EXPECT_DEATH(w.Int(2), "one top-level");
+}
+
+}  // namespace
+}  // namespace locaware

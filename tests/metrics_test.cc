@@ -1,0 +1,251 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/report.h"
+
+namespace locaware::metrics {
+namespace {
+
+QueryRecord MakeRecord(bool success, double distance, uint64_t msgs,
+                       AnswerSource source = AnswerSource::kFileStore,
+                       bool loc_match = false) {
+  QueryRecord r;
+  r.success = success;
+  r.download_distance_ms = distance;
+  r.query_msgs = msgs;
+  r.source = success ? source : AnswerSource::kNone;
+  r.provider_loc_match = loc_match;
+  return r;
+}
+
+TEST(MetricsCollectorTest, BeginQueryAllocatesSequentialSlots) {
+  MetricsCollector mc;
+  EXPECT_EQ(mc.BeginQuery(100, 1, 0), 0u);
+  EXPECT_EQ(mc.BeginQuery(101, 2, 5), 1u);
+  EXPECT_EQ(mc.records().size(), 2u);
+  EXPECT_EQ(mc.records()[0].qid, 100u);
+  EXPECT_EQ(mc.records()[1].submitted_at, 5);
+}
+
+TEST(MetricsCollectorTest, RecordIsMutable) {
+  MetricsCollector mc;
+  const size_t slot = mc.BeginQuery(1, 1, 0);
+  mc.Record(slot)->success = true;
+  mc.Record(slot)->query_msgs = 42;
+  EXPECT_TRUE(mc.records()[0].success);
+  EXPECT_EQ(mc.records()[0].TotalSearchMessages(), 42u);
+}
+
+TEST(MetricsCollectorTest, MaintenanceCountersAccumulate) {
+  MetricsCollector mc;
+  mc.AddBloomUpdate(3, 100);
+  mc.AddBloomUpdate(1, 50);
+  EXPECT_EQ(mc.bloom_update_msgs(), 4u);
+  EXPECT_EQ(mc.bloom_update_bytes(), 150u);
+  mc.AddChurnEvent();
+  mc.AddStaleFailure();
+  EXPECT_EQ(mc.churn_events(), 1u);
+  EXPECT_EQ(mc.stale_failures(), 1u);
+}
+
+TEST(MetricsCollectorTest, OutOfRangeSlotDies) {
+  MetricsCollector mc;
+  EXPECT_DEATH(mc.Record(0), "CHECK");
+}
+
+TEST(QueryRecordTest, TotalSumsAllMessageKinds) {
+  QueryRecord r;
+  r.query_msgs = 10;
+  r.response_msgs = 3;
+  r.probe_msgs = 4;
+  EXPECT_EQ(r.TotalSearchMessages(), 17u);
+}
+
+TEST(BucketizeTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(Bucketize({}, 10).empty());
+  EXPECT_TRUE(Bucketize({MakeRecord(true, 1, 1)}, 0).empty());
+  // More buckets than records: clamps to one record per bucket.
+  const auto pts = Bucketize({MakeRecord(true, 1, 1), MakeRecord(false, 0, 2)}, 10);
+  EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(BucketizeTest, SplitsEvenlyWithRemainderInLastBucket) {
+  std::vector<QueryRecord> records;
+  for (int i = 0; i < 25; ++i) records.push_back(MakeRecord(true, 10, 1));
+  const auto pts = Bucketize(records, 4);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0].queries_begin, 0u);
+  EXPECT_EQ(pts[0].queries_end, 6u);
+  EXPECT_EQ(pts[3].queries_end, 25u);  // remainder folded into the last bucket
+}
+
+TEST(BucketizeTest, SuccessRatePerBucket) {
+  std::vector<QueryRecord> records;
+  // First half all successes, second half all failures.
+  for (int i = 0; i < 10; ++i) records.push_back(MakeRecord(true, 10, 1));
+  for (int i = 0; i < 10; ++i) records.push_back(MakeRecord(false, 0, 1));
+  const auto pts = Bucketize(records, 2);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].success_rate, 0.0);
+}
+
+TEST(BucketizeTest, DownloadDistanceAveragesSuccessesOnly) {
+  std::vector<QueryRecord> records{
+      MakeRecord(true, 100, 1),
+      MakeRecord(false, 0, 1),  // failure must not drag the average down
+      MakeRecord(true, 200, 1),
+  };
+  const auto pts = Bucketize(records, 1);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].avg_download_ms, 150.0);
+}
+
+TEST(BucketizeTest, LocalStoreHitsExcludedFromDistance) {
+  std::vector<QueryRecord> records{
+      MakeRecord(true, 100, 1),
+      MakeRecord(true, 0, 0, AnswerSource::kLocalStore, true),
+  };
+  const auto pts = Bucketize(records, 1);
+  // A local-store hit involved no download; the average covers real
+  // transfers only.
+  EXPECT_DOUBLE_EQ(pts[0].avg_download_ms, 100.0);
+  EXPECT_DOUBLE_EQ(pts[0].success_rate, 1.0);
+}
+
+TEST(BucketizeTest, MessagesCountFailuresToo) {
+  std::vector<QueryRecord> records{MakeRecord(true, 10, 6), MakeRecord(false, 0, 4)};
+  const auto pts = Bucketize(records, 1);
+  EXPECT_DOUBLE_EQ(pts[0].msgs_per_query, 5.0);
+}
+
+TEST(BucketizeTest, CacheShareAndLocMatch) {
+  std::vector<QueryRecord> records{
+      MakeRecord(true, 10, 1, AnswerSource::kResponseIndex, true),
+      MakeRecord(true, 10, 1, AnswerSource::kFileStore, false),
+      MakeRecord(true, 10, 1, AnswerSource::kLocalIndex, true),
+      MakeRecord(false, 0, 1),
+  };
+  const auto pts = Bucketize(records, 1);
+  EXPECT_NEAR(pts[0].cache_answer_share, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pts[0].loc_match_rate, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SummarizeTest, WholeRunRollup) {
+  MetricsCollector mc;
+  for (int i = 0; i < 4; ++i) {
+    const size_t slot = mc.BeginQuery(i, 0, i);
+    *mc.Record(slot) = MakeRecord(i % 2 == 0, 50, 10);
+    mc.Record(slot)->providers_offered = 2;
+  }
+  mc.AddBloomUpdate(5, 500);
+  const Summary s = Summarize(mc);
+  EXPECT_EQ(s.num_queries, 4u);
+  EXPECT_DOUBLE_EQ(s.success_rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.msgs_per_query, 10.0);
+  EXPECT_DOUBLE_EQ(s.avg_download_ms, 50.0);
+  EXPECT_DOUBLE_EQ(s.avg_providers_offered, 2.0);
+  EXPECT_EQ(s.bloom_update_msgs, 5u);
+  EXPECT_EQ(s.bloom_update_bytes, 500u);
+}
+
+TEST(SummarizeTest, EmptyCollector) {
+  MetricsCollector mc;
+  const Summary s = Summarize(mc);
+  EXPECT_EQ(s.num_queries, 0u);
+  EXPECT_EQ(s.success_rate, 0.0);
+}
+
+TEST(ReportTest, FigureTableContainsLabelsAndValues) {
+  LabeledSeries a{"Locaware", Bucketize({MakeRecord(true, 10, 2)}, 1)};
+  LabeledSeries b{"Flooding", Bucketize({MakeRecord(true, 20, 30)}, 1)};
+  const std::string table =
+      FormatFigureTable({a, b}, Field::kMsgsPerQuery, "Search traffic");
+  EXPECT_NE(table.find("Search traffic"), std::string::npos);
+  EXPECT_NE(table.find("Locaware"), std::string::npos);
+  EXPECT_NE(table.find("Flooding"), std::string::npos);
+  EXPECT_NE(table.find("30.000"), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasHeaderAndRows) {
+  LabeledSeries a{"A", Bucketize({MakeRecord(true, 10, 2), MakeRecord(true, 30, 2)}, 2)};
+  const std::string csv = FormatFigureCsv({a}, Field::kDownloadMs);
+  EXPECT_NE(csv.find("queries,A"), std::string::npos);
+  EXPECT_NE(csv.find("10.000000"), std::string::npos);
+  EXPECT_NE(csv.find("30.000000"), std::string::npos);
+}
+
+TEST(ReportTest, RaggedSeriesDie) {
+  LabeledSeries a{"A", Bucketize({MakeRecord(true, 10, 2)}, 1)};
+  LabeledSeries b{"B", {}};
+  EXPECT_DEATH(FormatFigureTable({a, b}, Field::kSuccessRate, "t"), "ragged");
+}
+
+TEST(ByPopularityTest, SplitsByRankBands) {
+  std::vector<QueryRecord> records;
+  auto add = [&](uint32_t rank, bool success, AnswerSource source, double dist) {
+    QueryRecord r = MakeRecord(success, dist, 1, source);
+    r.target_rank = rank;
+    records.push_back(r);
+  };
+  add(0, true, AnswerSource::kResponseIndex, 100);
+  add(0, true, AnswerSource::kFileStore, 200);
+  add(5, false, AnswerSource::kNone, 0);
+  add(50, true, AnswerSource::kFileStore, 300);
+  add(2000, false, AnswerSource::kNone, 0);
+
+  const auto bands = ByPopularity(records, {1, 10, 100, 3000});
+  ASSERT_EQ(bands.size(), 4u);
+
+  EXPECT_EQ(bands[0].rank_begin, 0u);
+  EXPECT_EQ(bands[0].rank_end, 1u);
+  EXPECT_EQ(bands[0].queries, 2u);
+  EXPECT_DOUBLE_EQ(bands[0].success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(bands[0].cache_answer_share, 0.5);
+  EXPECT_DOUBLE_EQ(bands[0].avg_download_ms, 150.0);
+
+  EXPECT_EQ(bands[1].queries, 1u);
+  EXPECT_DOUBLE_EQ(bands[1].success_rate, 0.0);
+
+  EXPECT_EQ(bands[2].queries, 1u);
+  EXPECT_DOUBLE_EQ(bands[2].avg_download_ms, 300.0);
+
+  EXPECT_EQ(bands[3].queries, 1u);
+}
+
+TEST(ByPopularityTest, LocalStoreHitsExcludedFromBandDistance) {
+  std::vector<QueryRecord> records;
+  QueryRecord r = MakeRecord(true, 0, 0, AnswerSource::kLocalStore);
+  r.target_rank = 0;
+  records.push_back(r);
+  QueryRecord r2 = MakeRecord(true, 80, 1, AnswerSource::kFileStore);
+  r2.target_rank = 0;
+  records.push_back(r2);
+  const auto bands = ByPopularity(records, {1});
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_DOUBLE_EQ(bands[0].avg_download_ms, 80.0);
+  EXPECT_DOUBLE_EQ(bands[0].success_rate, 1.0);
+}
+
+TEST(ByPopularityTest, EmptyInputsGiveEmptyBands) {
+  const auto bands = ByPopularity({}, {10, 100});
+  ASSERT_EQ(bands.size(), 2u);
+  EXPECT_EQ(bands[0].queries, 0u);
+  EXPECT_EQ(bands[0].success_rate, 0.0);
+}
+
+TEST(ReportTest, FieldValueSelectsCorrectly) {
+  BucketPoint p;
+  p.success_rate = 0.5;
+  p.msgs_per_query = 7;
+  p.avg_download_ms = 123;
+  p.loc_match_rate = 0.25;
+  EXPECT_EQ(FieldValue(p, Field::kSuccessRate), 0.5);
+  EXPECT_EQ(FieldValue(p, Field::kMsgsPerQuery), 7.0);
+  EXPECT_EQ(FieldValue(p, Field::kDownloadMs), 123.0);
+  EXPECT_EQ(FieldValue(p, Field::kLocMatchRate), 0.25);
+}
+
+}  // namespace
+}  // namespace locaware::metrics

@@ -1,0 +1,218 @@
+// Model-based randomized testing: drive ResponseIndex with long random
+// operation sequences and compare every observable against a deliberately
+// naive reference implementation. Divergence means one of them is wrong —
+// and the reference is simple enough to trust.
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/response_index.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace locaware::cache {
+namespace {
+
+/// Straight-line reference for ResponseIndex with LRU eviction.
+class ReferenceIndex {
+ public:
+  ReferenceIndex(size_t max_filenames, size_t max_providers, sim::SimTime ttl)
+      : max_filenames_(max_filenames), max_providers_(max_providers), ttl_(ttl) {}
+
+  std::vector<std::string> AddProvider(const std::string& name,
+                                       const std::vector<std::string>& kws,
+                                       PeerId provider, LocId loc, sim::SimTime now) {
+    std::vector<std::string> evicted;
+    auto it = Find(name);
+    if (it == entries_.end()) {
+      while (entries_.size() >= max_filenames_) {
+        evicted.push_back(entries_.front().name);
+        entries_.erase(entries_.begin());
+      }
+      entries_.push_back(Entry{name, kws, {}});
+      it = std::prev(entries_.end());
+    } else {
+      Touch(it);
+      it = std::prev(entries_.end());
+    }
+    auto& provs = it->providers;
+    provs.erase(std::remove_if(provs.begin(), provs.end(),
+                               [&](const auto& p) { return p.provider == provider; }),
+                provs.end());
+    provs.insert(provs.begin(), ProviderEntry{provider, loc, now});
+    if (provs.size() > max_providers_) provs.pop_back();
+    return evicted;
+  }
+
+  std::optional<std::vector<ProviderEntry>> Lookup(const std::string& name,
+                                                   sim::SimTime now) {
+    auto it = Find(name);
+    if (it == entries_.end()) return std::nullopt;
+    std::vector<ProviderEntry> live;
+    for (const auto& p : it->providers) {
+      if (ttl_ <= 0 || now - p.added_at <= ttl_) live.push_back(p);
+    }
+    if (live.empty()) return std::nullopt;
+    Touch(it);
+    return live;
+  }
+
+  /// Names matching the query (with >=1 live provider), LRU-refreshing each
+  /// match like the real index does. Callers must keep queries single-match:
+  /// with several matches the real index's touch order follows hash-map
+  /// iteration order, which a reference cannot (and should not) replicate.
+  std::vector<std::string> MatchingNames(const std::vector<std::string>& query,
+                                         sim::SimTime now) {
+    std::vector<std::string> out;
+    for (const auto& e : entries_) {
+      if (!ContainsAllKeywords(e.keywords, query)) continue;
+      bool any_live = false;
+      for (const auto& p : e.providers) {
+        if (ttl_ <= 0 || now - p.added_at <= ttl_) any_live = true;
+      }
+      if (any_live) out.push_back(e.name);
+    }
+    for (const std::string& name : out) Touch(Find(name));
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<std::string> Expire(sim::SimTime now) {
+    std::vector<std::string> removed;
+    if (ttl_ <= 0) return removed;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      auto& provs = it->providers;
+      provs.erase(std::remove_if(provs.begin(), provs.end(),
+                                 [&](const auto& p) { return now - p.added_at > ttl_; }),
+                  provs.end());
+      if (provs.empty()) {
+        removed.push_back(it->name);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::sort(removed.begin(), removed.end());
+    return removed;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::string> keywords;
+    std::vector<ProviderEntry> providers;
+  };
+
+  std::vector<Entry>::iterator Find(const std::string& name) {
+    return std::find_if(entries_.begin(), entries_.end(),
+                        [&](const Entry& e) { return e.name == name; });
+  }
+  void Touch(std::vector<Entry>::iterator it) {
+    Entry copy = *it;
+    entries_.erase(it);
+    entries_.push_back(std::move(copy));
+  }
+
+  size_t max_filenames_;
+  size_t max_providers_;
+  sim::SimTime ttl_;
+  std::vector<Entry> entries_;  // front = LRU victim
+};
+
+struct ModelParams {
+  size_t max_filenames;
+  size_t max_providers;
+  int64_t ttl_s;  // 0 = no expiry
+  uint64_t seed;
+};
+
+class ResponseIndexModelTest : public ::testing::TestWithParam<ModelParams> {};
+
+TEST_P(ResponseIndexModelTest, AgreesWithReferenceOverRandomOps) {
+  const ModelParams params = GetParam();
+  ResponseIndexConfig cfg;
+  cfg.max_filenames = params.max_filenames;
+  cfg.max_providers_per_file = params.max_providers;
+  cfg.entry_ttl = params.ttl_s * sim::kSecond;
+  cfg.eviction = EvictionPolicy::kLru;
+  ResponseIndex real(cfg);
+  ReferenceIndex reference(params.max_filenames, params.max_providers, cfg.entry_ttl);
+
+  // A small universe of files so operations collide often.
+  std::vector<std::pair<std::string, std::vector<std::string>>> files;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<std::string> kws{"shared" + std::to_string(i % 3),
+                                 "mid" + std::to_string(i % 5),
+                                 "uniq" + std::to_string(i)};
+    files.emplace_back(Join(kws, " "), kws);
+  }
+
+  Rng rng(params.seed);
+  sim::SimTime now = 0;
+  for (int step = 0; step < 3000; ++step) {
+    now += static_cast<sim::SimTime>(rng.UniformInt(1, 2 * sim::kSecond));
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    const auto& [name, kws] = files[rng.UniformInt(0, files.size() - 1)];
+
+    if (op < 5) {  // AddProvider
+      const PeerId provider = static_cast<PeerId>(rng.UniformInt(0, 9));
+      const LocId loc = static_cast<LocId>(rng.UniformInt(0, 23));
+      const auto outcome =
+          real.AddProvider(name, kws, ProviderEntry{provider, loc, 0}, now);
+      const auto expected_evicted =
+          reference.AddProvider(name, kws, provider, loc, now);
+      std::vector<std::string> got_evicted;
+      for (const auto& e : outcome.evicted) got_evicted.push_back(e.filename);
+      EXPECT_EQ(got_evicted, expected_evicted) << "step " << step;
+    } else if (op < 7) {  // exact lookup
+      const auto got = real.LookupFilename(name, now);
+      const auto expected = reference.Lookup(name, now);
+      ASSERT_EQ(got.has_value(), expected.has_value()) << "step " << step;
+      if (got.has_value()) {
+        ASSERT_EQ(got->providers.size(), expected->size()) << "step " << step;
+        for (size_t i = 0; i < expected->size(); ++i) {
+          EXPECT_EQ(got->providers[i].provider, (*expected)[i].provider);
+          EXPECT_EQ(got->providers[i].loc_id, (*expected)[i].loc_id);
+          EXPECT_EQ(got->providers[i].added_at, (*expected)[i].added_at);
+        }
+      }
+    } else if (op < 9) {  // keyword lookup via the file's unique keyword, so
+                          // at most one entry matches and LRU-touch order is
+                          // deterministic (see ReferenceIndex::MatchingNames)
+      const std::vector<std::string> query{kws[2]};
+      std::vector<std::string> got;
+      for (const auto& hit : real.LookupByKeywords(query, now)) {
+        got.push_back(hit.filename);
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, reference.MatchingNames(query, now)) << "step " << step;
+    } else {  // expiry sweep
+      std::vector<std::string> got;
+      for (const auto& e : real.ExpireStale(now)) got.push_back(e.filename);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, reference.Expire(now)) << "step " << step;
+    }
+    ASSERT_EQ(real.num_filenames(), reference.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ResponseIndexModelTest,
+    ::testing::Values(ModelParams{3, 1, 0, 1}, ModelParams{3, 2, 5, 2},
+                      ModelParams{5, 8, 0, 3}, ModelParams{5, 3, 2, 4},
+                      ModelParams{12, 2, 3, 5}, ModelParams{2, 1, 1, 6}),
+    [](const auto& info) {
+      return "cap" + std::to_string(info.param.max_filenames) + "prov" +
+             std::to_string(info.param.max_providers) + "ttl" +
+             std::to_string(info.param.ttl_s) + "seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace locaware::cache

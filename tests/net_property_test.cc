@@ -1,0 +1,126 @@
+// Cross-seed property tests for the network substrate: the metric and
+// locality guarantees every experiment silently relies on.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/landmark.h"
+#include "net/underlay.h"
+
+namespace locaware::net {
+namespace {
+
+class NetPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  std::unique_ptr<GeometricUnderlay> Build(RouterGraphModel model) {
+    Rng rng(GetParam());
+    GeometricUnderlayConfig cfg;
+    cfg.num_routers = 80;
+    cfg.num_peers = 400;
+    cfg.num_landmarks = 4;
+    cfg.model = model;
+    return std::move(GeometricUnderlay::Build(cfg, &rng)).ValueOrDie();
+  }
+};
+
+/// Property: RTT is a symmetric, non-negative function with zero diagonal,
+/// bounded by the configured band — for both router-graph models.
+TEST_P(NetPropertyTest, RttIsAWellFormedMetric) {
+  for (RouterGraphModel model :
+       {RouterGraphModel::kWaxman, RouterGraphModel::kBarabasiAlbert}) {
+    auto u = Build(model);
+    Rng sampler(GetParam() ^ 0x99);
+    for (int i = 0; i < 300; ++i) {
+      const PeerId a = static_cast<PeerId>(sampler.UniformInt(0, 399));
+      const PeerId b = static_cast<PeerId>(sampler.UniformInt(0, 399));
+      const double rtt = u->RttMs(a, b);
+      ASSERT_DOUBLE_EQ(rtt, u->RttMs(b, a));
+      if (a == b) {
+        ASSERT_EQ(rtt, 0.0);
+      } else {
+        ASSERT_GT(rtt, 0.0);
+        ASSERT_LE(rtt, 500.0 + 1e-9);
+      }
+    }
+  }
+}
+
+/// Property: peer-to-peer RTT respects the triangle inequality up to the
+/// access-link detour (peers are leaves: a→b and b→c both pay b's access
+/// link, which a→c skips — so allow that slack).
+TEST_P(NetPropertyTest, ApproximateTriangleInequality) {
+  auto u = Build(RouterGraphModel::kWaxman);
+  Rng sampler(GetParam() ^ 0x7777);
+  for (int i = 0; i < 200; ++i) {
+    const PeerId a = static_cast<PeerId>(sampler.UniformInt(0, 399));
+    const PeerId b = static_cast<PeerId>(sampler.UniformInt(0, 399));
+    const PeerId c = static_cast<PeerId>(sampler.UniformInt(0, 399));
+    ASSERT_LE(u->RttMs(a, c), u->RttMs(a, b) + u->RttMs(b, c) + 1e-9)
+        << "triangle violated via relay " << b;
+  }
+}
+
+/// Property: locIds cluster physically — the mean RTT between same-locId
+/// pairs is smaller than between different-locId pairs, for every seed.
+TEST_P(NetPropertyTest, SameLocalityMeansCloser) {
+  auto u = Build(RouterGraphModel::kWaxman);
+  const auto ids = ComputeAllLocIds(*u);
+  double same_sum = 0, diff_sum = 0;
+  size_t same_n = 0, diff_n = 0;
+  for (PeerId a = 0; a < 150; ++a) {
+    for (PeerId b = a + 1; b < 150; ++b) {
+      if (ids[a] == ids[b]) {
+        same_sum += u->RttMs(a, b);
+        ++same_n;
+      } else {
+        diff_sum += u->RttMs(a, b);
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(diff_n, 0u);
+  EXPECT_LT(same_sum / same_n, diff_sum / diff_n)
+      << "locIds carry no spatial signal for seed " << GetParam();
+}
+
+/// Property: landmark RTT orderings are internally consistent — recomputing
+/// any peer's locId from the raw landmark RTTs reproduces ComputeAllLocIds.
+TEST_P(NetPropertyTest, LocIdsAreDeterministicFunctionsOfRtts) {
+  auto u = Build(RouterGraphModel::kWaxman);
+  const auto ids = ComputeAllLocIds(*u);
+  Rng sampler(GetParam() ^ 0xfeed);
+  for (int i = 0; i < 50; ++i) {
+    const PeerId p = static_cast<PeerId>(sampler.UniformInt(0, 399));
+    ASSERT_EQ(ComputeLocId(*u, p), ids[p]);
+  }
+}
+
+/// Property: the uniform control underlay stays in-band and symmetric too
+/// (it backs the locality ablation, so its basic metric sanity matters).
+TEST_P(NetPropertyTest, UniformUnderlayIsWellFormed) {
+  Rng rng(GetParam());
+  UniformUnderlayConfig cfg;
+  cfg.num_peers = 300;
+  cfg.num_landmarks = 4;
+  auto u = std::move(UniformUnderlay::Build(cfg, &rng)).ValueOrDie();
+  Rng sampler(GetParam() ^ 0x31);
+  for (int i = 0; i < 300; ++i) {
+    const PeerId a = static_cast<PeerId>(sampler.UniformInt(0, 299));
+    const PeerId b = static_cast<PeerId>(sampler.UniformInt(0, 299));
+    ASSERT_DOUBLE_EQ(u->RttMs(a, b), u->RttMs(b, a));
+    if (a != b) {
+      ASSERT_GE(u->RttMs(a, b), 10.0);
+      ASSERT_LE(u->RttMs(a, b), 500.0);
+    }
+  }
+  for (size_t l = 0; l < 4; ++l) {
+    ASSERT_GE(u->LandmarkRttMs(7, l), 10.0);
+    ASSERT_LE(u->LandmarkRttMs(7, l), 500.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace locaware::net

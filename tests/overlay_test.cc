@@ -1,0 +1,269 @@
+#include "overlay/overlay_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "overlay/churn.h"
+#include "overlay/message.h"
+
+namespace locaware::overlay {
+namespace {
+
+OverlayConfig PaperOverlay(size_t n = 1000) {
+  OverlayConfig cfg;
+  cfg.num_peers = n;
+  cfg.avg_degree = 3.0;
+  return cfg;
+}
+
+TEST(OverlayGraphTest, GeneratesConnectedGraphWithTargetDegree) {
+  Rng rng(1);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(), &rng)).ValueOrDie();
+  EXPECT_EQ(g.num_peers(), 1000u);
+  EXPECT_EQ(g.num_alive(), 1000u);
+  EXPECT_TRUE(g.IsConnected());
+  // Bridges added for connectivity may push the average slightly above 3.
+  EXPECT_GE(g.AverageDegree(), 3.0);
+  EXPECT_LE(g.AverageDegree(), 3.6);
+}
+
+TEST(OverlayGraphTest, AdjacencyIsSymmetric) {
+  Rng rng(2);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(200), &rng)).ValueOrDie();
+  for (PeerId p = 0; p < g.num_peers(); ++p) {
+    for (PeerId nb : g.Neighbors(p)) {
+      EXPECT_TRUE(g.AreNeighbors(nb, p)) << p << "<->" << nb;
+    }
+  }
+}
+
+TEST(OverlayGraphTest, NoSelfLoopsOrParallelEdges) {
+  Rng rng(3);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(300), &rng)).ValueOrDie();
+  for (PeerId p = 0; p < g.num_peers(); ++p) {
+    std::set<PeerId> seen;
+    for (PeerId nb : g.Neighbors(p)) {
+      EXPECT_NE(nb, p);
+      EXPECT_TRUE(seen.insert(nb).second) << "parallel edge at " << p;
+    }
+  }
+}
+
+TEST(OverlayGraphTest, RejectsBadConfigs) {
+  Rng rng(4);
+  OverlayConfig cfg;
+  cfg.num_peers = 0;
+  EXPECT_FALSE(OverlayGraph::Generate(cfg, &rng).ok());
+  cfg.num_peers = 10;
+  cfg.avg_degree = 0.5;
+  EXPECT_FALSE(OverlayGraph::Generate(cfg, &rng).ok());
+}
+
+TEST(OverlayGraphTest, SinglePeerGraph) {
+  Rng rng(5);
+  OverlayConfig cfg;
+  cfg.num_peers = 1;
+  cfg.avg_degree = 0.0;
+  auto g = std::move(OverlayGraph::Generate(cfg, &rng)).ValueOrDie();
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_EQ(g.HighestDegreeNeighbor(0), kInvalidPeer);
+}
+
+TEST(OverlayGraphTest, AddRemoveLink) {
+  Rng rng(6);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(50), &rng)).ValueOrDie();
+  // Find a non-adjacent pair.
+  PeerId a = 0, b = kInvalidPeer;
+  for (PeerId cand = 1; cand < 50; ++cand) {
+    if (!g.AreNeighbors(0, cand)) {
+      b = cand;
+      break;
+    }
+  }
+  ASSERT_NE(b, kInvalidPeer);
+  const size_t links = g.num_links();
+  EXPECT_TRUE(g.AddLink(a, b));
+  EXPECT_EQ(g.num_links(), links + 1);
+  EXPECT_FALSE(g.AddLink(a, b)) << "duplicate link must be rejected";
+  EXPECT_FALSE(g.AddLink(a, a)) << "self loop must be rejected";
+  EXPECT_TRUE(g.RemoveLink(a, b));
+  EXPECT_FALSE(g.RemoveLink(a, b));
+  EXPECT_EQ(g.num_links(), links);
+}
+
+TEST(OverlayGraphTest, HighestDegreeNeighborIsMaximal) {
+  Rng rng(7);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(200), &rng)).ValueOrDie();
+  for (PeerId p = 0; p < 50; ++p) {
+    if (g.Degree(p) == 0) continue;
+    const PeerId best = g.HighestDegreeNeighbor(p);
+    ASSERT_NE(best, kInvalidPeer);
+    for (PeerId nb : g.Neighbors(p)) {
+      EXPECT_GE(g.Degree(best), g.Degree(nb));
+    }
+  }
+}
+
+TEST(OverlayGraphTest, DepartDropsAllLinksAndReportsThem) {
+  Rng rng(8);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(100), &rng)).ValueOrDie();
+  PeerId victim = 0;
+  for (PeerId p = 0; p < 100; ++p) {
+    if (g.Degree(p) >= 2) {
+      victim = p;
+      break;
+    }
+  }
+  const auto before = g.Neighbors(victim);
+  const auto dropped = g.Depart(victim);
+  EXPECT_EQ(dropped, before);
+  EXPECT_FALSE(g.IsAlive(victim));
+  EXPECT_EQ(g.Degree(victim), 0u);
+  EXPECT_EQ(g.num_alive(), 99u);
+  for (PeerId nb : dropped) EXPECT_FALSE(g.AreNeighbors(nb, victim));
+}
+
+TEST(OverlayGraphTest, LinksToOfflinePeersAreRejected) {
+  Rng rng(9);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(20), &rng)).ValueOrDie();
+  g.Depart(5);
+  EXPECT_FALSE(g.AddLink(5, 6));
+  EXPECT_FALSE(g.AddLink(6, 5));
+}
+
+TEST(OverlayGraphTest, JoinRestoresAndRelinks) {
+  Rng rng(10);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(100), &rng)).ValueOrDie();
+  g.Depart(7);
+  g.Join(7);
+  EXPECT_TRUE(g.IsAlive(7));
+  EXPECT_EQ(g.Degree(7), 0u);
+  const auto made = g.LinkToRandomPeers(7, 3, &rng);
+  EXPECT_EQ(made.size(), 3u);
+  for (PeerId nb : made) EXPECT_TRUE(g.AreNeighbors(7, nb));
+  EXPECT_EQ(g.num_alive(), 100u);
+}
+
+TEST(OverlayGraphTest, DoubleDepartOrJoinDies) {
+  Rng rng(11);
+  auto g = std::move(OverlayGraph::Generate(PaperOverlay(10), &rng)).ValueOrDie();
+  g.Depart(3);
+  EXPECT_DEATH(g.Depart(3), "offline");
+  g.Join(3);
+  EXPECT_DEATH(g.Join(3), "online");
+}
+
+TEST(OverlayGraphTest, LargestComponentFractionUnderFragmentation) {
+  Rng rng(12);
+  OverlayConfig cfg = PaperOverlay(100);
+  auto g = std::move(OverlayGraph::Generate(cfg, &rng)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(g.LargestComponentFraction(), 1.0);
+  // Remove a third of the peers: the fraction stays a valid ratio over the
+  // alive population.
+  for (PeerId p = 0; p < 33; ++p) g.Depart(p);
+  const double frac = g.LargestComponentFraction();
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(OverlayGraphTest, DeterministicForSeed) {
+  Rng r1(13), r2(13);
+  auto g1 = std::move(OverlayGraph::Generate(PaperOverlay(100), &r1)).ValueOrDie();
+  auto g2 = std::move(OverlayGraph::Generate(PaperOverlay(100), &r2)).ValueOrDie();
+  for (PeerId p = 0; p < 100; ++p) EXPECT_EQ(g1.Neighbors(p), g2.Neighbors(p));
+}
+
+// --- messages ---
+
+TEST(MessageTest, QuerySizeGrowsWithKeywords) {
+  QueryMessage q;
+  q.keywords = {"one"};
+  const size_t small = EstimateSizeBytes(q);
+  q.keywords = {"one", "two", "three"};
+  EXPECT_GT(EstimateSizeBytes(q), small);
+  EXPECT_GT(small, 23u);  // at least a Gnutella header
+}
+
+TEST(MessageTest, ResponseSizeGrowsWithProviders) {
+  ResponseMessage m;
+  ResponseRecord rec;
+  rec.filename = "alpha beta gamma";
+  rec.providers = {{1, 0}};
+  m.records.push_back(rec);
+  const size_t one = EstimateSizeBytes(m);
+  m.records[0].providers.push_back({2, 1});
+  m.records[0].providers.push_back({3, 2});
+  EXPECT_GT(EstimateSizeBytes(m), one);
+}
+
+TEST(MessageTest, BloomUpdateSizeMatchesDeltaEncoding) {
+  BloomUpdateMessage m;
+  m.filter_bits = 1200;
+  m.toggled_positions = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  // 12 positions * 11 bits + 16-bit header = 148 bits = 19 bytes + 29 header.
+  EXPECT_EQ(EstimateSizeBytes(m), 29u + 19u);
+}
+
+TEST(MessageTest, ProbeIsTiny) {
+  EXPECT_LT(EstimateSizeBytes(ProbeMessage{}), 40u);
+}
+
+// --- churn model ---
+
+TEST(ChurnModelTest, DisabledByDefaultConstructible) {
+  ChurnModel model;
+  EXPECT_FALSE(model.config().enabled);
+}
+
+TEST(ChurnModelTest, RejectsBadEnabledConfigs) {
+  ChurnConfig cfg;
+  cfg.enabled = true;
+  cfg.mean_session_s = 0;
+  EXPECT_FALSE(ChurnModel::Create(cfg).ok());
+  cfg.mean_session_s = 10;
+  cfg.mean_offline_s = -1;
+  EXPECT_FALSE(ChurnModel::Create(cfg).ok());
+  cfg.mean_offline_s = 10;
+  cfg.rejoin_links = 0;
+  EXPECT_FALSE(ChurnModel::Create(cfg).ok());
+}
+
+TEST(ChurnModelTest, SampleMeansMatchConfig) {
+  ChurnConfig cfg;
+  cfg.enabled = true;
+  cfg.mean_session_s = 100.0;
+  cfg.mean_offline_s = 25.0;
+  auto model = std::move(ChurnModel::Create(cfg)).ValueOrDie();
+  Rng rng(17);
+  double session_sum = 0, offline_sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    session_sum += sim::ToSeconds(model.SampleSession(&rng));
+    offline_sum += sim::ToSeconds(model.SampleOffline(&rng));
+  }
+  EXPECT_NEAR(session_sum / kSamples, 100.0, 3.0);
+  EXPECT_NEAR(offline_sum / kSamples, 25.0, 1.0);
+}
+
+class OverlayDegreeTest : public ::testing::TestWithParam<double> {};
+
+/// Property: generation realizes (approximately) the requested average degree
+/// and always produces a connected graph.
+TEST_P(OverlayDegreeTest, RealizesRequestedDegree) {
+  Rng rng(100);
+  OverlayConfig cfg;
+  cfg.num_peers = 500;
+  cfg.avg_degree = GetParam();
+  auto g = std::move(OverlayGraph::Generate(cfg, &rng)).ValueOrDie();
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_NEAR(g.AverageDegree(), GetParam(), GetParam() * 0.25 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, OverlayDegreeTest,
+                         ::testing::Values(2.0, 3.0, 4.0, 6.0, 10.0));
+
+}  // namespace
+}  // namespace locaware::overlay

@@ -1,0 +1,407 @@
+// White-box unit tests of the protocol hooks. Instead of observing whole
+// simulations, these build a small engine, hand-craft node state (caches,
+// Bloom filters, group ids) and call ForwardTargets / AnswerFromIndex /
+// ObserveResponse directly, asserting the paper's routing and caching rules
+// decision by decision.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/group_hash.h"
+
+namespace locaware::core {
+namespace {
+
+/// A deterministic mini-network: no queries are run; tests poke state.
+std::unique_ptr<Engine> MakeEngine(ProtocolKind kind, uint64_t seed = 5,
+                                   void (*tweak)(ExperimentConfig*) = nullptr) {
+  ExperimentConfig cfg = MakePaperConfig(kind, /*num_queries=*/1, seed);
+  cfg.num_peers = 60;
+  cfg.underlay.num_routers = 15;
+  cfg.catalog.num_files = 80;
+  cfg.catalog.keyword_pool_size = 240;
+  if (tweak) tweak(&cfg);
+  return std::move(Engine::Create(cfg)).ValueOrDie();
+}
+
+overlay::QueryMessage MakeQuery(Engine& e, PeerId origin,
+                                std::vector<std::string> keywords) {
+  overlay::QueryMessage q;
+  q.qid = 777;
+  q.origin = origin;
+  q.origin_loc = e.loc_of(origin);
+  q.keywords = std::move(keywords);
+  q.ttl = 7;
+  return q;
+}
+
+/// Picks a peer with at least `min_neighbors` neighbors.
+PeerId PeerWithNeighbors(Engine& e, size_t min_neighbors) {
+  for (PeerId p = 0; p < e.num_peers(); ++p) {
+    if (e.graph().Degree(p) >= min_neighbors) return p;
+  }
+  ADD_FAILURE() << "no peer with " << min_neighbors << " neighbors";
+  return 0;
+}
+
+// ---------------------------------------------------------------- Flooding
+
+TEST(FloodingBehaviorTest, ForwardsToAllNeighborsExceptSender) {
+  auto e = MakeEngine(ProtocolKind::kFlooding);
+  const PeerId node = PeerWithNeighbors(*e, 2);
+  const PeerId from = e->graph().Neighbors(node)[0];
+  const auto q = MakeQuery(*e, 9, {"whatever"});
+
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, from);
+  std::set<PeerId> expected(e->graph().Neighbors(node).begin(),
+                            e->graph().Neighbors(node).end());
+  expected.erase(from);
+  EXPECT_EQ(std::set<PeerId>(targets.begin(), targets.end()), expected);
+}
+
+TEST(FloodingBehaviorTest, OriginForwardsEverywhere) {
+  auto e = MakeEngine(ProtocolKind::kFlooding);
+  const PeerId node = PeerWithNeighbors(*e, 2);
+  const auto q = MakeQuery(*e, node, {"whatever"});
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  EXPECT_EQ(targets.size(), e->graph().Degree(node));
+}
+
+TEST(FloodingBehaviorTest, NeverAnswersFromIndexAndKeepsForwarding) {
+  auto e = MakeEngine(ProtocolKind::kFlooding);
+  const auto q = MakeQuery(*e, 1, {"whatever"});
+  EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 2, q).empty());
+  EXPECT_TRUE(e->protocol().ForwardAfterHit());
+}
+
+// ------------------------------------------------------------------- Dicas
+
+TEST(DicasBehaviorTest, PrefersAllGroupMatchingNeighbors) {
+  auto e = MakeEngine(ProtocolKind::kDicas);
+  const PeerId node = PeerWithNeighbors(*e, 3);
+  const auto q = MakeQuery(*e, 9, {"alpha", "beta"});
+  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+
+  // Force two neighbors into the query's group, the rest out of it.
+  const auto& neighbors = e->graph().Neighbors(node);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    e->node(neighbors[i]).gid =
+        (i < 2) ? g : static_cast<GroupId>((g + 1) % e->params().num_groups);
+  }
+
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  ASSERT_EQ(targets.size(), 2u);
+  for (PeerId t : targets) EXPECT_EQ(e->node(t).gid, g);
+}
+
+TEST(DicasBehaviorTest, FallsBackToBoundedRandomNeighbors) {
+  auto e = MakeEngine(ProtocolKind::kDicas);
+  const PeerId node = PeerWithNeighbors(*e, 3);
+  const auto q = MakeQuery(*e, 9, {"alpha", "beta"});
+  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  for (PeerId nb : e->graph().Neighbors(node)) {
+    e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
+  }
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  EXPECT_EQ(targets.size(), e->params().fallback_fanout);
+  for (PeerId t : targets) {
+    EXPECT_TRUE(e->graph().AreNeighbors(node, t));
+  }
+}
+
+TEST(DicasBehaviorTest, SenderIsNeverATarget) {
+  auto e = MakeEngine(ProtocolKind::kDicas);
+  const PeerId node = PeerWithNeighbors(*e, 2);
+  const auto q = MakeQuery(*e, 9, {"alpha"});
+  for (PeerId from : e->graph().Neighbors(node)) {
+    const auto targets = e->protocol().ForwardTargets(*e, node, q, from);
+    EXPECT_EQ(std::find(targets.begin(), targets.end(), from), targets.end());
+  }
+}
+
+TEST(DicasBehaviorTest, AnswersOnlyFullFilenameQueries) {
+  auto e = MakeEngine(ProtocolKind::kDicas);
+  NodeState& n = e->node(3);
+  const std::vector<std::string> kws{"blue", "monday", "live"};
+  n.ri->AddProvider("blue monday live", kws, cache::ProviderEntry{7, 2, 0}, 0);
+
+  // Partial keyword query: invisible ("designed for filename search").
+  auto q_partial = MakeQuery(*e, 9, {"blue"});
+  EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 3, q_partial).empty());
+  auto q_two = MakeQuery(*e, 9, {"monday", "blue"});
+  EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 3, q_two).empty());
+
+  // Full keyword set (any order): answered with the single provider.
+  auto q_full = MakeQuery(*e, 9, {"live", "blue", "monday"});
+  const auto records = e->protocol().AnswerFromIndex(*e, 3, q_full);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].filename, "blue monday live");
+  EXPECT_TRUE(records[0].from_index);
+  ASSERT_EQ(records[0].providers.size(), 1u);
+  EXPECT_EQ(records[0].providers[0].peer, 7u);
+}
+
+TEST(DicasBehaviorTest, CachesOnlyAtMatchingGidWithSingleProvider) {
+  auto e = MakeEngine(ProtocolKind::kDicas);
+  const std::string filename = "blue monday live";
+  const GroupId g = GroupOfFilename(filename, e->params().num_groups);
+
+  overlay::ResponseMessage resp;
+  resp.qid = 1;
+  resp.responder = 8;
+  resp.origin = 9;
+  resp.origin_loc = 3;
+  resp.query_keywords = {"blue", "monday", "live"};
+  overlay::ResponseRecord rec;
+  rec.filename = filename;
+  rec.providers = {{8, 5}, {4, 1}};
+  resp.records.push_back(rec);
+
+  NodeState& matching = e->node(10);
+  matching.gid = g;
+  NodeState& other = e->node(11);
+  other.gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
+
+  e->protocol().ObserveResponse(*e, 10, resp);
+  e->protocol().ObserveResponse(*e, 11, resp);
+
+  EXPECT_TRUE(matching.ri->Contains(filename));
+  EXPECT_FALSE(other.ri->Contains(filename));
+  // Single-provider index: only the freshest provider is kept.
+  auto hit = matching.ri->LookupFilename(filename, 1);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->providers.size(), 1u);
+  EXPECT_EQ(hit->providers[0].provider, 8u);
+}
+
+// -------------------------------------------------------------- Dicas-Keys
+
+TEST(DicasKeysBehaviorTest, RoutesByFirstKeywordGroup) {
+  auto e = MakeEngine(ProtocolKind::kDicasKeys);
+  const PeerId node = PeerWithNeighbors(*e, 3);
+  const auto q = MakeQuery(*e, 9, {"alpha", "beta"});
+  const GroupId g_first = GroupOfKeyword("alpha", e->params().num_groups);
+
+  const auto& neighbors = e->graph().Neighbors(node);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    e->node(neighbors[i]).gid =
+        (i == 0) ? g_first
+                 : static_cast<GroupId>((g_first + 1) % e->params().num_groups);
+  }
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], neighbors[0]);
+}
+
+TEST(DicasKeysBehaviorTest, CachesUnderQueryKeywordGroups) {
+  auto e = MakeEngine(ProtocolKind::kDicasKeys);
+  const std::string filename = "blue monday live";
+
+  overlay::ResponseMessage resp;
+  resp.qid = 1;
+  resp.responder = 8;
+  resp.origin = 9;
+  resp.query_keywords = {"monday"};  // the query that produced this response
+  overlay::ResponseRecord rec;
+  rec.filename = filename;
+  rec.providers = {{8, 5}};
+  resp.records.push_back(rec);
+
+  const GroupId g_monday = GroupOfKeyword("monday", e->params().num_groups);
+  const GroupId g_other = static_cast<GroupId>((g_monday + 1) % e->params().num_groups);
+
+  e->node(20).gid = g_monday;
+  e->node(21).gid = g_other;
+  e->protocol().ObserveResponse(*e, 20, resp);
+  e->protocol().ObserveResponse(*e, 21, resp);
+
+  EXPECT_TRUE(e->node(20).ri->Contains(filename));
+  EXPECT_FALSE(e->node(21).ri->Contains(filename));
+}
+
+TEST(DicasKeysBehaviorTest, HitVisibleOnlyWhenQueryPointsAtThisGroup) {
+  auto e = MakeEngine(ProtocolKind::kDicasKeys);
+  NodeState& n = e->node(5);
+  const std::vector<std::string> kws{"blue", "monday", "live"};
+  n.ri->AddProvider("blue monday live", kws, cache::ProviderEntry{7, 2, 0}, 0);
+  n.gid = GroupOfKeyword("monday", e->params().num_groups);
+
+  // Query containing "monday": its hash points at this node's group.
+  auto q_visible = MakeQuery(*e, 9, {"monday", "blue"});
+  EXPECT_FALSE(e->protocol().AnswerFromIndex(*e, 5, q_visible).empty());
+
+  // Query with only keywords whose groups differ: the entry is unreachable
+  // through the keyword-hash index even though the node has it.
+  GroupId g_blue = GroupOfKeyword("blue", e->params().num_groups);
+  GroupId g_live = GroupOfKeyword("live", e->params().num_groups);
+  if (g_blue != n.gid && g_live != n.gid) {
+    auto q_invisible = MakeQuery(*e, 9, {"blue", "live"});
+    EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 5, q_invisible).empty());
+  }
+}
+
+// ---------------------------------------------------------------- Locaware
+
+TEST(LocawareBehaviorTest, BloomTierBeatsGidTier) {
+  auto e = MakeEngine(ProtocolKind::kLocaware);
+  const PeerId node = PeerWithNeighbors(*e, 3);
+  const auto& neighbors = e->graph().Neighbors(node);
+  const auto q = MakeQuery(*e, 9, {"blue", "monday"});
+
+  // Neighbor 0's filter advertises both keywords; neighbor 1 matches by gid.
+  NodeState& n = e->node(node);
+  bloom::BloomFilter match(e->params().bloom_bits, e->params().bloom_hashes);
+  match.Insert("blue");
+  match.Insert("monday");
+  n.neighbor_filters.insert_or_assign(neighbors[0], match);
+  e->node(neighbors[1]).gid = GroupOfKeywords(q.keywords, e->params().num_groups);
+
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], neighbors[0]);
+}
+
+TEST(LocawareBehaviorTest, PartialBloomMatchDoesNotCount) {
+  auto e = MakeEngine(ProtocolKind::kLocaware);
+  const PeerId node = PeerWithNeighbors(*e, 2);
+  const auto& neighbors = e->graph().Neighbors(node);
+  const auto q = MakeQuery(*e, 9, {"blue", "monday"});
+
+  NodeState& n = e->node(node);
+  bloom::BloomFilter partial(e->params().bloom_bits, e->params().bloom_hashes);
+  partial.Insert("blue");  // only one of the two keywords
+  n.neighbor_filters.insert_or_assign(neighbors[0], partial);
+  // Keep every neighbor out of the query's gid so tier 2 is empty too.
+  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  for (PeerId nb : neighbors) {
+    e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
+  }
+
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  // Tier 3 (highest degree), not the partial-match neighbor specifically.
+  ASSERT_FALSE(targets.empty());
+  size_t best_degree = 0;
+  for (PeerId nb : neighbors) best_degree = std::max(best_degree, e->graph().Degree(nb));
+  EXPECT_EQ(e->graph().Degree(targets[0]), best_degree);
+}
+
+TEST(LocawareBehaviorTest, FallbackIsBoundedAndDegreeSorted) {
+  auto e = MakeEngine(ProtocolKind::kLocaware);
+  const PeerId node = PeerWithNeighbors(*e, 3);
+  const auto q = MakeQuery(*e, 9, {"zzz", "yyy"});
+  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  for (PeerId nb : e->graph().Neighbors(node)) {
+    e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
+  }
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  ASSERT_EQ(targets.size(), e->params().fallback_fanout);
+  EXPECT_GE(e->graph().Degree(targets[0]), e->graph().Degree(targets[1]));
+}
+
+TEST(LocawareBehaviorTest, AnswerPutsRequesterLocalityFirstAndCapsProviders) {
+  auto e = MakeEngine(ProtocolKind::kLocaware);
+  NodeState& n = e->node(3);
+  const std::vector<std::string> kws{"blue", "monday", "live"};
+  const std::string filename = "blue monday live";
+  const PeerId origin = 9;
+  const LocId origin_loc = e->loc_of(origin);
+
+  // Five providers, two in the requester's locality (inserted early, so they
+  // are *not* the freshest).
+  sim::SimTime t = 0;
+  n.ri->AddProvider(filename, kws, cache::ProviderEntry{30, origin_loc, 0}, ++t);
+  n.ri->AddProvider(filename, kws, cache::ProviderEntry{31, origin_loc, 0}, ++t);
+  n.ri->AddProvider(filename, kws,
+                    cache::ProviderEntry{32, static_cast<LocId>(origin_loc + 1), 0},
+                    ++t);
+  n.ri->AddProvider(filename, kws,
+                    cache::ProviderEntry{33, static_cast<LocId>(origin_loc + 1), 0},
+                    ++t);
+  n.ri->AddProvider(filename, kws,
+                    cache::ProviderEntry{34, static_cast<LocId>(origin_loc + 2), 0},
+                    ++t);
+
+  auto q = MakeQuery(*e, origin, {"blue", "live"});
+  const auto records = e->protocol().AnswerFromIndex(*e, 3, q);
+  ASSERT_EQ(records.size(), 1u);
+  const auto& provs = records[0].providers;
+  ASSERT_EQ(provs.size(), e->params().max_response_providers);  // capped at 3
+  // locId matches first (most recent of them first), then the freshest other.
+  EXPECT_EQ(provs[0].peer, 31u);
+  EXPECT_EQ(provs[1].peer, 30u);
+  EXPECT_EQ(provs[2].peer, 34u);  // freshest non-matching
+
+  // The requester was recorded as a new provider ("adds the entry (E, 1)").
+  auto hit = n.ri->LookupFilename(filename, t + 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->providers.front().provider, origin);
+}
+
+TEST(LocawareBehaviorTest, CachingKeepsBloomInSync) {
+  auto e = MakeEngine(ProtocolKind::kLocaware);
+  const std::string filename = "blue monday live";
+  const GroupId g = GroupOfFilename(filename, e->params().num_groups);
+  NodeState& n = e->node(12);
+  n.gid = g;
+
+  overlay::ResponseMessage resp;
+  resp.qid = 1;
+  resp.responder = 8;
+  resp.origin = 9;
+  resp.origin_loc = e->loc_of(9);
+  resp.query_keywords = {"blue"};
+  overlay::ResponseRecord rec;
+  rec.filename = filename;
+  rec.providers = {{8, 5}};
+  resp.records.push_back(rec);
+
+  EXPECT_FALSE(n.keyword_filter->MayContain("monday"));
+  e->protocol().ObserveResponse(*e, 12, resp);
+  EXPECT_TRUE(n.ri->Contains(filename));
+  EXPECT_TRUE(n.keyword_filter->MayContain("blue"));
+  EXPECT_TRUE(n.keyword_filter->MayContain("monday"));
+  EXPECT_TRUE(n.keyword_filter->MayContain("live"));
+  // Both the responder and the origin became providers.
+  auto hit = n.ri->LookupFilename(filename, 1);
+  ASSERT_TRUE(hit.has_value());
+  std::set<PeerId> providers;
+  for (const auto& p : hit->providers) providers.insert(p.provider);
+  EXPECT_TRUE(providers.contains(8u));
+  EXPECT_TRUE(providers.contains(9u));
+}
+
+TEST(LocawareBehaviorTest, StopsForwardingAfterHit) {
+  auto e = MakeEngine(ProtocolKind::kLocaware);
+  EXPECT_FALSE(e->protocol().ForwardAfterHit());
+}
+
+TEST(LocawareBehaviorTest, LocAwareRoutingPrefersOriginLocality) {
+  auto e = MakeEngine(ProtocolKind::kLocaware, 5, [](ExperimentConfig* cfg) {
+    cfg->params.loc_aware_routing = true;
+  });
+  const PeerId node = PeerWithNeighbors(*e, 3);
+  const auto& neighbors = e->graph().Neighbors(node);
+  const PeerId origin = 9;
+  auto q = MakeQuery(*e, origin, {"qqq", "rrr"});
+
+  // Tier 2 setup: two gid-matching neighbors, one in the origin's locality.
+  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  for (PeerId nb : neighbors) {
+    e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
+    e->node(nb).loc_id = static_cast<LocId>(q.origin_loc + 1);
+  }
+  e->node(neighbors[0]).gid = g;
+  e->node(neighbors[1]).gid = g;
+  e->node(neighbors[1]).loc_id = q.origin_loc;
+
+  const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], neighbors[1]);  // locality wins within the tier
+}
+
+}  // namespace
+}  // namespace locaware::core

@@ -1,0 +1,111 @@
+#include "core/provider_selection.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/underlay.h"
+
+namespace locaware::core {
+namespace {
+
+class SelectionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    net::GeometricUnderlayConfig cfg;
+    cfg.num_routers = 40;
+    cfg.num_peers = 100;
+    cfg.num_landmarks = 4;
+    underlay_ = std::move(net::GeometricUnderlay::Build(cfg, &rng)).ValueOrDie();
+    rng_ = std::make_unique<Rng>(2);
+  }
+
+  Candidate C(PeerId provider, LocId loc) {
+    Candidate c;
+    c.provider = provider;
+    c.loc_id = loc;
+    return c;
+  }
+
+  std::unique_ptr<net::GeometricUnderlay> underlay_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_F(SelectionFixture, LocIdMatchWinsWithoutProbes) {
+  const std::vector<Candidate> cands{C(10, 5), C(11, 3), C(12, 3)};
+  const auto out = SelectProvider(SelectionStrategy::kLocIdThenRtt, cands,
+                                  /*requester=*/0, /*requester_loc=*/3, *underlay_,
+                                  rng_.get());
+  EXPECT_EQ(out.chosen, 1u);  // first matching locId
+  EXPECT_EQ(out.probe_msgs, 0u);
+}
+
+TEST_F(SelectionFixture, FallsBackToRttProbing) {
+  const std::vector<Candidate> cands{C(10, 5), C(11, 6), C(12, 7)};
+  const auto out = SelectProvider(SelectionStrategy::kLocIdThenRtt, cands, 0,
+                                  /*requester_loc=*/3, *underlay_, rng_.get());
+  EXPECT_EQ(out.probe_msgs, 6u);  // 2 per candidate
+  // The chosen candidate has the minimal RTT.
+  const double chosen_rtt = underlay_->RttMs(0, cands[out.chosen].provider);
+  for (const Candidate& c : cands) {
+    EXPECT_LE(chosen_rtt, underlay_->RttMs(0, c.provider) + 1e-9);
+  }
+}
+
+TEST_F(SelectionFixture, MinRttAlwaysProbes) {
+  const std::vector<Candidate> cands{C(10, 3), C(11, 3)};
+  const auto out = SelectProvider(SelectionStrategy::kMinRtt, cands, 0, 3,
+                                  *underlay_, rng_.get());
+  EXPECT_EQ(out.probe_msgs, 4u);
+  const double chosen_rtt = underlay_->RttMs(0, cands[out.chosen].provider);
+  EXPECT_LE(chosen_rtt, underlay_->RttMs(0, cands[1 - out.chosen].provider) + 1e-9);
+}
+
+TEST_F(SelectionFixture, FirstResponderTakesHead) {
+  const std::vector<Candidate> cands{C(42, 9), C(11, 3)};
+  const auto out = SelectProvider(SelectionStrategy::kFirstResponder, cands, 0, 3,
+                                  *underlay_, rng_.get());
+  EXPECT_EQ(out.chosen, 0u);
+  EXPECT_EQ(out.probe_msgs, 0u);
+}
+
+TEST_F(SelectionFixture, RandomCoversAllCandidates) {
+  const std::vector<Candidate> cands{C(10, 0), C(11, 1), C(12, 2), C(13, 3)};
+  std::set<size_t> chosen;
+  for (int i = 0; i < 200; ++i) {
+    chosen.insert(SelectProvider(SelectionStrategy::kRandom, cands, 0, 9,
+                                 *underlay_, rng_.get())
+                      .chosen);
+  }
+  EXPECT_EQ(chosen.size(), 4u);
+}
+
+TEST_F(SelectionFixture, SingleCandidateShortCircuits) {
+  const std::vector<Candidate> cands{C(10, 7)};
+  for (auto strategy :
+       {SelectionStrategy::kLocIdThenRtt, SelectionStrategy::kMinRtt,
+        SelectionStrategy::kRandom, SelectionStrategy::kFirstResponder}) {
+    const auto out = SelectProvider(strategy, cands, 0, 3, *underlay_, rng_.get());
+    EXPECT_EQ(out.chosen, 0u);
+  }
+}
+
+TEST_F(SelectionFixture, EmptyCandidatesDie) {
+  EXPECT_DEATH(SelectProvider(SelectionStrategy::kRandom, {}, 0, 0, *underlay_,
+                              rng_.get()),
+               "no candidates");
+}
+
+TEST_F(SelectionFixture, TieBreaksTowardEarlierCandidate) {
+  // Duplicate provider id -> identical RTT; the earlier index must win so
+  // fresher providers are preferred on ties.
+  const std::vector<Candidate> cands{C(10, 1), C(10, 1)};
+  const auto out = SelectProvider(SelectionStrategy::kMinRtt, cands, 0, 9,
+                                  *underlay_, rng_.get());
+  EXPECT_EQ(out.chosen, 0u);
+}
+
+}  // namespace
+}  // namespace locaware::core

@@ -1,0 +1,272 @@
+#include "cache/response_index.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_time.h"
+
+namespace locaware::cache {
+namespace {
+
+using sim::kSecond;
+
+ResponseIndexConfig SmallConfig() {
+  ResponseIndexConfig cfg;
+  cfg.max_filenames = 3;
+  cfg.max_providers_per_file = 2;
+  return cfg;
+}
+
+ProviderEntry P(PeerId peer, LocId loc = 0) { return ProviderEntry{peer, loc, 0}; }
+
+const std::vector<std::string> kAbcKws{"alpha", "beta", "gamma"};
+
+TEST(ResponseIndexTest, InsertAndExactLookup) {
+  ResponseIndex ri(SmallConfig());
+  const auto outcome = ri.AddProvider("alpha beta gamma", kAbcKws, P(7, 3), 100);
+  EXPECT_TRUE(outcome.filename_inserted);
+  EXPECT_TRUE(outcome.provider_inserted);
+  EXPECT_TRUE(outcome.evicted.empty());
+
+  auto hit = ri.LookupFilename("alpha beta gamma", 200);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->providers.size(), 1u);
+  EXPECT_EQ(hit->providers[0].provider, 7u);
+  EXPECT_EQ(hit->providers[0].loc_id, 3u);
+  EXPECT_EQ(hit->providers[0].added_at, 100);
+}
+
+TEST(ResponseIndexTest, KeywordLookupUsesContainment) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  EXPECT_EQ(ri.LookupByKeywords({"beta"}, 1).size(), 1u);
+  EXPECT_EQ(ri.LookupByKeywords({"gamma", "alpha"}, 1).size(), 1u);
+  EXPECT_TRUE(ri.LookupByKeywords({"delta"}, 1).empty());
+  EXPECT_TRUE(ri.LookupByKeywords({"alpha", "delta"}, 1).empty());
+}
+
+TEST(ResponseIndexTest, MultipleFilenamesCanMatchOneQuery) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  ri.AddProvider("alpha delta", {"alpha", "delta"}, P(2), 0);
+  EXPECT_EQ(ri.LookupByKeywords({"alpha"}, 1).size(), 2u);
+}
+
+TEST(ResponseIndexTest, ProvidersAreMostRecentFirstAndBounded) {
+  ResponseIndex ri(SmallConfig());  // 2 providers max
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 10);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 20);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(3), 30);  // evicts peer 1
+
+  auto hit = ri.LookupFilename("alpha beta gamma", 40);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->providers.size(), 2u);
+  EXPECT_EQ(hit->providers[0].provider, 3u);  // "most recent pf entries
+  EXPECT_EQ(hit->providers[1].provider, 2u);  //  replace the oldest ones"
+}
+
+TEST(ResponseIndexTest, ReAddingProviderRefreshesIt) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1, 5), 10);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 20);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1, 9), 30);  // refresh peer 1
+
+  auto hit = ri.LookupFilename("alpha beta gamma", 40);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->providers.size(), 2u);  // not duplicated
+  EXPECT_EQ(hit->providers[0].provider, 1u);
+  EXPECT_EQ(hit->providers[0].loc_id, 9u);  // locId updated on refresh
+  EXPECT_EQ(hit->providers[0].added_at, 30);
+}
+
+TEST(ResponseIndexTest, CapacityEvictionReportsVictimWithKeywords) {
+  ResponseIndex ri(SmallConfig());  // 3 filenames max
+  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
+  ri.AddProvider("f two", {"f", "two"}, P(2), 2);
+  ri.AddProvider("f three", {"f", "three"}, P(3), 3);
+  const auto outcome = ri.AddProvider("f four", {"f", "four"}, P(4), 4);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].filename, "f one");  // LRU victim
+  EXPECT_EQ(outcome.evicted[0].keywords, (std::vector<std::string>{"f", "one"}));
+  EXPECT_EQ(ri.num_filenames(), 3u);
+  EXPECT_FALSE(ri.Contains("f one"));
+}
+
+TEST(ResponseIndexTest, LookupRefreshesLruPosition) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
+  ri.AddProvider("f two", {"f", "two"}, P(2), 2);
+  ri.AddProvider("f three", {"f", "three"}, P(3), 3);
+  // Touch "f one" so "f two" becomes the LRU victim.
+  ri.LookupFilename("f one", 4);
+  const auto outcome = ri.AddProvider("f four", {"f", "four"}, P(4), 5);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].filename, "f two");
+  EXPECT_TRUE(ri.Contains("f one"));
+}
+
+TEST(ResponseIndexTest, FifoIgnoresUse) {
+  ResponseIndexConfig cfg = SmallConfig();
+  cfg.eviction = EvictionPolicy::kFifo;
+  ResponseIndex ri(cfg);
+  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
+  ri.AddProvider("f two", {"f", "two"}, P(2), 2);
+  ri.AddProvider("f three", {"f", "three"}, P(3), 3);
+  ri.LookupFilename("f one", 4);  // FIFO must not care
+  const auto outcome = ri.AddProvider("f four", {"f", "four"}, P(4), 5);
+  ASSERT_EQ(outcome.evicted.size(), 1u);
+  EXPECT_EQ(outcome.evicted[0].filename, "f one");
+}
+
+TEST(ResponseIndexTest, RandomEvictionStillBoundsCapacity) {
+  ResponseIndexConfig cfg = SmallConfig();
+  cfg.eviction = EvictionPolicy::kRandom;
+  ResponseIndex ri(cfg);
+  for (int i = 0; i < 50; ++i) {
+    ri.AddProvider("file " + std::to_string(i), {"file", std::to_string(i)},
+                   P(static_cast<PeerId>(i)), i);
+    EXPECT_LE(ri.num_filenames(), 3u);
+  }
+  EXPECT_EQ(ri.stats().evictions, 47u);
+}
+
+TEST(ResponseIndexTest, StaleProvidersAreFilteredFromLookups) {
+  ResponseIndexConfig cfg = SmallConfig();
+  cfg.entry_ttl = 10 * kSecond;
+  ResponseIndex ri(cfg);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 5 * kSecond);
+
+  // At t=12s provider 1 (age 12s) is stale, provider 2 (age 7s) is live.
+  auto hit = ri.LookupFilename("alpha beta gamma", 12 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->providers.size(), 1u);
+  EXPECT_EQ(hit->providers[0].provider, 2u);
+
+  // At t=20s everything is stale: no hit, but the entry still exists until a
+  // sweep removes it (lookups never erase).
+  EXPECT_FALSE(ri.LookupFilename("alpha beta gamma", 20 * kSecond).has_value());
+  EXPECT_TRUE(ri.Contains("alpha beta gamma"));
+}
+
+TEST(ResponseIndexTest, ExpireStaleSweepsAndReportsKeywords) {
+  ResponseIndexConfig cfg = SmallConfig();
+  cfg.entry_ttl = 10 * kSecond;
+  ResponseIndex ri(cfg);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  ri.AddProvider("f two", {"f", "two"}, P(2), 8 * kSecond);
+
+  const auto removed = ri.ExpireStale(15 * kSecond);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].filename, "alpha beta gamma");
+  EXPECT_EQ(removed[0].keywords, kAbcKws);
+  EXPECT_FALSE(ri.Contains("alpha beta gamma"));
+  EXPECT_TRUE(ri.Contains("f two"));
+  EXPECT_GT(ri.stats().expirations, 0u);
+}
+
+TEST(ResponseIndexTest, ExpireStaleNoTtlIsNoOp) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  EXPECT_TRUE(ri.ExpireStale(1000 * kSecond).empty());
+  EXPECT_TRUE(ri.Contains("alpha beta gamma"));
+}
+
+TEST(ResponseIndexTest, EraseRemovesEntry) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  EXPECT_TRUE(ri.Erase("alpha beta gamma"));
+  EXPECT_FALSE(ri.Erase("alpha beta gamma"));
+  EXPECT_EQ(ri.num_filenames(), 0u);
+}
+
+TEST(ResponseIndexTest, TotalProviderCountTracksDuplication) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
+  ri.AddProvider("f one", {"f", "one"}, P(2), 2);
+  ri.AddProvider("f two", {"f", "two"}, P(3), 3);
+  EXPECT_EQ(ri.TotalProviderCount(), 3u);
+}
+
+TEST(ResponseIndexTest, FilenamesAndKeywordsAccessors) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  const auto names = ri.Filenames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "alpha beta gamma");
+  EXPECT_EQ(ri.KeywordsOf("alpha beta gamma"), kAbcKws);
+  EXPECT_DEATH(ri.KeywordsOf("absent"), "absent");
+}
+
+TEST(ResponseIndexTest, StatsCountHitsAndMisses) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  ri.LookupByKeywords({"alpha"}, 1);   // hit
+  ri.LookupByKeywords({"nothere"}, 1); // miss
+  ri.LookupFilename("alpha beta gamma", 1);  // hit
+  EXPECT_EQ(ri.stats().lookups, 3u);
+  EXPECT_EQ(ri.stats().hits, 2u);
+  EXPECT_EQ(ri.stats().inserts, 1u);
+}
+
+TEST(ResponseIndexTest, SingleProviderModeModelsDicas) {
+  ResponseIndexConfig cfg = SmallConfig();
+  cfg.max_providers_per_file = 1;
+  ResponseIndex ri(cfg);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 1);
+  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 2);
+  auto hit = ri.LookupFilename("alpha beta gamma", 3);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->providers.size(), 1u);
+  EXPECT_EQ(hit->providers[0].provider, 2u);  // newest replaces the only slot
+}
+
+TEST(ResponseIndexTest, InvalidConfigDies) {
+  ResponseIndexConfig cfg;
+  cfg.max_filenames = 0;
+  EXPECT_DEATH(ResponseIndex{cfg}, "CHECK");
+  cfg = ResponseIndexConfig{};
+  cfg.max_providers_per_file = 0;
+  EXPECT_DEATH(ResponseIndex{cfg}, "CHECK");
+}
+
+class EvictionPolicyTest : public ::testing::TestWithParam<EvictionPolicy> {};
+
+/// Property: whatever the policy, capacity is a hard bound and every eviction
+/// is reported exactly once with its keywords.
+TEST_P(EvictionPolicyTest, CapacityIsRespectedAndEvictionsReported) {
+  ResponseIndexConfig cfg;
+  cfg.max_filenames = 5;
+  cfg.max_providers_per_file = 2;
+  cfg.eviction = GetParam();
+  ResponseIndex ri(cfg);
+
+  std::set<std::string> resident;
+  size_t reported_evictions = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = "file " + std::to_string(i);
+    const auto outcome =
+        ri.AddProvider(name, {"file", std::to_string(i)}, P(i % 7), i);
+    resident.insert(name);
+    for (const auto& gone : outcome.evicted) {
+      EXPECT_TRUE(resident.erase(gone.filename) == 1) << gone.filename;
+      EXPECT_EQ(gone.keywords.size(), 2u);
+      ++reported_evictions;
+    }
+    EXPECT_LE(ri.num_filenames(), 5u);
+    EXPECT_EQ(ri.num_filenames(), resident.size());
+  }
+  EXPECT_EQ(reported_evictions, 95u);
+  EXPECT_EQ(ri.stats().evictions, 95u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EvictionPolicyTest,
+                         ::testing::Values(EvictionPolicy::kLru, EvictionPolicy::kFifo,
+                                           EvictionPolicy::kRandom),
+                         [](const auto& info) {
+                           return EvictionPolicyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace locaware::cache

@@ -1,0 +1,257 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace locaware {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng r(0);
+  // SplitMix64 seeding must avoid the all-zero xoshiro state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) any_nonzero |= (r.NextU64() != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = r.UniformInt(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng r(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.UniformInt(42, 42), 42u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng r(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng r(19);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[r.UniformInt(0, kBuckets - 1)];
+  // Each bucket expects 10000; allow 5% deviation (~13 sigma).
+  for (int c : counts) EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.05);
+}
+
+TEST(RngTest, InvertedBoundsDie) {
+  Rng r(23);
+  EXPECT_DEATH(r.UniformInt(5, 4), "CHECK");
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng r(31);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += r.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasCorrectMean) {
+  Rng r(37);
+  const double rate = 2.5;
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += r.Exponential(rate);
+  EXPECT_NEAR(sum / kSamples, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng r(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.Exponential(1.0), 0.0);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  Rng r(43);
+  EXPECT_DEATH(r.Exponential(0.0), "CHECK");
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  r.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng r(53);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const std::vector<int> original = v;
+  r.Shuffle(&v);
+  EXPECT_NE(v, original);  // probability of identity is 1/100!
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng r(59);
+  const auto sample = r.SampleIndices(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleIndicesFullPopulation) {
+  Rng r(61);
+  const auto sample = r.SampleIndices(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleIndicesRejectsOversample) {
+  Rng r(67);
+  EXPECT_DEATH(r.SampleIndices(5, 6), "CHECK");
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng root(71);
+  Rng a = root.Split("alpha");
+  Rng b = root.Split("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, SplitIsDeterministicAndNonAdvancing) {
+  Rng root(73);
+  Rng a1 = root.Split("stream");
+  Rng a2 = root.Split("stream");
+  EXPECT_EQ(a1.NextU64(), a2.NextU64());
+  // Splitting did not advance the parent.
+  Rng fresh(73);
+  EXPECT_EQ(root.NextU64(), fresh.NextU64());
+}
+
+// --- Zipf ---
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng r(79);
+  ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&r), 100u);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng r(83);
+  ZipfDistribution zipf(1000, 1.0);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(&r)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(ZipfTest, PmfMatchesTheory) {
+  ZipfDistribution zipf(3, 1.0);
+  // Weights 1, 1/2, 1/3 -> total 11/6.
+  EXPECT_NEAR(zipf.Pmf(0), 6.0 / 11.0, 1e-12);
+  EXPECT_NEAR(zipf.Pmf(1), 3.0 / 11.0, 1e-12);
+  EXPECT_NEAR(zipf.Pmf(2), 2.0 / 11.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(500, 0.8);
+  double total = 0;
+  for (size_t i = 0; i < 500; ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  Rng r(89);
+  ZipfDistribution zipf(10, 0.0);
+  std::map<size_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&r)];
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 10 * 0.06) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequencyTracksPmf) {
+  Rng r(97);
+  ZipfDistribution zipf(50, 1.2);
+  std::vector<int> counts(50, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&r)];
+  for (size_t rank : {size_t{0}, size_t{1}, size_t{5}, size_t{20}}) {
+    const double expected = zipf.Pmf(rank) * kSamples;
+    EXPECT_NEAR(counts[rank], expected, expected * 0.1 + 30) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, SingleItemAlwaysSampled) {
+  Rng r(101);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&r), 0u);
+}
+
+struct ZipfParam {
+  size_t n;
+  double s;
+};
+
+class ZipfPropertyTest : public ::testing::TestWithParam<ZipfParam> {};
+
+/// Property: the CDF is monotone and the PMF is non-increasing in rank for
+/// every (n, s) combination.
+TEST_P(ZipfPropertyTest, PmfIsNonIncreasing) {
+  const auto [n, s] = GetParam();
+  ZipfDistribution zipf(n, s);
+  for (size_t rank = 1; rank < n; ++rank) {
+    EXPECT_LE(zipf.Pmf(rank), zipf.Pmf(rank - 1) + 1e-12)
+        << "rank " << rank << " n=" << n << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ZipfPropertyTest,
+                         ::testing::Values(ZipfParam{2, 0.5}, ZipfParam{10, 1.0},
+                                           ZipfParam{100, 0.0}, ZipfParam{1000, 1.2},
+                                           ZipfParam{3000, 1.0}, ZipfParam{7, 2.0}));
+
+}  // namespace
+}  // namespace locaware

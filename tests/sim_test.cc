@@ -1,0 +1,213 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+
+namespace locaware::sim {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(FromMs(1.0), kMillisecond);
+  EXPECT_EQ(FromMs(1.5), 1500);
+  EXPECT_EQ(FromSeconds(2.0), 2 * kSecond);
+  EXPECT_DOUBLE_EQ(ToMs(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(kMinute), 60.0);
+}
+
+TEST(SimTimeTest, RoundsToNearestMicrosecond) {
+  EXPECT_EQ(FromMs(0.0004), 0);
+  EXPECT_EQ(FromMs(0.0006), 1);
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(FormatSimTime(1500 * kMillisecond), "1.500s");
+  EXPECT_EQ(FormatSimTime(2 * kMillisecond), "2.000ms");
+  EXPECT_EQ(FormatSimTime(7), "7us");
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(30, [&] { fired.push_back(3); });
+  q.Push(10, [&] { fired.push_back(1); });
+  q.Push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    SimTime t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInPushOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    SimTime t;
+    q.Pop(&t)();
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, PeekDoesNotPop) {
+  EventQueue q;
+  q.Push(42, [] {});
+  EXPECT_EQ(q.PeekTime(), 42);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, EmptyAccessDies) {
+  EventQueue q;
+  SimTime t;
+  EXPECT_DEATH(q.PeekTime(), "empty");
+  EXPECT_DEATH(q.Pop(&t), "empty");
+}
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(100, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.ScheduleAt(50, [&] {
+    sim.ScheduleAfter(25, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 75);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastDies) {
+  Simulator sim;
+  sim.ScheduleAt(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(50, [] {}), "past");
+}
+
+TEST(SimulatorTest, NegativeDelayDies) {
+  Simulator sim;
+  EXPECT_DEATH(sim.ScheduleAfter(-1, [] {}), "CHECK");
+}
+
+TEST(SimulatorTest, CascadedEventsAllFire) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAfter(10, chain);
+  const uint64_t executed = sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulatorTest, HorizonStopsEarlyAndKeepsLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  sim.Run(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, IdleAdvanceToHorizon) {
+  Simulator sim;
+  sim.Run(500);
+  EXPECT_EQ(sim.Now(), 500);
+  // A second horizon run composes.
+  sim.Run(900);
+  EXPECT_EQ(sim.Now(), 900);
+}
+
+TEST(SimulatorTest, StopInterruptsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] { ++fired; });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PeriodicRunsUntilCallbackDeclines) {
+  Simulator sim;
+  int ticks = 0;
+  sim.SchedulePeriodic(100, [&] { return ++ticks < 5; });
+  sim.Run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, PeriodicRespectsHorizon) {
+  Simulator sim;
+  int ticks = 0;
+  sim.SchedulePeriodic(100, [&] {
+    ++ticks;
+    return true;
+  });
+  sim.Run(1000);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(SimulatorTest, SameTimeEventsDeterministicWithNestedScheduling) {
+  // Events scheduled *during* a same-timestamp batch must still fire in
+  // scheduling order after the batch.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(10, [&] { order.push_back(3); });
+  });
+  sim.ScheduleAt(10, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ExecutedCountAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleAfter(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.executed_count(), 7u);
+}
+
+}  // namespace
+}  // namespace locaware::sim

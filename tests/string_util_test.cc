@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace locaware {
+namespace {
+
+TEST(ToLowerTest, Basics) {
+  EXPECT_EQ(ToLower("ABC"), "abc");
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(SplitTest, SplitsAndDropsEmptyTokens) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,,b,", ','), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(Split("", ',').empty());
+  EXPECT_TRUE(Split(",,,", ',').empty());
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, " "), "a b c");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(JoinSplitTest, RoundTrip) {
+  const std::vector<std::string> parts{"runebo", "katima", "zuvalo"};
+  EXPECT_EQ(Split(Join(parts, " "), ' '), parts);
+}
+
+TEST(TokenizeTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(TokenizeKeywords("Blue_Monday-LIVE"),
+            (std::vector<std::string>{"blue", "monday", "live"}));
+}
+
+TEST(TokenizeTest, SpaceSeparatedFilenamesRoundTrip) {
+  // The catalog builds filenames as "kw1 kw2 kw3"; tokenization must recover
+  // exactly those keywords (the protocols depend on this).
+  const std::vector<std::string> kws{"runebo", "katima", "zuvalo"};
+  EXPECT_EQ(TokenizeKeywords(Join(kws, " ")), kws);
+}
+
+TEST(TokenizeTest, DigitsAreKeywordCharacters) {
+  EXPECT_EQ(TokenizeKeywords("track01 remix2"),
+            (std::vector<std::string>{"track01", "remix2"}));
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeKeywords("").empty());
+  EXPECT_TRUE(TokenizeKeywords("-_.!?").empty());
+}
+
+TEST(ContainsAllKeywordsTest, FullAndPartialMatch) {
+  const std::vector<std::string> filename{"blue", "monday", "live"};
+  EXPECT_TRUE(ContainsAllKeywords(filename, {"blue"}));
+  EXPECT_TRUE(ContainsAllKeywords(filename, {"live", "blue"}));
+  EXPECT_TRUE(ContainsAllKeywords(filename, {"blue", "monday", "live"}));
+  EXPECT_FALSE(ContainsAllKeywords(filename, {"blue", "tuesday"}));
+  EXPECT_FALSE(ContainsAllKeywords(filename, {"red"}));
+}
+
+TEST(ContainsAllKeywordsTest, EmptyQueryMatchesEverything) {
+  EXPECT_TRUE(ContainsAllKeywords({"a"}, {}));
+  EXPECT_TRUE(ContainsAllKeywords({}, {}));
+}
+
+TEST(ContainsAllKeywordsTest, EmptyFilenameMatchesNothing) {
+  EXPECT_FALSE(ContainsAllKeywords({}, {"a"}));
+}
+
+TEST(HumanCountTest, Scales) {
+  EXPECT_EQ(HumanCount(12), "12");
+  EXPECT_EQ(HumanCount(12300), "12.3k");
+  EXPECT_EQ(HumanCount(4560000), "4.56M");
+}
+
+}  // namespace
+}  // namespace locaware

@@ -1,0 +1,118 @@
+#include "metrics/svg_plot.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace locaware::metrics {
+namespace {
+
+LabeledSeries MakeSeries(const std::string& label, std::vector<double> values) {
+  LabeledSeries s;
+  s.label = label;
+  uint64_t x = 0;
+  for (double v : values) {
+    BucketPoint p;
+    p.queries_end = (x += 500);
+    p.avg_download_ms = v;
+    p.success_rate = v / 1000.0;
+    p.msgs_per_query = v * 2;
+    s.points.push_back(p);
+  }
+  return s;
+}
+
+TEST(SvgPlotTest, ProducesWellFormedSvg) {
+  const std::vector<LabeledSeries> series{
+      MakeSeries("Locaware", {150, 140, 135}),
+      MakeSeries("Flooding", {178, 177, 179}),
+  };
+  const std::string svg = RenderSvgChart(series, Field::kDownloadMs,
+                                         "Download distance", SvgChartOptions{});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);  // starts with <svg
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One polyline per series, one legend label each.
+  size_t polylines = 0;
+  for (size_t pos = 0; (pos = svg.find("<polyline", pos)) != std::string::npos;
+       ++pos) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+  EXPECT_NE(svg.find("Locaware"), std::string::npos);
+  EXPECT_NE(svg.find("Flooding"), std::string::npos);
+  EXPECT_NE(svg.find("Download distance"), std::string::npos);
+}
+
+TEST(SvgPlotTest, EscapesXmlInLabels) {
+  const std::vector<LabeledSeries> series{MakeSeries("A<&>B", {1, 2})};
+  const std::string svg =
+      RenderSvgChart(series, Field::kDownloadMs, "T\"itle", SvgChartOptions{});
+  EXPECT_EQ(svg.find("A<&>B"), std::string::npos);
+  EXPECT_NE(svg.find("A&lt;&amp;&gt;B"), std::string::npos);
+  EXPECT_NE(svg.find("T&quot;itle"), std::string::npos);
+}
+
+TEST(SvgPlotTest, SinglePointSeriesDoesNotDivideByZero) {
+  const std::vector<LabeledSeries> series{MakeSeries("solo", {42})};
+  const std::string svg =
+      RenderSvgChart(series, Field::kDownloadMs, "one point", SvgChartOptions{});
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgPlotTest, FlatZeroSeriesStillRenders) {
+  const std::vector<LabeledSeries> series{MakeSeries("zeros", {0, 0, 0})};
+  const std::string svg =
+      RenderSvgChart(series, Field::kDownloadMs, "flat", SvgChartOptions{});
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(SvgPlotTest, YLabelRendered) {
+  SvgChartOptions options;
+  options.y_label = "ms RTT";
+  const std::vector<LabeledSeries> series{MakeSeries("a", {1, 2, 3})};
+  const std::string svg = RenderSvgChart(series, Field::kDownloadMs, "t", options);
+  EXPECT_NE(svg.find("ms RTT"), std::string::npos);
+}
+
+TEST(SvgPlotTest, RaggedSeriesDie) {
+  std::vector<LabeledSeries> series{MakeSeries("a", {1, 2, 3}),
+                                    MakeSeries("b", {1, 2})};
+  EXPECT_DEATH(RenderSvgChart(series, Field::kDownloadMs, "t", SvgChartOptions{}),
+               "ragged");
+}
+
+TEST(SvgPlotTest, EmptyInputsDie) {
+  EXPECT_DEATH(RenderSvgChart({}, Field::kDownloadMs, "t", SvgChartOptions{}),
+               "no series");
+  std::vector<LabeledSeries> empty_points{LabeledSeries{"a", {}}};
+  EXPECT_DEATH(RenderSvgChart(empty_points, Field::kDownloadMs, "t",
+                              SvgChartOptions{}),
+               "empty series");
+}
+
+TEST(SvgPlotTest, WriteToFile) {
+  const std::string path = ::testing::TempDir() + "/locaware_chart_test.svg";
+  const std::vector<LabeledSeries> series{MakeSeries("a", {5, 6, 7})};
+  ASSERT_TRUE(
+      WriteSvgChart(series, Field::kMsgsPerQuery, "t", SvgChartOptions{}, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.rfind("<svg", 0), 0u);
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(SvgPlotTest, WriteToBadPathFails) {
+  const std::vector<LabeledSeries> series{MakeSeries("a", {5})};
+  EXPECT_FALSE(WriteSvgChart(series, Field::kDownloadMs, "t", SvgChartOptions{},
+                             "/nonexistent/dir/chart.svg")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace locaware::metrics

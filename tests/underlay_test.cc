@@ -1,0 +1,292 @@
+#include "net/underlay.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace locaware::net {
+namespace {
+
+GeometricUnderlayConfig SmallConfig() {
+  GeometricUnderlayConfig cfg;
+  cfg.num_routers = 50;
+  cfg.num_peers = 200;
+  cfg.num_landmarks = 4;
+  return cfg;
+}
+
+TEST(GeometricUnderlayTest, BuildSucceeds) {
+  Rng rng(1);
+  auto built = GeometricUnderlay::Build(SmallConfig(), &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& u = *built.ValueOrDie();
+  EXPECT_EQ(u.num_peers(), 200u);
+  EXPECT_EQ(u.num_routers(), 50u);
+  EXPECT_EQ(u.num_landmarks(), 4u);
+  EXPECT_GT(u.num_router_edges(), 49u);  // at least a spanning structure
+}
+
+TEST(GeometricUnderlayTest, RejectsBadConfigs) {
+  Rng rng(1);
+  GeometricUnderlayConfig cfg = SmallConfig();
+  cfg.num_routers = 0;
+  EXPECT_FALSE(GeometricUnderlay::Build(cfg, &rng).ok());
+
+  cfg = SmallConfig();
+  cfg.num_peers = 0;
+  EXPECT_FALSE(GeometricUnderlay::Build(cfg, &rng).ok());
+
+  cfg = SmallConfig();
+  cfg.num_landmarks = 100;  // > routers
+  EXPECT_FALSE(GeometricUnderlay::Build(cfg, &rng).ok());
+
+  cfg = SmallConfig();
+  cfg.min_rtt_ms = 500;
+  cfg.max_rtt_ms = 10;
+  EXPECT_FALSE(GeometricUnderlay::Build(cfg, &rng).ok());
+
+  cfg = SmallConfig();
+  cfg.access_min_ms = 5;
+  cfg.access_max_ms = 1;
+  EXPECT_FALSE(GeometricUnderlay::Build(cfg, &rng).ok());
+}
+
+TEST(GeometricUnderlayTest, RttIsSymmetricZeroDiagonal) {
+  Rng rng(2);
+  auto u = std::move(GeometricUnderlay::Build(SmallConfig(), &rng)).ValueOrDie();
+  for (PeerId a = 0; a < 20; ++a) {
+    EXPECT_EQ(u->RttMs(a, a), 0.0);
+    for (PeerId b = 0; b < 20; ++b) {
+      EXPECT_DOUBLE_EQ(u->RttMs(a, b), u->RttMs(b, a));
+    }
+  }
+}
+
+TEST(GeometricUnderlayTest, RttsLieInConfiguredBand) {
+  Rng rng(3);
+  GeometricUnderlayConfig cfg = SmallConfig();
+  cfg.num_peers = 300;
+  auto u = std::move(GeometricUnderlay::Build(cfg, &rng)).ValueOrDie();
+  double lo = 1e18, hi = 0;
+  for (PeerId a = 0; a < 100; ++a) {
+    for (PeerId b = a + 1; b < 100; ++b) {
+      const double rtt = u->RttMs(a, b);
+      lo = std::min(lo, rtt);
+      hi = std::max(hi, rtt);
+    }
+  }
+  // Distinct peers: RTT within ~the paper band (the normalization guarantees
+  // max <= max_rtt; min is >= 4 * access_lo by construction).
+  EXPECT_GE(lo, cfg.min_rtt_ms * 0.5);
+  EXPECT_LE(hi, cfg.max_rtt_ms + 1e-9);
+  EXPECT_GT(hi, 100.0);  // the band is actually used, not collapsed
+}
+
+TEST(GeometricUnderlayTest, TriangleInequalityOverRouterCore) {
+  // Shortest-path metrics satisfy the triangle inequality on the router core.
+  Rng rng(4);
+  auto u = std::move(GeometricUnderlay::Build(SmallConfig(), &rng)).ValueOrDie();
+  for (RouterId a = 0; a < 20; ++a) {
+    for (RouterId b = 0; b < 20; ++b) {
+      for (RouterId c = 0; c < 20; ++c) {
+        EXPECT_LE(u->RouterLatencyMs(a, b),
+                  u->RouterLatencyMs(a, c) + u->RouterLatencyMs(c, b) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(GeometricUnderlayTest, SameRouterPeersAreClose) {
+  Rng rng(5);
+  GeometricUnderlayConfig cfg = SmallConfig();
+  cfg.num_peers = 500;  // guarantee same-router pairs
+  auto u = std::move(GeometricUnderlay::Build(cfg, &rng)).ValueOrDie();
+  for (PeerId a = 0; a < u->num_peers(); ++a) {
+    for (PeerId b = a + 1; b < u->num_peers(); ++b) {
+      if (u->peer_router(a) == u->peer_router(b)) {
+        EXPECT_LT(u->RttMs(a, b), 50.0);  // only two access links
+        return;
+      }
+    }
+  }
+  FAIL() << "no same-router pair found";
+}
+
+TEST(GeometricUnderlayTest, DeterministicForSameSeed) {
+  Rng rng1(7), rng2(7);
+  auto u1 = std::move(GeometricUnderlay::Build(SmallConfig(), &rng1)).ValueOrDie();
+  auto u2 = std::move(GeometricUnderlay::Build(SmallConfig(), &rng2)).ValueOrDie();
+  for (PeerId a = 0; a < 50; ++a) {
+    for (PeerId b = 0; b < 50; ++b) {
+      EXPECT_DOUBLE_EQ(u1->RttMs(a, b), u2->RttMs(a, b));
+    }
+  }
+}
+
+TEST(GeometricUnderlayTest, LandmarksAreSpreadApart) {
+  Rng rng(8);
+  auto u = std::move(GeometricUnderlay::Build(SmallConfig(), &rng)).ValueOrDie();
+  // Greedy max-min placement: no two landmarks share a router.
+  for (size_t i = 0; i < u->num_landmarks(); ++i) {
+    for (size_t j = i + 1; j < u->num_landmarks(); ++j) {
+      EXPECT_NE(u->landmark_router(i), u->landmark_router(j));
+    }
+  }
+}
+
+TEST(GeometricUnderlayTest, LandmarkRttPositive) {
+  Rng rng(9);
+  auto u = std::move(GeometricUnderlay::Build(SmallConfig(), &rng)).ValueOrDie();
+  for (PeerId p = 0; p < 50; ++p) {
+    for (size_t l = 0; l < u->num_landmarks(); ++l) {
+      EXPECT_GT(u->LandmarkRttMs(p, l), 0.0);
+    }
+  }
+}
+
+TEST(GeometricUnderlayTest, SingleRouterDegenerateCase) {
+  Rng rng(10);
+  GeometricUnderlayConfig cfg;
+  cfg.num_routers = 1;
+  cfg.num_peers = 10;
+  cfg.num_landmarks = 1;
+  auto built = GeometricUnderlay::Build(cfg, &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& u = *built.ValueOrDie();
+  // All traffic crosses only access links.
+  EXPECT_GT(u.RttMs(0, 1), 0.0);
+  EXPECT_LT(u.RttMs(0, 1), 50.0);
+}
+
+TEST(GeometricUnderlayTest, DescribeMentionsShape) {
+  Rng rng(11);
+  auto u = std::move(GeometricUnderlay::Build(SmallConfig(), &rng)).ValueOrDie();
+  const std::string desc = u->Describe();
+  EXPECT_NE(desc.find("routers=50"), std::string::npos);
+  EXPECT_NE(desc.find("peers=200"), std::string::npos);
+}
+
+// --- Barabási–Albert model ---
+
+TEST(BarabasiAlbertTest, BuildsConnectedGraph) {
+  Rng rng(30);
+  GeometricUnderlayConfig cfg = SmallConfig();
+  cfg.model = RouterGraphModel::kBarabasiAlbert;
+  cfg.num_routers = 150;
+  auto built = GeometricUnderlay::Build(cfg, &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& u = *built.ValueOrDie();
+  EXPECT_EQ(u.model(), RouterGraphModel::kBarabasiAlbert);
+  // m=2 attachment: ~2 edges per arriving router.
+  EXPECT_GE(u.num_router_edges(), 149u);
+  EXPECT_LE(u.num_router_edges(), 300u);
+  // Connectivity is by construction; RTTs finite and in-band.
+  for (PeerId a = 0; a < 30; ++a) {
+    for (PeerId b = a + 1; b < 30; ++b) {
+      EXPECT_GT(u.RttMs(a, b), 0.0);
+      EXPECT_LE(u.RttMs(a, b), cfg.max_rtt_ms + 1e-9);
+    }
+  }
+}
+
+TEST(BarabasiAlbertTest, DegreesAreHeavyTailed) {
+  Rng rng(31);
+  GeometricUnderlayConfig cfg = SmallConfig();
+  cfg.model = RouterGraphModel::kBarabasiAlbert;
+  cfg.num_routers = 300;
+  auto u = std::move(GeometricUnderlay::Build(cfg, &rng)).ValueOrDie();
+  size_t max_degree = 0;
+  size_t total = 0;
+  for (RouterId r = 0; r < u->num_routers(); ++r) {
+    max_degree = std::max(max_degree, u->RouterDegree(r));
+    total += u->RouterDegree(r);
+  }
+  const double mean = static_cast<double>(total) / 300.0;
+  // Preferential attachment produces hubs far above the mean (a Waxman graph
+  // of the same density would cap around ~3x mean).
+  EXPECT_GT(static_cast<double>(max_degree), 4.0 * mean);
+}
+
+TEST(BarabasiAlbertTest, RejectsZeroAttachment) {
+  Rng rng(32);
+  GeometricUnderlayConfig cfg = SmallConfig();
+  cfg.model = RouterGraphModel::kBarabasiAlbert;
+  cfg.ba_links_per_router = 0;
+  EXPECT_FALSE(GeometricUnderlay::Build(cfg, &rng).ok());
+}
+
+TEST(BarabasiAlbertTest, DescribeNamesModel) {
+  Rng rng(33);
+  GeometricUnderlayConfig cfg = SmallConfig();
+  cfg.model = RouterGraphModel::kBarabasiAlbert;
+  auto u = std::move(GeometricUnderlay::Build(cfg, &rng)).ValueOrDie();
+  EXPECT_NE(u->Describe().find("barabasi-albert"), std::string::npos);
+  EXPECT_STREQ(RouterGraphModelName(RouterGraphModel::kWaxman), "waxman");
+}
+
+// --- UniformUnderlay ---
+
+TEST(UniformUnderlayTest, BuildAndBand) {
+  Rng rng(20);
+  UniformUnderlayConfig cfg;
+  cfg.num_peers = 100;
+  cfg.num_landmarks = 4;
+  auto u = std::move(UniformUnderlay::Build(cfg, &rng)).ValueOrDie();
+  for (PeerId a = 0; a < 100; ++a) {
+    for (PeerId b = a + 1; b < 100; ++b) {
+      const double rtt = u->RttMs(a, b);
+      EXPECT_GE(rtt, cfg.min_rtt_ms);
+      EXPECT_LE(rtt, cfg.max_rtt_ms);
+    }
+  }
+}
+
+TEST(UniformUnderlayTest, SymmetricAndStable) {
+  Rng rng(21);
+  UniformUnderlayConfig cfg;
+  cfg.num_peers = 50;
+  auto u = std::move(UniformUnderlay::Build(cfg, &rng)).ValueOrDie();
+  const double first = u->RttMs(3, 17);
+  EXPECT_DOUBLE_EQ(u->RttMs(17, 3), first);
+  EXPECT_DOUBLE_EQ(u->RttMs(3, 17), first);  // repeated call identical
+  EXPECT_EQ(u->RttMs(9, 9), 0.0);
+}
+
+TEST(UniformUnderlayTest, RejectsBadConfig) {
+  Rng rng(22);
+  UniformUnderlayConfig cfg;
+  cfg.num_peers = 0;
+  EXPECT_FALSE(UniformUnderlay::Build(cfg, &rng).ok());
+  cfg.num_peers = 10;
+  cfg.min_rtt_ms = 100;
+  cfg.max_rtt_ms = 100;
+  EXPECT_FALSE(UniformUnderlay::Build(cfg, &rng).ok());
+}
+
+class UnderlayScaleTest : public ::testing::TestWithParam<size_t> {};
+
+/// Property: the geometric build stays connected and in-band across router
+/// counts (the Waxman graph gets patched whatever its density).
+TEST_P(UnderlayScaleTest, AlwaysConnectedAndInBand) {
+  Rng rng(100 + GetParam());
+  GeometricUnderlayConfig cfg;
+  cfg.num_routers = GetParam();
+  cfg.num_peers = 100;
+  cfg.num_landmarks = std::min<size_t>(4, GetParam());
+  auto built = GeometricUnderlay::Build(cfg, &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto& u = *built.ValueOrDie();
+  for (PeerId a = 0; a < 30; ++a) {
+    for (PeerId b = a + 1; b < 30; ++b) {
+      const double rtt = u.RttMs(a, b);
+      EXPECT_GT(rtt, 0.0);
+      EXPECT_LE(rtt, cfg.max_rtt_ms + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RouterCounts, UnderlayScaleTest,
+                         ::testing::Values(2, 5, 20, 100, 400));
+
+}  // namespace
+}  // namespace locaware::net
