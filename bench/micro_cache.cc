@@ -1,31 +1,35 @@
 // Microbenchmarks for the response index: insertion with eviction pressure
-// and the keyword-containment lookups every visited node performs.
+// and the keyword-containment lookups every visited node performs. All on
+// the id plane — see bench/micro_intern.cc for the string-vs-id comparison.
 #include <benchmark/benchmark.h>
 
-#include <string>
 #include <vector>
 
 #include "cache/response_index.h"
 
 namespace {
 
+using locaware::FileId;
+using locaware::KeywordId;
 using locaware::cache::EvictionPolicy;
 using locaware::cache::ProviderEntry;
 using locaware::cache::ResponseIndex;
 using locaware::cache::ResponseIndexConfig;
 
 struct Corpus {
-  std::vector<std::string> filenames;
-  std::vector<std::vector<std::string>> keywords;
+  std::vector<FileId> files;
+  std::vector<std::vector<KeywordId>> keywords;  // sorted ascending
 };
 
+// Mirrors the old string corpus ("alpha<i%97> beta<i%31> gamma<i>"): a hot
+// shared id space, a mid-frequency space, and a unique id per file.
 Corpus MakeCorpus(size_t n) {
   Corpus c;
   for (size_t i = 0; i < n; ++i) {
-    std::vector<std::string> kws{"alpha" + std::to_string(i % 97),
-                                 "beta" + std::to_string(i % 31),
-                                 "gamma" + std::to_string(i)};
-    c.filenames.push_back(kws[0] + " " + kws[1] + " " + kws[2]);
+    c.files.push_back(static_cast<FileId>(i));
+    std::vector<KeywordId> kws{static_cast<KeywordId>(i % 97),
+                               static_cast<KeywordId>(100 + i % 31),
+                               static_cast<KeywordId>(200 + i)};
     c.keywords.push_back(std::move(kws));
   }
   return c;
@@ -42,7 +46,7 @@ void BM_AddProviderWithEviction(benchmark::State& state) {
   locaware::sim::SimTime now = 0;
   for (auto _ : state) {
     const size_t f = i++ & 1023;
-    ri.AddProvider(corpus.filenames[f], corpus.keywords[f],
+    ri.AddProvider(corpus.files[f], corpus.keywords[f],
                    ProviderEntry{static_cast<uint32_t>(i % 1000), 0, 0}, now++);
   }
   state.SetItemsProcessed(state.iterations());
@@ -53,14 +57,14 @@ BENCHMARK(BM_AddProviderWithEviction)
     ->Arg(static_cast<int>(EvictionPolicy::kRandom));
 
 void BM_LookupByKeywords(benchmark::State& state) {
-  // A full 50-filename index scanned with a 2-keyword query — the per-node
-  // cost a query pays at every hop.
+  // A full 50-file index probed with a 2-keyword query — the per-node cost a
+  // query pays at every hop.
   const Corpus corpus = MakeCorpus(50);
   ResponseIndexConfig cfg;
   cfg.max_filenames = 50;
   ResponseIndex ri(cfg);
   for (size_t f = 0; f < 50; ++f) {
-    ri.AddProvider(corpus.filenames[f], corpus.keywords[f], ProviderEntry{1, 0, 0}, 0);
+    ri.AddProvider(corpus.files[f], corpus.keywords[f], ProviderEntry{1, 0, 0}, 0);
   }
   size_t i = 0;
   for (auto _ : state) {
@@ -79,9 +83,9 @@ void BM_LookupMiss(benchmark::State& state) {
   cfg.max_filenames = 50;
   ResponseIndex ri(cfg);
   for (size_t f = 0; f < 50; ++f) {
-    ri.AddProvider(corpus.filenames[f], corpus.keywords[f], ProviderEntry{1, 0, 0}, 0);
+    ri.AddProvider(corpus.files[f], corpus.keywords[f], ProviderEntry{1, 0, 0}, 0);
   }
-  const std::vector<std::string> absent{"nosuchword"};
+  const std::vector<KeywordId> absent{90000};
   for (auto _ : state) {
     auto hits = ri.LookupByKeywords(absent, 1);
     benchmark::DoNotOptimize(hits);
@@ -99,12 +103,12 @@ void BM_ProviderRefresh(benchmark::State& state) {
   ResponseIndex ri(cfg);
   locaware::sim::SimTime now = 0;
   for (uint32_t p = 0; p < 8; ++p) {
-    ri.AddProvider(corpus.filenames[0], corpus.keywords[0], ProviderEntry{p, 0, 0},
+    ri.AddProvider(corpus.files[0], corpus.keywords[0], ProviderEntry{p, 0, 0},
                    now++);
   }
   uint32_t p = 0;
   for (auto _ : state) {
-    ri.AddProvider(corpus.filenames[0], corpus.keywords[0],
+    ri.AddProvider(corpus.files[0], corpus.keywords[0],
                    ProviderEntry{p++ & 7, 0, 0}, now++);
   }
   state.SetItemsProcessed(state.iterations());
@@ -120,7 +124,7 @@ void BM_ExpireStaleSweep(benchmark::State& state) {
     state.PauseTiming();
     ResponseIndex ri(cfg);
     for (size_t f = 0; f < 50; ++f) {
-      ri.AddProvider(corpus.filenames[f], corpus.keywords[f], ProviderEntry{1, 0, 0},
+      ri.AddProvider(corpus.files[f], corpus.keywords[f], ProviderEntry{1, 0, 0},
                      0);
     }
     state.ResumeTiming();

@@ -52,6 +52,7 @@ int main() {
 
   const std::string trace_path = "/tmp/locaware_flash_crowd.trace";
   {
+    // Traces are a string edge: ids resolve to words through the catalog.
     std::ofstream trace(trace_path);
     Rng rng(7);
     sim::SimTime t = 0;
@@ -59,8 +60,9 @@ int main() {
       t += sim::FromSeconds(rng.Exponential(2.0));  // ~2 queries/s
       const PeerId requester = static_cast<PeerId>(rng.UniformInt(0, 399));
       // 1-2 keywords of the hot filename, like real keyword queries.
-      trace << i << ' ' << requester << ' ' << hot << ' ' << t << ' ' << kws[0];
-      if (rng.Bernoulli(0.5)) trace << ' ' << kws[1];
+      trace << i << ' ' << requester << ' ' << hot << ' ' << t << ' '
+            << scout->catalog().keyword(kws[0]);
+      if (rng.Bernoulli(0.5)) trace << ' ' << scout->catalog().keyword(kws[1]);
       trace << '\n';
     }
   }

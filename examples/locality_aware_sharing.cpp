@@ -78,7 +78,7 @@ int main() {
     core::Candidate c;
     c.provider = provider;
     c.loc_id = loc_ids[provider];
-    c.filename = "runebo katima zuvalo";
+    c.file = 42;  // the requested file's catalog id
     offers.push_back(c);
   }
   std::printf("requester %u (locId %u) got offers:\n", probe, probe_loc);

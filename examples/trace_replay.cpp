@@ -38,17 +38,18 @@ int main(int argc, char** argv) {
     const auto& q = original.queries()[i];
     std::printf("  t=%8.1fs peer %3u asks for \"%s\" (target: \"%s\")\n",
                 sim::ToSeconds(q.submit_time), q.requester,
-                Join(q.keywords, " ").c_str(), catalog.filename(q.target).c_str());
+                catalog.KeywordsToString(q.keywords).c_str(),
+                catalog.filename(q.target).c_str());
   }
 
-  const Status saved = original.SaveTrace(path);
+  const Status saved = original.SaveTrace(path, catalog);
   if (!saved.ok()) {
     std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
     return 1;
   }
   std::printf("\nsaved trace to %s\n", path);
 
-  auto reloaded = catalog::QueryWorkload::LoadTrace(path);
+  auto reloaded = catalog::QueryWorkload::LoadTrace(path, &catalog);
   if (!reloaded.ok()) {
     std::fprintf(stderr, "load: %s\n", reloaded.status().ToString().c_str());
     return 1;

@@ -18,25 +18,32 @@ BloomFilter::BloomFilter(size_t num_bits, size_t num_hashes)
 }
 
 std::vector<uint32_t> BloomFilter::ProbePositions(std::string_view key) const {
-  const auto [h1, h2] = Murmur3_128(key);
+  return ProbePositions(BloomKeyHash(key));
+}
+
+std::vector<uint32_t> BloomFilter::ProbePositions(const KeyHash128& key) const {
   std::vector<uint32_t> positions(num_hashes_);
   for (size_t i = 0; i < num_hashes_; ++i) {
-    positions[i] = static_cast<uint32_t>((h1 + i * h2) % num_bits_);
+    positions[i] = ProbePosition(key, i);
   }
   return positions;
 }
 
-void BloomFilter::Insert(std::string_view key) {
-  const auto [h1, h2] = Murmur3_128(key);
+void BloomFilter::Insert(std::string_view key) { Insert(BloomKeyHash(key)); }
+
+void BloomFilter::Insert(const KeyHash128& key) {
   for (size_t i = 0; i < num_hashes_; ++i) {
-    SetBit((h1 + i * h2) % num_bits_);
+    SetBit(ProbePosition(key, i));
   }
 }
 
 bool BloomFilter::MayContain(std::string_view key) const {
-  const auto [h1, h2] = Murmur3_128(key);
+  return MayContain(BloomKeyHash(key));
+}
+
+bool BloomFilter::MayContain(const KeyHash128& key) const {
   for (size_t i = 0; i < num_hashes_; ++i) {
-    if (!TestBit((h1 + i * h2) % num_bits_)) return false;
+    if (!TestBit(ProbePosition(key, i))) return false;
   }
   return true;
 }

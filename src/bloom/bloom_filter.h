@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 
 namespace locaware::bloom {
@@ -29,9 +30,16 @@ class BloomFilter {
   /// Inserts a key.
   void Insert(std::string_view key);
 
+  /// Inserts a key by its precomputed hash (the id-plane fast path; see
+  /// BloomKeyHash for the equivalence with the string overload).
+  void Insert(const KeyHash128& key);
+
   /// Membership test: false means definitely absent; true means present with
   /// probability 1 − fp-rate.
   bool MayContain(std::string_view key) const;
+
+  /// Membership test on a precomputed hash.
+  bool MayContain(const KeyHash128& key) const;
 
   /// Zeroes the filter.
   void Clear();
@@ -56,9 +64,18 @@ class BloomFilter {
   /// mismatch. This is the payload of an incremental neighbor update.
   std::vector<uint32_t> DiffPositions(const BloomFilter& other) const;
 
+  /// The i-th probe position for a key — the single definition of the
+  /// Kirsch–Mitzenmacher indexing rule; every insert/lookup path (plain and
+  /// counting) goes through it so the bit and counter layouts can never
+  /// diverge.
+  uint32_t ProbePosition(const KeyHash128& key, size_t i) const {
+    return static_cast<uint32_t>((key.h1 + i * key.h2) % num_bits_);
+  }
+
   /// The k probe positions for a key (exposed so CountingBloomFilter and the
   /// tests use identical indexing).
   std::vector<uint32_t> ProbePositions(std::string_view key) const;
+  std::vector<uint32_t> ProbePositions(const KeyHash128& key) const;
 
   bool operator==(const BloomFilter& other) const = default;
 

@@ -7,16 +7,22 @@ namespace locaware::bloom {
 CountingBloomFilter::CountingBloomFilter(size_t num_bits, size_t num_hashes)
     : counters_(num_bits, 0), plain_(num_bits, num_hashes) {}
 
-void CountingBloomFilter::Insert(std::string_view key) {
-  for (uint32_t pos : plain_.ProbePositions(key)) {
+void CountingBloomFilter::Insert(std::string_view key) { Insert(BloomKeyHash(key)); }
+
+void CountingBloomFilter::Insert(const KeyHash128& key) {
+  for (size_t i = 0; i < plain_.num_hashes(); ++i) {
+    const uint32_t pos = plain_.ProbePosition(key, i);
     uint8_t& c = counters_[pos];
     if (c < kMaxCount) ++c;
     plain_.SetBit(pos);
   }
 }
 
-void CountingBloomFilter::Remove(std::string_view key) {
-  for (uint32_t pos : plain_.ProbePositions(key)) {
+void CountingBloomFilter::Remove(std::string_view key) { Remove(BloomKeyHash(key)); }
+
+void CountingBloomFilter::Remove(const KeyHash128& key) {
+  for (size_t i = 0; i < plain_.num_hashes(); ++i) {
+    const uint32_t pos = plain_.ProbePosition(key, i);
     uint8_t& c = counters_[pos];
     LOCAWARE_CHECK_GT(c, 0u) << "Remove of never-inserted key (counter underflow)";
     if (c < kMaxCount) {  // saturated counters stay pinned
@@ -27,6 +33,10 @@ void CountingBloomFilter::Remove(std::string_view key) {
 }
 
 bool CountingBloomFilter::MayContain(std::string_view key) const {
+  return plain_.MayContain(key);
+}
+
+bool CountingBloomFilter::MayContain(const KeyHash128& key) const {
   return plain_.MayContain(key);
 }
 

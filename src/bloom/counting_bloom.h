@@ -26,13 +26,16 @@ class CountingBloomFilter {
 
   /// Increments the key's counters.
   void Insert(std::string_view key);
+  void Insert(const KeyHash128& key);
 
   /// Decrements the key's counters. Removing a key that was never inserted is
   /// a caller bug; it is CHECK-detected when a counter would underflow.
   void Remove(std::string_view key);
+  void Remove(const KeyHash128& key);
 
   /// Membership test (same semantics as BloomFilter::MayContain).
   bool MayContain(std::string_view key) const;
+  bool MayContain(const KeyHash128& key) const;
 
   void Clear();
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "common/string_util.h"
+#include "common/keyword_set.h"
 
 namespace locaware::cache {
 
@@ -25,22 +25,47 @@ ResponseIndex::ResponseIndex(const ResponseIndexConfig& config)
   LOCAWARE_CHECK_GT(config.max_providers_per_file, 0u);
 }
 
+void ResponseIndex::AddPostings(FileId file, const std::vector<KeywordId>& keywords) {
+  for (KeywordId kw : keywords) inverted_[kw].push_back(file);
+}
+
+void ResponseIndex::RemovePostings(FileId file,
+                                   const std::vector<KeywordId>& keywords) {
+  for (KeywordId kw : keywords) {
+    auto it = inverted_.find(kw);
+    LOCAWARE_CHECK(it != inverted_.end());
+    auto pos = std::find(it->second.begin(), it->second.end(), file);
+    LOCAWARE_CHECK(pos != it->second.end());
+    it->second.erase(pos);  // preserves posting order for determinism
+    if (it->second.empty()) inverted_.erase(it);
+  }
+}
+
 ResponseIndex::UpdateOutcome ResponseIndex::AddProvider(
-    const std::string& filename, const std::vector<std::string>& filename_keywords,
+    FileId file, const std::vector<KeywordId>& sorted_keywords,
     const ProviderEntry& entry, sim::SimTime now) {
+  // The id-plane contract (common/types.h): keyword sets travel sorted and
+  // deduplicated. A violation would corrupt containment checks or double-
+  // post the file under one keyword silently, so fail loudly.
+  LOCAWARE_CHECK(std::is_sorted(sorted_keywords.begin(), sorted_keywords.end()))
+      << "AddProvider keywords must be sorted ascending";
+  LOCAWARE_CHECK(std::adjacent_find(sorted_keywords.begin(), sorted_keywords.end()) ==
+                 sorted_keywords.end())
+      << "AddProvider keywords must be deduplicated";
   UpdateOutcome outcome;
 
-  auto it = entries_.find(filename);
+  auto it = entries_.find(file);
   if (it == entries_.end()) {
     while (entries_.size() >= config_.max_filenames) EvictOne(&outcome.evicted);
-    use_order_.push_back(filename);
+    use_order_.push_back(file);
     Entry fresh;
-    fresh.keywords = filename_keywords;
+    fresh.keywords = sorted_keywords;
     fresh.use_pos = std::prev(use_order_.end());
-    it = entries_.emplace(filename, std::move(fresh)).first;
-    outcome.filename_inserted = true;
+    it = entries_.emplace(file, std::move(fresh)).first;
+    AddPostings(file, it->second.keywords);
+    outcome.file_inserted = true;
   } else {
-    Touch(filename, &it->second);
+    Touch(file, &it->second);
   }
 
   Entry& e = it->second;
@@ -84,92 +109,127 @@ std::vector<cache::ProviderEntry> ResponseIndex::LiveProviders(const Entry& entr
 }
 
 std::vector<ResponseIndex::Hit> ResponseIndex::LookupByKeywords(
-    const std::vector<std::string>& query_keywords, sim::SimTime now) {
+    const std::vector<KeywordId>& sorted_query, sim::SimTime now) {
+  LOCAWARE_CHECK(std::is_sorted(sorted_query.begin(), sorted_query.end()))
+      << "LookupByKeywords query must be sorted ascending";
   ++stats_.lookups;
   // Lookups filter stale providers from what they return but never erase
   // entries: removal happens only in AddProvider (eviction) and ExpireStale
   // (sweep), so owners with derived structures (Locaware's counting Bloom
   // filter) see every removal.
   std::vector<Hit> hits;
-  for (auto& [name, entry] : entries_) {
-    if (!ContainsAllKeywords(entry.keywords, query_keywords)) continue;
-    std::vector<ProviderEntry> live = LiveProviders(entry, now);
-    if (live.empty()) continue;
-    hits.push_back(Hit{name, std::move(live)});
+  if (sorted_query.empty()) {
+    // An empty query is satisfied by every file (vacuous containment), same
+    // as the string-era semantics.
+    for (auto& [file, entry] : entries_) {
+      std::vector<ProviderEntry> live = LiveProviders(entry, now);
+      if (!live.empty()) hits.push_back(Hit{file, std::move(live)});
+    }
+  } else {
+    // Seed from the rarest query keyword's posting list; any query keyword
+    // with no posting means no entry can contain them all.
+    const std::vector<FileId>* seed =
+        SmallestPosting(sorted_query, [&](KeywordId kw) -> const std::vector<FileId>* {
+          auto it = inverted_.find(kw);
+          return it == inverted_.end() ? nullptr : &it->second;
+        });
+    if (seed != nullptr) {
+      for (FileId file : *seed) {
+        auto it = entries_.find(file);
+        LOCAWARE_CHECK(it != entries_.end());
+        if (!ContainsAllIds(it->second.keywords, sorted_query)) continue;
+        std::vector<ProviderEntry> live = LiveProviders(it->second, now);
+        if (live.empty()) continue;
+        hits.push_back(Hit{file, std::move(live)});
+      }
+    }
   }
   for (Hit& h : hits) {
-    auto it = entries_.find(h.filename);
+    auto it = entries_.find(h.file);
     LOCAWARE_CHECK(it != entries_.end());
-    Touch(h.filename, &it->second);
+    Touch(h.file, &it->second);
   }
   if (!hits.empty()) ++stats_.hits;
   return hits;
 }
 
-std::optional<ResponseIndex::Hit> ResponseIndex::LookupFilename(
-    const std::string& filename, sim::SimTime now) {
+std::optional<ResponseIndex::Hit> ResponseIndex::LookupFile(FileId file,
+                                                            sim::SimTime now) {
   ++stats_.lookups;
-  auto it = entries_.find(filename);
+  auto it = entries_.find(file);
   if (it == entries_.end()) return std::nullopt;
   std::vector<ProviderEntry> live = LiveProviders(it->second, now);
   if (live.empty()) return std::nullopt;
-  Touch(filename, &it->second);
+  Touch(file, &it->second);
   ++stats_.hits;
-  return Hit{filename, std::move(live)};
+  return Hit{file, std::move(live)};
 }
 
 std::vector<ResponseIndex::EvictedFile> ResponseIndex::ExpireStale(sim::SimTime now) {
   std::vector<EvictedFile> removed;
   if (config_.entry_ttl <= 0) return removed;
-  for (auto& [name, entry] : entries_) {
-    if (!PruneStale(&entry, now)) removed.push_back(EvictedFile{name, entry.keywords});
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (PruneStale(&it->second, now)) {
+      ++it;
+    } else {
+      removed.push_back(EvictedFile{it->first, std::move(it->second.keywords)});
+      it = EraseIt(it, removed.back().keywords);
+    }
   }
-  for (const EvictedFile& gone : removed) Erase(gone.filename);
   return removed;
 }
 
-bool ResponseIndex::Erase(const std::string& filename) {
-  auto it = entries_.find(filename);
-  if (it == entries_.end()) return false;
+std::unordered_map<FileId, ResponseIndex::Entry>::iterator ResponseIndex::EraseIt(
+    std::unordered_map<FileId, Entry>::iterator it) {
+  return EraseIt(it, it->second.keywords);
+}
+
+std::unordered_map<FileId, ResponseIndex::Entry>::iterator ResponseIndex::EraseIt(
+    std::unordered_map<FileId, Entry>::iterator it,
+    const std::vector<KeywordId>& keywords) {
+  RemovePostings(it->first, keywords);
   use_order_.erase(it->second.use_pos);
-  entries_.erase(it);
+  return entries_.erase(it);
+}
+
+bool ResponseIndex::Erase(FileId file) {
+  auto it = entries_.find(file);
+  if (it == entries_.end()) return false;
+  EraseIt(it);
   return true;
 }
 
-bool ResponseIndex::Contains(const std::string& filename) const {
-  return entries_.contains(filename);
-}
+bool ResponseIndex::Contains(FileId file) const { return entries_.contains(file); }
 
 size_t ResponseIndex::TotalProviderCount() const {
   size_t total = 0;
-  for (const auto& [name, entry] : entries_) total += entry.providers.size();
+  for (const auto& [file, entry] : entries_) total += entry.providers.size();
   return total;
 }
 
-std::vector<std::string> ResponseIndex::Filenames() const {
-  std::vector<std::string> out;
+std::vector<FileId> ResponseIndex::Files() const {
+  std::vector<FileId> out;
   out.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) out.push_back(name);
+  for (const auto& [file, entry] : entries_) out.push_back(file);
   return out;
 }
 
-const std::vector<std::string>& ResponseIndex::KeywordsOf(
-    const std::string& filename) const {
-  auto it = entries_.find(filename);
-  LOCAWARE_CHECK(it != entries_.end()) << "KeywordsOf(" << filename << ") absent";
+const std::vector<KeywordId>& ResponseIndex::KeywordsOf(FileId file) const {
+  auto it = entries_.find(file);
+  LOCAWARE_CHECK(it != entries_.end()) << "KeywordsOf(" << file << ") absent";
   return it->second.keywords;
 }
 
-void ResponseIndex::Touch(const std::string& filename, Entry* entry) {
+void ResponseIndex::Touch(FileId file, Entry* entry) {
   if (config_.eviction != EvictionPolicy::kLru) return;  // FIFO/random ignore use
   use_order_.erase(entry->use_pos);
-  use_order_.push_back(filename);
+  use_order_.push_back(file);
   entry->use_pos = std::prev(use_order_.end());
 }
 
 void ResponseIndex::EvictOne(std::vector<EvictedFile>* evicted) {
   LOCAWARE_CHECK(!entries_.empty());
-  std::string victim;
+  FileId victim = kInvalidFile;
   if (config_.eviction == EvictionPolicy::kRandom) {
     // xorshift64* steps a private generator; cheap and reproducible.
     eviction_rng_state_ ^= eviction_rng_state_ >> 12;
@@ -185,8 +245,10 @@ void ResponseIndex::EvictOne(std::vector<EvictedFile>* evicted) {
   }
   auto entry_it = entries_.find(victim);
   LOCAWARE_CHECK(entry_it != entries_.end());
-  evicted->push_back(EvictedFile{victim, entry_it->second.keywords});
-  Erase(victim);
+  // Keywords are moved into the eviction report first, so posting removal
+  // reads them from there (the entry's own vector is empty afterwards).
+  evicted->push_back(EvictedFile{victim, std::move(entry_it->second.keywords)});
+  EraseIt(entry_it, evicted->back().keywords);
   ++stats_.evictions;
 }
 

@@ -1,19 +1,23 @@
 // The response index (RI) — the per-peer cache of file indexes at the heart
 // of all caching protocols in the paper (§3.2, §4.1).
 //
-// An index maps a filename to one or more *providers* (peer address + locId +
-// freshness timestamp). Locaware keeps several providers per filename,
+// An index maps a file to one or more *providers* (peer address + locId +
+// freshness timestamp). Locaware keeps several providers per file,
 // most-recent-first ("the most recent pf entries replace the oldest ones",
-// §4.1.2); Dicas keeps a single provider. Capacity is bounded in filenames
+// §4.1.2); Dicas keeps a single provider. Capacity is bounded in files
 // ("each peer can control its cache size in function of its storage
 // capacity") with pluggable eviction, and entries can expire after a lifetime
 // (Markatos' observation that cached results go stale quickly in Gnutella).
+//
+// The index lives entirely on the id plane (common/types.h): entries are
+// keyed by FileId and carry sorted KeywordId sets — no strings. Keyword
+// search intersects per-keyword posting lists (KeywordId -> files) instead
+// of scanning every entry with string compares.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -22,14 +26,14 @@
 
 namespace locaware::cache {
 
-/// One known provider of a cached filename.
+/// One known provider of a cached file.
 struct ProviderEntry {
   PeerId provider = kInvalidPeer;
   LocId loc_id = 0;
   sim::SimTime added_at = 0;
 };
 
-/// Which cached filename to sacrifice when the index is full.
+/// Which cached file to sacrifice when the index is full.
 enum class EvictionPolicy {
   kLru,     ///< least-recently *used* (lookups and inserts refresh) — default
   kFifo,    ///< insertion order, ignores use
@@ -40,9 +44,9 @@ const char* EvictionPolicyName(EvictionPolicy policy);
 
 /// Capacity and lifetime knobs.
 struct ResponseIndexConfig {
-  /// Max distinct filenames cached (paper sizes Bloom filters for ~50).
+  /// Max distinct files cached (paper sizes Bloom filters for ~50).
   size_t max_filenames = 50;
-  /// Max providers remembered per filename (Locaware: several; Dicas: 1).
+  /// Max providers remembered per file (Locaware: several; Dicas: 1).
   size_t max_providers_per_file = 8;
   /// Provider entry lifetime; 0 disables expiry.
   sim::SimTime entry_ttl = 0;
@@ -51,101 +55,117 @@ struct ResponseIndexConfig {
   uint64_t eviction_seed = 0x10caed5eedULL;
 };
 
-/// \brief Bounded, keyword-searchable map filename → provider list.
+/// \brief Bounded, keyword-searchable map FileId → provider list.
 ///
 /// Not thread-safe (the simulator is single-threaded).
 class ResponseIndex {
  public:
   explicit ResponseIndex(const ResponseIndexConfig& config);
 
-  /// A filename removed from the index, with the keywords it carried — the
+  /// A file removed from the index, with the keyword ids it carried — the
   /// owner needs them to delete the keywords from derived structures
   /// (Locaware's counting Bloom filter).
   struct EvictedFile {
-    std::string filename;
-    std::vector<std::string> keywords;
+    FileId file = kInvalidFile;
+    std::vector<KeywordId> keywords;  ///< sorted ascending
   };
 
   /// Outcome of AddProvider, reported so the owner can maintain derived
   /// structures (Locaware updates its counting Bloom filter from these).
   struct UpdateOutcome {
-    bool filename_inserted = false;        ///< a new filename entered the index
+    bool file_inserted = false;            ///< a new file entered the index
     bool provider_inserted = false;        ///< a (new or refreshed) provider landed
-    std::vector<EvictedFile> evicted;      ///< filenames removed to make room
+    std::vector<EvictedFile> evicted;      ///< files removed to make room
   };
 
-  /// Inserts or refreshes `entry` as a provider of `filename`. A provider
-  /// already present is refreshed (timestamp + locId updated) and moved to
-  /// most-recent; when the provider list is full the oldest provider is
-  /// dropped. May evict whole filenames per the eviction policy.
-  UpdateOutcome AddProvider(const std::string& filename,
-                            const std::vector<std::string>& filename_keywords,
+  /// Inserts or refreshes `entry` as a provider of `file`, whose keyword-id
+  /// set is `sorted_keywords` (ascending; only read when the file is new). A
+  /// provider already present is refreshed (timestamp + locId updated) and
+  /// moved to most-recent; when the provider list is full the oldest provider
+  /// is dropped. May evict whole files per the eviction policy.
+  UpdateOutcome AddProvider(FileId file,
+                            const std::vector<KeywordId>& sorted_keywords,
                             const ProviderEntry& entry, sim::SimTime now);
 
-  /// A matching cached filename with its live providers (stale ones filtered).
+  /// A matching cached file with its live providers (stale ones filtered).
   struct Hit {
-    std::string filename;
+    FileId file = kInvalidFile;
     std::vector<ProviderEntry> providers;  ///< most recent first
   };
 
-  /// All cached filenames whose keyword set contains every query keyword.
-  /// Counts as a "use" for LRU. Stale providers are filtered out of the
-  /// result (but not erased — only AddProvider and ExpireStale remove state);
-  /// filenames with no live provider do not match.
-  std::vector<Hit> LookupByKeywords(const std::vector<std::string>& query_keywords,
+  /// All cached files whose keyword set contains every query keyword
+  /// (`sorted_query` ascending). Counts as a "use" for LRU. Stale providers
+  /// are filtered out of the result (but not erased — only AddProvider and
+  /// ExpireStale remove state); files with no live provider do not match.
+  std::vector<Hit> LookupByKeywords(const std::vector<KeywordId>& sorted_query,
                                     sim::SimTime now);
 
-  /// Exact-filename variant of LookupByKeywords.
-  std::optional<Hit> LookupFilename(const std::string& filename, sim::SimTime now);
+  /// Exact-file variant of LookupByKeywords.
+  std::optional<Hit> LookupFile(FileId file, sim::SimTime now);
 
   /// Removes every provider older than the ttl (no-op when ttl = 0); returns
-  /// the filenames that became empty and were removed.
+  /// the files that became empty and were removed.
   std::vector<EvictedFile> ExpireStale(sim::SimTime now);
 
-  /// Removes one filename outright; returns whether it was present.
-  bool Erase(const std::string& filename);
+  /// Removes one file outright; returns whether it was present.
+  bool Erase(FileId file);
 
-  bool Contains(const std::string& filename) const;
+  bool Contains(FileId file) const;
   size_t num_filenames() const { return entries_.size(); }
   size_t capacity() const { return config_.max_filenames; }
-  /// Total provider entries across all filenames (the storage-cost metric for
+  /// Total provider entries across all files (the storage-cost metric for
   /// the Dicas-Keys duplication comparison).
   size_t TotalProviderCount() const;
-  /// Cached filenames in no particular order.
-  std::vector<std::string> Filenames() const;
-  /// Keywords stored for a cached filename. CHECK-fails if absent.
-  const std::vector<std::string>& KeywordsOf(const std::string& filename) const;
+  /// Cached files in no particular order.
+  std::vector<FileId> Files() const;
+  /// Sorted keyword ids stored for a cached file. CHECK-fails if absent.
+  const std::vector<KeywordId>& KeywordsOf(FileId file) const;
 
   // --- lifetime counters (monotonic) ---
   struct Stats {
     uint64_t lookups = 0;
-    uint64_t hits = 0;          ///< lookups returning >= 1 filename
+    uint64_t hits = 0;          ///< lookups returning >= 1 file
     uint64_t inserts = 0;       ///< provider insertions (incl. refreshes)
-    uint64_t evictions = 0;     ///< filenames evicted for capacity
+    uint64_t evictions = 0;     ///< files evicted for capacity
     uint64_t expirations = 0;   ///< provider entries dropped for age
   };
   const Stats& stats() const { return stats_; }
 
  private:
   struct Entry {
-    std::vector<std::string> keywords;
-    std::vector<ProviderEntry> providers;      // most recent first
-    std::list<std::string>::iterator use_pos;  // position in use_order_
+    std::vector<KeywordId> keywords;       // sorted ascending
+    std::vector<ProviderEntry> providers;  // most recent first
+    std::list<FileId>::iterator use_pos;   // position in use_order_
   };
 
-  /// Moves a filename to the most-recently-used position.
-  void Touch(const std::string& filename, Entry* entry);
+  /// Moves a file to the most-recently-used position.
+  void Touch(FileId file, Entry* entry);
   /// Evicts one victim per policy; appends it to *evicted.
   void EvictOne(std::vector<EvictedFile>* evicted);
   /// Drops stale providers of one entry; true if any provider survives.
   bool PruneStale(Entry* entry, sim::SimTime now);
   /// Non-mutating copy of an entry's live (non-stale) providers.
   std::vector<ProviderEntry> LiveProviders(const Entry& entry, sim::SimTime now) const;
+  /// Inverted-index maintenance around entry insertion/removal.
+  void AddPostings(FileId file, const std::vector<KeywordId>& keywords);
+  void RemovePostings(FileId file, const std::vector<KeywordId>& keywords);
+  /// Removes the entry at `it` (postings + LRU slot + map entry) without a
+  /// second map lookup; returns the iterator past the erased entry. The
+  /// keyword-taking overload is for callers that moved the entry's keywords
+  /// into an eviction report first.
+  std::unordered_map<FileId, Entry>::iterator EraseIt(
+      std::unordered_map<FileId, Entry>::iterator it);
+  std::unordered_map<FileId, Entry>::iterator EraseIt(
+      std::unordered_map<FileId, Entry>::iterator it,
+      const std::vector<KeywordId>& keywords);
 
   ResponseIndexConfig config_;
-  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<FileId, Entry> entries_;
+  /// KeywordId -> files carrying it (insertion order). Sized by residency
+  /// (max ~3 keywords x max_filenames keys), not by vocabulary.
+  std::unordered_map<KeywordId, std::vector<FileId>> inverted_;
   /// LRU/FIFO order: front = next victim, back = most recent.
-  std::list<std::string> use_order_;
+  std::list<FileId> use_order_;
   uint64_t eviction_rng_state_;
   Stats stats_;
 };

@@ -1,5 +1,6 @@
 #include "catalog/workload.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -75,42 +76,73 @@ uint32_t QueryWorkload::RankOfFile(FileId file) const {
   return file_to_rank_[file];
 }
 
-Status QueryWorkload::SaveTrace(const std::string& path) const {
+Status QueryWorkload::SaveTrace(const std::string& path,
+                                const FileCatalog& catalog) const {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open trace for writing: " + path);
   out << "# locaware-trace-v1: id requester target submit_us keywords...\n";
   for (const QueryEvent& q : queries_) {
     out << q.id << ' ' << q.requester << ' ' << q.target << ' ' << q.submit_time;
-    for (const std::string& kw : q.keywords) out << ' ' << kw;
+    for (KeywordId kw : q.keywords) out << ' ' << catalog.keyword(kw);
     out << '\n';
   }
   if (!out.good()) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
 
-Result<QueryWorkload> QueryWorkload::LoadTrace(const std::string& path) {
+Result<QueryWorkload> QueryWorkload::LoadTrace(const std::string& path,
+                                               FileCatalog* catalog) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open trace: " + path);
-  QueryWorkload wl;
+  // Parse and validate the entire trace before interning anything: a
+  // rejected trace must not leave freshly minted ids behind in the caller's
+  // catalog (that would silently fork the "same seed => same catalog"
+  // reproducibility guarantee across runs that saw different bad inputs).
+  struct ParsedEvent {
+    QueryEvent ev;
+    std::vector<std::string> words;
+  };
+  std::vector<ParsedEvent> parsed;
   std::string line;
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
-    QueryEvent ev;
+    ParsedEvent pe;
     long long submit = 0;
-    if (!(fields >> ev.id >> ev.requester >> ev.target >> submit)) {
+    if (!(fields >> pe.ev.id >> pe.ev.requester >> pe.ev.target >> submit)) {
       return Status::InvalidArgument("malformed trace line " + std::to_string(lineno));
     }
-    ev.submit_time = submit;
-    std::string kw;
-    while (fields >> kw) ev.keywords.push_back(std::move(kw));
-    if (ev.keywords.empty()) {
+    pe.ev.submit_time = submit;
+    std::string word;
+    while (fields >> word) {
+      // A repeated keyword would make the canonical set hash and the wire
+      // byte charge ambiguous (set semantics vs multiset encoding); the edge
+      // rejects it loudly rather than canonicalizing silently.
+      if (std::find(pe.words.begin(), pe.words.end(), word) != pe.words.end()) {
+        return Status::InvalidArgument("trace line " + std::to_string(lineno) +
+                                       " repeats keyword '" + word + "'");
+      }
+      pe.words.push_back(std::move(word));
+    }
+    if (pe.words.empty()) {
       return Status::InvalidArgument("trace line " + std::to_string(lineno) +
                                      " has no keywords");
     }
-    wl.queries_.push_back(std::move(ev));
+    parsed.push_back(std::move(pe));
+  }
+
+  // The trace is valid: now intern. Minting an id for a word no generated
+  // filename carries is deliberate — such a query runs and simply never
+  // matches, as in the string era.
+  QueryWorkload wl;
+  wl.queries_.reserve(parsed.size());
+  for (ParsedEvent& pe : parsed) {
+    for (const std::string& w : pe.words) {
+      pe.ev.keywords.push_back(catalog->InternKeyword(w));
+    }
+    wl.queries_.push_back(std::move(pe.ev));
   }
   return wl;
 }

@@ -21,8 +21,9 @@ namespace locaware::catalog {
 struct QueryEvent {
   QueryId id = 0;
   PeerId requester = 0;
-  FileId target = 0;                  ///< ground-truth file the query derives from
-  std::vector<std::string> keywords;  ///< 1..K keywords of the target filename
+  FileId target = 0;                 ///< ground-truth file the query derives from
+  std::vector<KeywordId> keywords;   ///< 1..K keywords of the target filename,
+                                     ///< in sampled order (traces preserve it)
   sim::SimTime submit_time = 0;
 };
 
@@ -63,11 +64,18 @@ class QueryWorkload {
   uint32_t RankOfFile(FileId file) const;
 
   /// Serializes to a text trace (one line per query). Overwrites `path`.
-  Status SaveTrace(const std::string& path) const;
+  /// Traces carry keyword *strings* (they are an edge format), resolved
+  /// through `catalog`.
+  Status SaveTrace(const std::string& path, const FileCatalog& catalog) const;
 
-  /// Reloads a trace written by SaveTrace. The popularity mapping is not part
-  /// of the trace; FileAtRank is unavailable on loaded workloads.
-  static Result<QueryWorkload> LoadTrace(const std::string& path);
+  /// Reloads a trace written by SaveTrace, interning each keyword through
+  /// `catalog`. Words the catalog has never seen are interned fresh (the
+  /// query then legitimately matches nothing, as in the string era); a
+  /// keyword repeated within one query is rejected (ambiguous under the
+  /// canonical-set contract). The popularity mapping is not part of the
+  /// trace; FileAtRank is unavailable on loaded workloads.
+  static Result<QueryWorkload> LoadTrace(const std::string& path,
+                                         FileCatalog* catalog);
 
  private:
   std::vector<QueryEvent> queries_;

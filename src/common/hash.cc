@@ -5,13 +5,12 @@
 namespace locaware {
 
 uint64_t Fnv1a64(const void* data, size_t len) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < len; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  // Defined via the incremental form so the documented equivalence
+  // (Fnv1a64Append from kFnv1a64Init == Fnv1a64 of the concatenation) is
+  // true by construction — the id-plane group hashes depend on it.
+  return Fnv1a64Append(
+      kFnv1a64Init,
+      std::string_view(static_cast<const char*>(data), len));
 }
 
 uint64_t Fnv1a64(std::string_view data) { return Fnv1a64(data.data(), data.size()); }

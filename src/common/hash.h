@@ -16,10 +16,40 @@ uint64_t Fnv1a64(std::string_view data);
 /// 64-bit FNV-1a of raw bytes.
 uint64_t Fnv1a64(const void* data, size_t len);
 
+/// Incremental FNV-1a: fold `data` into a running hash. Starting from
+/// `kFnv1a64Init` and appending pieces in order equals Fnv1a64 of their
+/// concatenation — how the catalog hashes "kw1 kw2 kw3" keyword sets without
+/// materializing the joined string.
+inline constexpr uint64_t kFnv1a64Init = 0xcbf29ce484222325ULL;
+inline uint64_t Fnv1a64Append(uint64_t hash, std::string_view data) {
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 /// 128-bit MurmurHash3 (x64 variant) of a byte string, returned as two
 /// 64-bit halves (h1, h2). The halves are close enough to independent to
 /// drive Kirsch–Mitzenmacher double hashing: g_i(x) = h1 + i * h2.
 std::pair<uint64_t, uint64_t> Murmur3_128(std::string_view data, uint64_t seed = 0);
+
+/// Precomputed 128-bit key hash, the currency of the id-plane Bloom paths:
+/// the catalog hashes each keyword string once at intern time and hot paths
+/// probe filters with this instead of re-hashing the string per operation.
+struct KeyHash128 {
+  uint64_t h1 = 0;
+  uint64_t h2 = 0;
+
+  bool operator==(const KeyHash128&) const = default;
+};
+
+/// The canonical string -> KeyHash128 mapping (one Murmur3 pass). Filters
+/// probed with `BloomKeyHash(s)` and with the string `s` see identical bits.
+inline KeyHash128 BloomKeyHash(std::string_view key) {
+  const auto [h1, h2] = Murmur3_128(key);
+  return KeyHash128{h1, h2};
+}
 
 /// Boost-style hash combiner for building composite keys. Cheap but weak for
 /// small integers (low bits only); run the result through Mix64 before using

@@ -1,0 +1,47 @@
+// Sorted keyword-id set operations — the id-plane replacement for the
+// string-era ContainsAllKeywords (see common/types.h for the contract:
+// keyword-id sets travel sorted ascending).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace locaware {
+
+/// True iff every id of `sorted_query` appears in `sorted_keywords` (both
+/// ascending; duplicates in the query are tolerated). Linear merge over two
+/// ascending runs; an empty query is vacuously contained.
+inline bool ContainsAllIds(const std::vector<KeywordId>& sorted_keywords,
+                           const std::vector<KeywordId>& sorted_query) {
+  size_t k = 0;
+  for (size_t q = 0; q < sorted_query.size(); ++q) {
+    if (q > 0 && sorted_query[q] == sorted_query[q - 1]) continue;
+    while (k < sorted_keywords.size() && sorted_keywords[k] < sorted_query[q]) ++k;
+    if (k == sorted_keywords.size() || sorted_keywords[k] != sorted_query[q]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The seed step of a posting-list intersection, shared by the catalog's
+/// FindMatches and the response index's LookupByKeywords: the smallest
+/// posting list among the (deduplicated) query keywords, or nullptr when any
+/// keyword has no posting — in which case no entry can contain them all.
+/// `lookup` maps a KeywordId to its posting list, or nullptr when absent.
+template <typename PostingLookupFn>
+const std::vector<FileId>* SmallestPosting(const std::vector<KeywordId>& sorted_query,
+                                           PostingLookupFn&& lookup) {
+  const std::vector<FileId>* seed = nullptr;
+  for (size_t q = 0; q < sorted_query.size(); ++q) {
+    if (q > 0 && sorted_query[q] == sorted_query[q - 1]) continue;
+    const std::vector<FileId>* posting = lookup(sorted_query[q]);
+    if (posting == nullptr || posting->empty()) return nullptr;
+    if (seed == nullptr || posting->size() < seed->size()) seed = posting;
+  }
+  return seed;
+}
+
+}  // namespace locaware

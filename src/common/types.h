@@ -1,6 +1,32 @@
 // Shared identifier types. Plain integer aliases (not strong types) because
 // they cross module boundaries constantly; the alias names keep signatures
 // readable.
+//
+// == The interned-symbol contract (the "id plane") ==
+//
+// Keywords and filenames exist as strings only at the edges of the system:
+// trace I/O, reports, and the CLI. Everywhere on the data plane — catalog
+// matching, response-index entries, wire messages, Bloom-filter maintenance,
+// group hashing — they travel as integer ids:
+//
+//   * `KeywordId` indexes the keyword string table owned by
+//     `catalog::FileCatalog` (built once at Generate/LoadTrace time). The
+//     catalog also owns the derived per-keyword constants: FNV group hash,
+//     128-bit Bloom probe hash, and wire byte length.
+//   * `FileId` is the canonical file handle. The catalog maps it to the
+//     filename string, its keyword-id set, and derived per-file constants
+//     (canonical keyword-set hash, wire byte length).
+//
+// Invariants every id-plane component relies on:
+//   * Keyword-id *sets* (query keywords, a file's keyword set) are kept
+//     sorted ascending and deduplicated, so containment checks are linear
+//     merges instead of string compares.
+//   * Wire-size accounting (`overlay::EstimateSizeBytes`) charges the byte
+//     length of the *underlying strings* via `common::WireNames`, so traffic
+//     metrics are identical to a string-carrying encoding.
+//   * Converting id -> string or recomputing a hash from a string is only
+//     legitimate at the edges; hot paths use the catalog's precomputed
+//     tables.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +42,10 @@ using RouterId = uint32_t;
 /// Index of a file in the catalog, in [0, num_files).
 using FileId = uint32_t;
 
+/// Index of an interned keyword in the catalog's string table, in
+/// [0, num_keywords).
+using KeywordId = uint32_t;
+
 /// Location id derived from the landmark-RTT ordering (0 .. k!-1).
 using LocId = uint16_t;
 
@@ -27,5 +57,11 @@ using QueryId = uint64_t;
 
 /// Sentinel for "no peer".
 inline constexpr PeerId kInvalidPeer = UINT32_MAX;
+
+/// Sentinel for "no file".
+inline constexpr FileId kInvalidFile = UINT32_MAX;
+
+/// Sentinel for "no keyword".
+inline constexpr KeywordId kInvalidKeyword = UINT32_MAX;
 
 }  // namespace locaware

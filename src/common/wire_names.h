@@ -1,0 +1,28 @@
+// Byte-length oracle for interned names.
+//
+// The data plane carries KeywordId/FileId, but bandwidth accounting must keep
+// charging what a real wire encoding would carry: the underlying strings.
+// This interface is the only thing the overlay layer needs from whoever owns
+// the string tables (catalog::FileCatalog in production, small fakes in
+// tests), keeping overlay free of a catalog dependency.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace locaware {
+
+/// \brief Maps interned ids to the byte length of their string encoding.
+class WireNames {
+ public:
+  virtual ~WireNames() = default;
+
+  /// Bytes of the keyword's string form (excluding any terminator).
+  virtual size_t KeywordWireBytes(KeywordId kw) const = 0;
+
+  /// Bytes of the full filename string ("kw1 kw2 kw3", separators included).
+  virtual size_t FilenameWireBytes(FileId f) const = 0;
+};
+
+}  // namespace locaware

@@ -1,40 +1,54 @@
 #include "core/dicas_keys_protocol.h"
 
+#include "common/check.h"
+#include "core/engine.h"
 #include "core/group_hash.h"
 #include "core/node_state.h"
 
 namespace locaware::core {
 
 std::vector<GroupId> DicasKeysProtocol::QueryGroups(
-    const std::vector<std::string>& query_keywords) const {
-  // Route toward the group of ONE query keyword (the first — keyword order
-  // is random in the workload, so this is a uniform pick). Routing to every
-  // keyword's group would flood whole subgroups, which contradicts the
-  // paper's Fig. 3 where all Dicas variants produce equally tiny traffic.
-  if (query_keywords.empty()) return {};
-  return {GroupOfKeyword(query_keywords.front(), params_.num_groups)};
+    Engine& engine, const overlay::QueryMessage& query) const {
+  // Route toward the group of ONE query keyword — the message's designated
+  // route_kw (the first *sampled* keyword, i.e. a uniform pick over the
+  // set). Routing to every keyword's group would flood whole subgroups,
+  // which contradicts the paper's Fig. 3 where all Dicas variants produce
+  // equally tiny traffic. No fallback to keywords.front(): the message list
+  // is sorted, so that pick would be the minimum id — a silently biased
+  // router. A message with keywords but no route_kw is a construction bug.
+  if (query.keywords.empty()) return {};
+  LOCAWARE_CHECK(query.route_kw != kInvalidKeyword)
+      << "QueryMessage.route_kw unset (SubmitQuery/MakeQuery must assign it)";
+  return {GroupOfKeywordFnv(engine.catalog().KeywordFnv(query.route_kw),
+                            params_.num_groups)};
 }
 
 std::vector<GroupId> DicasKeysProtocol::CacheGroups(
-    const overlay::ResponseMessage& response,
-    const std::vector<std::string>& /*filename_keywords*/) const {
+    Engine& engine, const overlay::ResponseMessage& response,
+    FileId /*file*/) const {
   // "Caching indexes based on hashing query keywords instead of the whole
   // filename" (§2): placement follows the keywords of the query that produced
   // the response. Duplicated across that query's keyword groups, and
   // misplaced with respect to later queries that use other keyword subsets.
-  return KeywordGroups(response.query_keywords, params_.num_groups);
+  const catalog::FileCatalog& catalog = engine.catalog();
+  return KeywordGroupsOfIds(
+      response.query_keywords,
+      [&](KeywordId kw) { return catalog.KeywordFnv(kw); }, params_.num_groups);
 }
 
-bool DicasKeysProtocol::HitVisible(const NodeState& node,
-                                   const std::vector<std::string>& /*hit_keywords*/,
+bool DicasKeysProtocol::HitVisible(Engine& engine, const NodeState& node,
+                                   FileId /*file*/,
                                    const overlay::QueryMessage& query) const {
   // The keyword-hash index is keyed by keyword: a lookup hashes the query's
   // keywords, so an entry is reachable only at nodes whose group one of the
   // query keywords points to. Entries cached under *other* keywords of the
   // same file are invisible — the placement/lookup mismatch of keyword
   // hashing.
-  for (const std::string& kw : query.keywords) {
-    if (GroupOfKeyword(kw, params_.num_groups) == node.gid) return true;
+  for (KeywordId kw : query.keywords) {
+    if (GroupOfKeywordFnv(engine.catalog().KeywordFnv(kw), params_.num_groups) ==
+        node.gid) {
+      return true;
+    }
   }
   return false;
 }

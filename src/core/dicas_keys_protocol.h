@@ -21,13 +21,12 @@ class DicasKeysProtocol final : public DicasProtocol {
   const char* name() const override { return "Dicas-Keys"; }
 
  protected:
-  std::vector<GroupId> QueryGroups(
-      const std::vector<std::string>& query_keywords) const override;
-  std::vector<GroupId> CacheGroups(
-      const overlay::ResponseMessage& response,
-      const std::vector<std::string>& filename_keywords) const override;
-  bool HitVisible(const NodeState& node,
-                  const std::vector<std::string>& hit_keywords,
+  std::vector<GroupId> QueryGroups(Engine& engine,
+                                   const overlay::QueryMessage& query) const override;
+  std::vector<GroupId> CacheGroups(Engine& engine,
+                                   const overlay::ResponseMessage& response,
+                                   FileId file) const override;
+  bool HitVisible(Engine& engine, const NodeState& node, FileId file,
                   const overlay::QueryMessage& query) const override;
 };
 

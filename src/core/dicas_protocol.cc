@@ -2,27 +2,26 @@
 
 #include <algorithm>
 
-#include "common/string_util.h"
 #include "core/engine.h"
 #include "core/group_hash.h"
 
 namespace locaware::core {
 
 std::vector<GroupId> DicasProtocol::QueryGroups(
-    const std::vector<std::string>& query_keywords) const {
-  return {GroupOfKeywords(query_keywords, params_.num_groups)};
+    Engine& /*engine*/, const overlay::QueryMessage& query) const {
+  return {GroupOfSetFnv(query.kw_set_fnv, params_.num_groups)};
 }
 
 std::vector<GroupId> DicasProtocol::CacheGroups(
-    const overlay::ResponseMessage& /*response*/,
-    const std::vector<std::string>& filename_keywords) const {
-  return {GroupOfKeywords(filename_keywords, params_.num_groups)};
+    Engine& engine, const overlay::ResponseMessage& /*response*/,
+    FileId file) const {
+  return {GroupOfSetFnv(engine.catalog().FileSetFnv(file), params_.num_groups)};
 }
 
 std::vector<PeerId> DicasProtocol::ForwardTargets(Engine& engine, PeerId node,
                                                   const overlay::QueryMessage& query,
                                                   PeerId from) {
-  const std::vector<GroupId> groups = QueryGroups(query.keywords);
+  const std::vector<GroupId> groups = QueryGroups(engine, query);
   std::vector<PeerId> matching;
   std::vector<PeerId> others;
   for (PeerId nb : engine.graph().Neighbors(node)) {
@@ -49,24 +48,22 @@ void DicasProtocol::ObserveResponse(Engine& engine, PeerId node,
   if (state.ri == nullptr) return;
   for (const overlay::ResponseRecord& record : response.records) {
     if (record.providers.empty()) continue;
-    const std::vector<std::string> kws = TokenizeKeywords(record.filename);
-    const std::vector<GroupId> groups = CacheGroups(response, kws);
+    const std::vector<GroupId> groups = CacheGroups(engine, response, record.file);
     if (std::find(groups.begin(), groups.end(), state.gid) == groups.end()) continue;
-    // Dicas caches the response as a single index: filename -> the provider
+    // Dicas caches the response as a single index: file -> the provider
     // that answered (the record's freshest provider).
     const overlay::ProviderInfo& p = record.providers.front();
-    state.ri->AddProvider(record.filename, kws,
+    state.ri->AddProvider(record.file, engine.catalog().sorted_keywords(record.file),
                           cache::ProviderEntry{p.peer, p.loc_id, 0},
                           engine.simulator().Now());
   }
 }
 
-bool DicasProtocol::HitVisible(const NodeState& /*node*/,
-                               const std::vector<std::string>& hit_keywords,
-                               const overlay::QueryMessage& query) const {
+bool DicasProtocol::HitVisible(Engine& engine, const NodeState& /*node*/,
+                               FileId file, const overlay::QueryMessage& query) const {
   // Filename search: the query must name every keyword of the cached
   // filename (LookupByKeywords already guaranteed the other direction).
-  return ContainsAllKeywords(query.keywords, hit_keywords);
+  return ContainsAllIds(query.keywords, engine.catalog().sorted_keywords(file));
 }
 
 std::vector<overlay::ResponseRecord> DicasProtocol::AnswerFromIndex(
@@ -76,9 +73,9 @@ std::vector<overlay::ResponseRecord> DicasProtocol::AnswerFromIndex(
   std::vector<overlay::ResponseRecord> records;
   for (const cache::ResponseIndex::Hit& hit :
        state.ri->LookupByKeywords(query.keywords, engine.simulator().Now())) {
-    if (!HitVisible(state, state.ri->KeywordsOf(hit.filename), query)) continue;
+    if (!HitVisible(engine, state, hit.file, query)) continue;
     overlay::ResponseRecord record;
-    record.filename = hit.filename;
+    record.file = hit.file;
     record.from_index = true;
     const size_t limit = std::min(hit.providers.size(), params_.max_response_providers);
     for (size_t i = 0; i < limit; ++i) {

@@ -30,23 +30,24 @@ class DicasProtocol : public Protocol {
       Engine& engine, PeerId node, const overlay::QueryMessage& query) override;
 
  protected:
-  /// Groups a query routes toward. Dicas: the whole-query hash.
-  virtual std::vector<GroupId> QueryGroups(
-      const std::vector<std::string>& query_keywords) const;
-  /// Groups a passing response is cached under. Dicas hashes the whole
-  /// filename; Dicas-Keys hashes the *query's* keywords (the duplication +
-  /// placement-mismatch weakness the paper describes).
-  virtual std::vector<GroupId> CacheGroups(
-      const overlay::ResponseMessage& response,
-      const std::vector<std::string>& filename_keywords) const;
+  /// Groups a query routes toward. Dicas: the whole-query hash (precomputed
+  /// as the message's canonical set hash).
+  virtual std::vector<GroupId> QueryGroups(Engine& engine,
+                                           const overlay::QueryMessage& query) const;
+  /// Groups a passing response for `file` is cached under. Dicas hashes the
+  /// whole filename (the catalog's precomputed set hash); Dicas-Keys hashes
+  /// the *query's* keywords (the duplication + placement-mismatch weakness
+  /// the paper describes).
+  virtual std::vector<GroupId> CacheGroups(Engine& engine,
+                                           const overlay::ResponseMessage& response,
+                                           FileId file) const;
 
-  /// Whether a cached index can answer this query. Dicas is "designed for
-  /// filename search" (§5.1): the index is keyed by the whole filename, so a
-  /// lookup succeeds only when the query carries the *complete* keyword set.
-  /// Partial keyword queries walk straight past Dicas caches — the weakness
-  /// Locaware's Bloom routing fixes.
-  virtual bool HitVisible(const NodeState& node,
-                          const std::vector<std::string>& hit_keywords,
+  /// Whether a cached index for `file` can answer this query. Dicas is
+  /// "designed for filename search" (§5.1): the index is keyed by the whole
+  /// filename, so a lookup succeeds only when the query carries the
+  /// *complete* keyword set. Partial keyword queries walk straight past
+  /// Dicas caches — the weakness Locaware's Bloom routing fixes.
+  virtual bool HitVisible(Engine& engine, const NodeState& node, FileId file,
                           const overlay::QueryMessage& query) const;
 };
 

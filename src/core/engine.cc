@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -67,7 +68,7 @@ Status Engine::Setup() {
   catalog_ = std::move(built_catalog).ValueOrDie();
 
   if (!config_.trace_path.empty()) {
-    auto loaded = catalog::QueryWorkload::LoadTrace(config_.trace_path);
+    auto loaded = catalog::QueryWorkload::LoadTrace(config_.trace_path, &catalog_);
     if (!loaded.ok()) return loaded.status();
     workload_ = std::move(loaded).ValueOrDie();
     // A trace written against a different universe must not index out of
@@ -172,6 +173,9 @@ sim::SimTime Engine::OneWayDelay(PeerId a, PeerId b) const {
 
 void Engine::Run() {
   const auto& queries = workload_.queries();
+  // Pre-size the event heap: one submission event per query up front, plus
+  // headroom for the per-query message churn that replaces it.
+  sim_.ReserveEvents(queries.size() + 1024);
   for (const catalog::QueryEvent& ev : queries) {
     sim_.ScheduleAt(ev.submit_time, [this, &ev] { SubmitQuery(ev); });
   }
@@ -191,12 +195,15 @@ size_t Engine::SlotOf(QueryId qid) const {
 
 std::vector<overlay::ResponseRecord> Engine::AnswerFromFileStore(
     PeerId node_id, const overlay::QueryMessage& query) {
+  // Message keywords are sorted by contract (SubmitQuery canonicalizes);
+  // validate once here, then use the unchecked match in the per-file loop.
+  LOCAWARE_CHECK(std::is_sorted(query.keywords.begin(), query.keywords.end()));
   std::vector<overlay::ResponseRecord> records;
   const NodeState& n = node(node_id);
   for (FileId f : n.file_store) {
-    if (!catalog_.Matches(f, query.keywords)) continue;
+    if (!catalog_.MatchesSorted(f, query.keywords)) continue;
     overlay::ResponseRecord record;
-    record.filename = catalog_.filename(f);
+    record.file = f;
     record.providers.push_back(overlay::ProviderInfo{node_id, n.loc_id});
     record.from_index = false;
     records.push_back(std::move(record));
@@ -218,10 +225,18 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
 
   NodeState& origin = node(ev.requester);
 
+  // Canonicalize the query's keyword ids once: sorted + deduplicated for
+  // containment checks, canonical set hash for group routing.
+  std::vector<KeywordId> sorted_kws = ev.keywords;
+  std::sort(sorted_kws.begin(), sorted_kws.end());
+  sorted_kws.erase(std::unique(sorted_kws.begin(), sorted_kws.end()),
+                   sorted_kws.end());
+
   // A peer that already shares a matching file needs neither search nor
-  // download.
+  // download. (sorted_kws was sorted two lines up: the unchecked match is
+  // safe.)
   for (FileId f : origin.file_store) {
-    if (catalog_.Matches(f, ev.keywords)) {
+    if (catalog_.MatchesSorted(f, sorted_kws)) {
       metrics::QueryRecord* record = metrics_.Record(slot);
       record->success = true;
       record->source = metrics::AnswerSource::kLocalStore;
@@ -235,7 +250,9 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
   query.qid = ev.id;
   query.origin = ev.requester;
   query.origin_loc = origin.loc_id;
-  query.keywords = ev.keywords;
+  query.kw_set_fnv = catalog_.CanonicalSetFnv(sorted_kws);
+  query.route_kw = ev.keywords.front();  // sampled order: a uniform pick
+  query.keywords = sorted_kws;
   query.ttl = config_.params.ttl;
   query.hops = 0;
 
@@ -243,7 +260,7 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
   pq.slot = slot;
   pq.requester = ev.requester;
   pq.requester_loc = origin.loc_id;
-  pq.keywords = ev.keywords;
+  pq.keywords = std::move(sorted_kws);
 
   // The requester's own response index may already know providers.
   std::vector<overlay::ResponseRecord> local =
@@ -274,26 +291,31 @@ void Engine::ForwardQuery(PeerId node_id, PeerId from,
       protocol_->ForwardTargets(*this, node_id, msg, from);
   if (targets.empty()) return;
 
-  overlay::QueryMessage fwd = msg;
-  fwd.ttl -= 1;
-  fwd.hops += 1;
+  // One immutable message shared by every forwarded copy: fan-out costs
+  // O(targets) shared_ptr bumps, not O(targets) deep copies.
+  auto fwd = std::make_shared<overlay::QueryMessage>(msg);
+  fwd->ttl -= 1;
+  fwd->hops += 1;
 
   const size_t slot = SlotOf(msg.qid);
-  const size_t wire_bytes = EstimateSizeBytes(fwd);
+  const size_t wire_bytes = EstimateSizeBytes(*fwd, catalog_);
+  std::shared_ptr<const overlay::QueryMessage> shared = std::move(fwd);
   for (PeerId target : targets) {
     if (slot != SIZE_MAX) {
       metrics::QueryRecord* record = metrics_.Record(slot);
       ++record->query_msgs;
       record->query_bytes += wire_bytes;
     }
-    sim_.ScheduleAfter(OneWayDelay(node_id, target), [this, target, node_id, fwd] {
-      DeliverQuery(target, node_id, fwd);
+    sim_.ScheduleAfter(OneWayDelay(node_id, target), [this, target, node_id, shared] {
+      DeliverQuery(target, node_id, shared);
     });
   }
 }
 
-void Engine::DeliverQuery(PeerId to, PeerId from, overlay::QueryMessage msg) {
+void Engine::DeliverQuery(PeerId to, PeerId from,
+                          std::shared_ptr<const overlay::QueryMessage> msg_ptr) {
   if (!graph_->IsAlive(to)) return;  // lost on a dead peer
+  const overlay::QueryMessage& msg = *msg_ptr;
   NodeState& n = node(to);
   if (!n.seen_queries.insert(msg.qid).second) return;  // duplicate: dropped
   n.reverse_path[msg.qid] = from;
@@ -326,7 +348,7 @@ void Engine::SendResponse(PeerId sender, PeerId next_hop,
   if (slot != SIZE_MAX) {
     metrics::QueryRecord* record = metrics_.Record(slot);
     ++record->response_msgs;
-    record->response_bytes += EstimateSizeBytes(msg);
+    record->response_bytes += EstimateSizeBytes(msg, catalog_);
   }
   sim_.ScheduleAfter(OneWayDelay(sender, next_hop),
                      [this, next_hop, sender, msg = std::move(msg)] {
@@ -377,25 +399,19 @@ void Engine::FinalizeQuery(QueryId qid) {
   // first; freshest providers first within a record). The requester itself is
   // never a candidate.
   std::vector<Candidate> candidates;
+  std::unordered_set<PeerId> candidate_peers;
   bool filtered_dead = false;
   for (const PendingQuery::Offer& offer : pq.offers) {
     for (const overlay::ProviderInfo& p : offer.record.providers) {
       if (p.peer == pq.requester) continue;
-      bool already = false;
-      for (const Candidate& c : candidates) {
-        if (c.provider == p.peer) {
-          already = true;
-          break;
-        }
-      }
-      if (already) continue;
+      if (!candidate_peers.insert(p.peer).second) continue;
       Candidate cand;
       cand.provider = p.peer;
       cand.loc_id = p.loc_id;
       cand.from_index = offer.record.from_index;
       cand.responder = offer.responder;
-      cand.filename = offer.record.filename;
-      candidates.push_back(std::move(cand));
+      cand.file = offer.record.file;
+      candidates.push_back(cand);
     }
   }
   record->providers_offered = static_cast<uint32_t>(candidates.size());
@@ -440,10 +456,9 @@ void Engine::FinalizeQuery(QueryId qid) {
 
   // Natural replication (§3.1): the requester downloads the file and shares
   // it from now on.
-  const FileId fid = catalog_.LookupFilename(chosen.filename);
-  if (fid != catalog::FileCatalog::kInvalidFile) {
+  if (chosen.file != kInvalidFile) {
     NodeState& requester = node(pq.requester);
-    if (!requester.SharesFile(fid)) requester.file_store.push_back(fid);
+    if (!requester.SharesFile(chosen.file)) requester.file_store.push_back(chosen.file);
   }
 
   sim_.ScheduleAfter(config_.params.query_deadline, [this, qid] { CleanupQuery(qid); });

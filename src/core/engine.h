@@ -90,7 +90,7 @@ class Engine {
     size_t slot = 0;
     PeerId requester = kInvalidPeer;
     LocId requester_loc = 0;
-    std::vector<std::string> keywords;
+    std::vector<KeywordId> keywords;  ///< sorted ascending
     struct Offer {
       overlay::ResponseRecord record;
       PeerId responder = kInvalidPeer;
@@ -100,9 +100,11 @@ class Engine {
 
   Status Setup();
 
-  // Query lifecycle.
+  // Query lifecycle. Forwarded queries share one immutable message per hop
+  // (shared_ptr), so fan-out costs O(targets) pointer copies.
   void SubmitQuery(const catalog::QueryEvent& ev);
-  void DeliverQuery(PeerId to, PeerId from, overlay::QueryMessage msg);
+  void DeliverQuery(PeerId to, PeerId from,
+                    std::shared_ptr<const overlay::QueryMessage> msg);
   void DeliverResponse(PeerId to, PeerId from, overlay::ResponseMessage msg);
   void ForwardQuery(PeerId node, PeerId from, const overlay::QueryMessage& msg);
   void SendResponse(PeerId responder, PeerId next_hop,

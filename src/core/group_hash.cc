@@ -37,4 +37,14 @@ std::vector<GroupId> KeywordGroups(const std::vector<std::string>& keywords,
   return groups;
 }
 
+GroupId GroupOfSetFnv(uint64_t set_fnv, uint16_t num_groups) {
+  LOCAWARE_CHECK_GT(num_groups, 0u);
+  return static_cast<GroupId>(set_fnv % num_groups);
+}
+
+GroupId GroupOfKeywordFnv(uint64_t keyword_fnv, uint16_t num_groups) {
+  LOCAWARE_CHECK_GT(num_groups, 0u);
+  return static_cast<GroupId>(keyword_fnv % num_groups);
+}
+
 }  // namespace locaware::core

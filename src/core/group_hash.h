@@ -8,6 +8,7 @@
 // the keyword-search weakness the paper describes (§2, §4.2).
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -28,5 +29,37 @@ GroupId GroupOfKeyword(const std::string& keyword, uint16_t num_groups);
 /// index copy in each of these groups — the duplication the paper criticizes).
 std::vector<GroupId> KeywordGroups(const std::vector<std::string>& keywords,
                                    uint16_t num_groups);
+
+// --- id-plane entry points --------------------------------------------------
+// The data plane never re-hashes strings: the catalog precomputes each
+// keyword's FNV (FileCatalog::KeywordFnv) and each set's canonical FNV
+// (CanonicalSetFnv / FileSetFnv, identical preimage to GroupOfKeywords), and
+// these reduce the precomputed hash mod M.
+
+/// Group of a canonical keyword-set hash (CanonicalSetFnv / FileSetFnv).
+/// Equals GroupOfKeywords of the corresponding strings.
+GroupId GroupOfSetFnv(uint64_t set_fnv, uint16_t num_groups);
+
+/// Group of a single keyword's precomputed FNV (FileCatalog::KeywordFnv).
+/// Equals GroupOfKeyword of the corresponding string.
+GroupId GroupOfKeywordFnv(uint64_t keyword_fnv, uint16_t num_groups);
+
+/// All distinct per-keyword groups of an id set. `fnv_of` maps a KeywordId
+/// to its precomputed FNV (typically FileCatalog::KeywordFnv) — a callable
+/// rather than the catalog itself, so this low-level hashing header stays
+/// free of catalog dependencies.
+template <typename KeywordFnvFn>
+std::vector<GroupId> KeywordGroupsOfIds(const std::vector<KeywordId>& kws,
+                                        KeywordFnvFn&& fnv_of,
+                                        uint16_t num_groups) {
+  std::vector<GroupId> groups;
+  for (KeywordId kw : kws) {
+    const GroupId g = GroupOfKeywordFnv(fnv_of(kw), num_groups);
+    if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+      groups.push_back(g);
+    }
+  }
+  return groups;
+}
 
 }  // namespace locaware::core

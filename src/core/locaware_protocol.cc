@@ -4,7 +4,6 @@
 
 #include "bloom/bloom_delta.h"
 #include "common/check.h"
-#include "common/string_util.h"
 #include "core/engine.h"
 #include "core/group_hash.h"
 
@@ -15,23 +14,30 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
                                                      PeerId from) {
   NodeState& state = engine.node(node);
   const auto& neighbors = engine.graph().Neighbors(node);
+  const catalog::FileCatalog& catalog = engine.catalog();
 
-  // 1. Neighbors whose Bloom filter matches every query keyword.
-  std::vector<PeerId> bloom_matched;
+  // 1. Neighbors whose Bloom filter matches every query keyword. Keyword-
+  // major order fetches each precomputed probe hash exactly once per query,
+  // and the filter map is probed exactly once per neighbor (the working set
+  // carries the filter pointers).
+  std::vector<std::pair<PeerId, const bloom::BloomFilter*>> candidates;
   for (PeerId nb : neighbors) {
     if (nb == from) continue;
     auto it = state.neighbor_filters.find(nb);
-    if (it == state.neighbor_filters.end()) continue;  // no filter yet = no match
-    bool all = true;
-    for (const std::string& kw : query.keywords) {
-      if (!it->second.MayContain(kw)) {
-        all = false;
-        break;
-      }
-    }
-    if (all) bloom_matched.push_back(nb);
+    if (it != state.neighbor_filters.end()) candidates.emplace_back(nb, &it->second);
   }
-  if (!bloom_matched.empty()) return bloom_matched;
+  for (KeywordId kw : query.keywords) {
+    if (candidates.empty()) break;
+    const KeyHash128 hash = catalog.KeywordBloomHash(kw);
+    std::erase_if(candidates,
+                  [&](const auto& cand) { return !cand.second->MayContain(hash); });
+  }
+  if (!candidates.empty()) {
+    std::vector<PeerId> bloom_matched;
+    bloom_matched.reserve(candidates.size());
+    for (const auto& [nb, filter] : candidates) bloom_matched.push_back(nb);
+    return bloom_matched;
+  }
 
   // Optional §6 extension: prefer same-locality neighbors within a tier.
   const auto prefer_local = [&](std::vector<PeerId>* tier) {
@@ -44,7 +50,7 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
   };
 
   // 2. Neighbors whose Gid matches the query hash.
-  const GroupId query_group = GroupOfKeywords(query.keywords, params_.num_groups);
+  const GroupId query_group = GroupOfSetFnv(query.kw_set_fnv, params_.num_groups);
   std::vector<PeerId> gid_matched;
   for (PeerId nb : neighbors) {
     if (nb == from) continue;
@@ -75,23 +81,27 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
   return rest;
 }
 
-void LocawareProtocol::AddToIndex(Engine& engine, NodeState& state,
-                                  const std::string& filename,
-                                  const std::vector<std::string>& keywords,
+void LocawareProtocol::AddToIndex(Engine& engine, NodeState& state, FileId file,
+                                  const std::vector<KeywordId>& sorted_keywords,
                                   PeerId provider, LocId provider_loc) {
   LOCAWARE_CHECK(state.ri != nullptr);
   const auto outcome = state.ri->AddProvider(
-      filename, keywords, cache::ProviderEntry{provider, provider_loc, 0},
+      file, sorted_keywords, cache::ProviderEntry{provider, provider_loc, 0},
       engine.simulator().Now());
-  // Keep the counting filter consistent: one Insert per filename arrival,
-  // one Remove per filename eviction (§4.2: "built incrementally as new
+  // Keep the counting filter consistent: one Insert per file arrival,
+  // one Remove per file eviction (§4.2: "built incrementally as new
   // filenames are inserted in RI and existing ones discarded").
   if (state.keyword_filter != nullptr) {
-    if (outcome.filename_inserted) {
-      for (const std::string& kw : keywords) state.keyword_filter->Insert(kw);
+    const catalog::FileCatalog& catalog = engine.catalog();
+    if (outcome.file_inserted) {
+      for (KeywordId kw : sorted_keywords) {
+        state.keyword_filter->Insert(catalog.KeywordBloomHash(kw));
+      }
     }
     for (const auto& evicted : outcome.evicted) {
-      for (const std::string& kw : evicted.keywords) state.keyword_filter->Remove(kw);
+      for (KeywordId kw : evicted.keywords) {
+        state.keyword_filter->Remove(catalog.KeywordBloomHash(kw));
+      }
     }
   }
 }
@@ -100,19 +110,23 @@ void LocawareProtocol::ObserveResponse(Engine& engine, PeerId node,
                                        const overlay::ResponseMessage& response) {
   NodeState& state = engine.node(node);
   if (state.ri == nullptr) return;
+  const catalog::FileCatalog& catalog = engine.catalog();
   for (const overlay::ResponseRecord& record : response.records) {
-    const std::vector<std::string> kws = TokenizeKeywords(record.filename);
-    if (GroupOfKeywords(kws, params_.num_groups) != state.gid) continue;
+    const std::vector<KeywordId>& kws = catalog.sorted_keywords(record.file);
+    if (GroupOfSetFnv(catalog.FileSetFnv(record.file), params_.num_groups) !=
+        state.gid) {
+      continue;
+    }
     // Cache every provider the record carries. Iterate in reverse so the
     // record's freshest provider ends up most recent in our index.
     for (auto it = record.providers.rbegin(); it != record.providers.rend(); ++it) {
-      AddToIndex(engine, state, record.filename, kws, it->peer, it->loc_id);
+      AddToIndex(engine, state, record.file, kws, it->peer, it->loc_id);
     }
     // Leverage natural replication: the requester is about to hold a copy
     // ("the query response qrf holds the information about peer D as well as
     // peer A to be considered as a new provider", §4.1.2).
     if (params_.requester_becomes_provider && response.origin != node) {
-      AddToIndex(engine, state, record.filename, kws, response.origin,
+      AddToIndex(engine, state, record.file, kws, response.origin,
                  response.origin_loc);
     }
   }
@@ -127,7 +141,7 @@ std::vector<overlay::ResponseRecord> LocawareProtocol::AnswerFromIndex(
   for (const cache::ResponseIndex::Hit& hit :
        state.ri->LookupByKeywords(query.keywords, engine.simulator().Now())) {
     overlay::ResponseRecord record;
-    record.filename = hit.filename;
+    record.file = hit.file;
     record.from_index = true;
     // Providers in the requester's locality first, then the freshest others,
     // "to guarantee that E will find an available copy of f with minimum
@@ -150,9 +164,8 @@ std::vector<overlay::ResponseRecord> LocawareProtocol::AnswerFromIndex(
   // "Peer B then adds in its RI the entry (E, 1)").
   if (params_.requester_becomes_provider && query.origin != node) {
     for (const overlay::ResponseRecord& record : records) {
-      AddToIndex(engine, state, record.filename,
-                 state.ri->KeywordsOf(record.filename), query.origin,
-                 query.origin_loc);
+      AddToIndex(engine, state, record.file, state.ri->KeywordsOf(record.file),
+                 query.origin, query.origin_loc);
     }
   }
   return records;
@@ -164,8 +177,11 @@ void LocawareProtocol::OnMaintenanceTick(Engine& engine, PeerId node) {
                  state.advertised_filter != nullptr);
 
   // Index expiry, mirrored into the counting filter.
+  const catalog::FileCatalog& catalog = engine.catalog();
   for (const auto& evicted : state.ri->ExpireStale(engine.simulator().Now())) {
-    for (const std::string& kw : evicted.keywords) state.keyword_filter->Remove(kw);
+    for (KeywordId kw : evicted.keywords) {
+      state.keyword_filter->Remove(catalog.KeywordBloomHash(kw));
+    }
   }
 
   // Gossip: transmit only the changed bit positions (§4.2 footnote 1).

@@ -50,9 +50,11 @@ class LocawareProtocol final : public Protocol {
 
  private:
   /// Inserts one provider into `node`'s index, keeping the counting Bloom
-  /// filter consistent with filename insertions and evictions.
-  void AddToIndex(Engine& engine, NodeState& state, const std::string& filename,
-                  const std::vector<std::string>& keywords, PeerId provider,
+  /// filter consistent with file insertions and evictions. `sorted_keywords`
+  /// is the file's keyword-id set (ascending); Bloom updates use the
+  /// catalog's precomputed per-keyword probe hashes.
+  void AddToIndex(Engine& engine, NodeState& state, FileId file,
+                  const std::vector<KeywordId>& sorted_keywords, PeerId provider,
                   LocId provider_loc);
 };
 

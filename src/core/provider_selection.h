@@ -22,7 +22,7 @@ struct Candidate {
   LocId loc_id = 0;          ///< locId as carried in the response
   bool from_index = false;   ///< offered by a cached index (vs a file store)
   PeerId responder = kInvalidPeer;  ///< peer whose response offered this candidate
-  std::string filename;      ///< the matching file this provider serves
+  FileId file = kInvalidFile;       ///< the matching file this provider serves
 };
 
 /// Outcome of a selection.

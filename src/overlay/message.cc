@@ -10,17 +10,17 @@ constexpr size_t kAddress = 6;            // IPv4 + port
 constexpr size_t kLocId = 1;              // 24 locIds fit a byte
 }  // namespace
 
-size_t EstimateSizeBytes(const QueryMessage& m) {
+size_t EstimateSizeBytes(const QueryMessage& m, const WireNames& names) {
   size_t bytes = kDescriptorHeader + kAddress + kLocId + 2;  // origin + loc + ttl/hops
-  for (const std::string& kw : m.keywords) bytes += kw.size() + 1;
+  for (KeywordId kw : m.keywords) bytes += names.KeywordWireBytes(kw) + 1;
   return bytes;
 }
 
-size_t EstimateSizeBytes(const ResponseMessage& m) {
+size_t EstimateSizeBytes(const ResponseMessage& m, const WireNames& names) {
   size_t bytes = kDescriptorHeader + 2 * kAddress + kLocId + 1;
-  for (const std::string& kw : m.query_keywords) bytes += kw.size() + 1;
+  for (KeywordId kw : m.query_keywords) bytes += names.KeywordWireBytes(kw) + 1;
   for (const ResponseRecord& r : m.records) {
-    bytes += r.filename.size() + 1;
+    bytes += names.FilenameWireBytes(r.file) + 1;
     bytes += r.providers.size() * (kAddress + kLocId);
   }
   return bytes;

@@ -5,13 +5,18 @@
 // query's reverse path, §3.1), Bloom-filter delta updates (Locaware §4.2),
 // and RTT probes (Locaware's provider-selection fallback, §5.1). Sizes are
 // estimated for the bandwidth-accounting metric.
+//
+// Messages carry interned ids (common/types.h), not strings; a real wire
+// encoding would carry the strings, so EstimateSizeBytes resolves each id's
+// byte length through a WireNames table — traffic metrics are identical to a
+// string-carrying encoding.
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "common/wire_names.h"
 
 namespace locaware::overlay {
 
@@ -28,16 +33,26 @@ struct ProviderInfo {
 /// payload is immutable except ttl/hops.
 struct QueryMessage {
   QueryId qid = 0;
-  PeerId origin = kInvalidPeer;          ///< requesting peer (peer A in Fig. 1)
-  LocId origin_loc = 0;                  ///< requester's locId, used to pick providers
-  std::vector<std::string> keywords;     ///< 1..K keywords (lowercase)
-  uint32_t ttl = 7;                      ///< remaining hops (paper: starts at 7)
-  uint32_t hops = 0;                     ///< hops traveled so far
+  PeerId origin = kInvalidPeer;       ///< requesting peer (peer A in Fig. 1)
+  LocId origin_loc = 0;               ///< requester's locId, used to pick providers
+  std::vector<KeywordId> keywords;    ///< 1..K keyword ids, sorted ascending
+  /// Canonical keyword-set hash (catalog::FileCatalog::CanonicalSetFnv of
+  /// `keywords`), computed once at submit time so per-hop group routing is a
+  /// modulo instead of a re-hash. Not charged on the wire: a receiver could
+  /// recompute it from the keywords.
+  uint64_t kw_set_fnv = 0;
+  /// One designated member of `keywords` for single-keyword routing
+  /// (Dicas-Keys): the *first sampled* query keyword, recorded before
+  /// canonical sorting so the pick stays uniform over the set. Not charged
+  /// on the wire (it duplicates a keyword already carried).
+  KeywordId route_kw = kInvalidKeyword;
+  uint32_t ttl = 7;                   ///< remaining hops (paper: starts at 7)
+  uint32_t hops = 0;                  ///< hops traveled so far
 };
 
 /// One answered file inside a response.
 struct ResponseRecord {
-  std::string filename;
+  FileId file = kInvalidFile;
   /// Known providers, most recent first. For a file-store answer this is just
   /// the responder; for an index answer it is the locId-selected subset of
   /// the cached provider list.
@@ -53,7 +68,7 @@ struct ResponseMessage {
   PeerId responder = kInvalidPeer;  ///< the peer that answered
   PeerId origin = kInvalidPeer;     ///< final destination (the requester)
   LocId origin_loc = 0;             ///< copied from the query
-  std::vector<std::string> query_keywords;  ///< so cachers can match Gid/keywords
+  std::vector<KeywordId> query_keywords;  ///< so cachers can match Gid/keywords
   std::vector<ResponseRecord> records;
   uint32_t hops = 0;  ///< hops traveled back so far
 };
@@ -74,9 +89,10 @@ struct ProbeMessage {
 
 /// Estimated wire sizes in bytes, for the bandwidth metric. The constants
 /// follow Gnutella 0.4 framing: 23-byte descriptor header, 4-byte IPv4 + 2-byte
-/// port per address.
-size_t EstimateSizeBytes(const QueryMessage& m);
-size_t EstimateSizeBytes(const ResponseMessage& m);
+/// port per address. Keyword/filename payloads are charged at the byte length
+/// of their strings, resolved through `names`.
+size_t EstimateSizeBytes(const QueryMessage& m, const WireNames& names);
+size_t EstimateSizeBytes(const ResponseMessage& m, const WireNames& names);
 size_t EstimateSizeBytes(const BloomUpdateMessage& m);
 size_t EstimateSizeBytes(const ProbeMessage& m);
 

@@ -6,23 +6,47 @@
 
 namespace locaware::sim {
 
+void EventQueue::SiftUp(size_t pos, Entry moving) {
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!FiresBefore(moving, heap_[parent])) break;
+    heap_[pos] = std::move(heap_[parent]);
+    pos = parent;
+  }
+  heap_[pos] = std::move(moving);
+}
+
+void EventQueue::SiftDown(size_t pos, Entry moving) {
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && FiresBefore(heap_[child + 1], heap_[child])) ++child;
+    if (!FiresBefore(heap_[child], moving)) break;
+    heap_[pos] = std::move(heap_[child]);
+    pos = child;
+  }
+  heap_[pos] = std::move(moving);
+}
+
 void EventQueue::Push(SimTime at, EventFn fn) {
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  Entry entry{at, next_seq_++, std::move(fn)};
+  heap_.emplace_back();  // open a hole at the tail, then sift the entry in
+  SiftUp(heap_.size() - 1, std::move(entry));
 }
 
 SimTime EventQueue::PeekTime() const {
   LOCAWARE_CHECK(!heap_.empty()) << "PeekTime on empty queue";
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventFn EventQueue::Pop(SimTime* time) {
   LOCAWARE_CHECK(!heap_.empty()) << "Pop on empty queue";
-  // priority_queue::top() is const; the move is safe because we pop right
-  // after and never touch the moved-from entry.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  *time = top.time;
-  EventFn fn = std::move(top.fn);
-  heap_.pop();
+  *time = heap_.front().time;
+  EventFn fn = std::move(heap_.front().fn);
+  Entry last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0, std::move(last));
   return fn;
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/sim_time.h"
@@ -18,10 +17,18 @@ using EventFn = std::function<void()>;
 /// Events scheduled for the same instant fire in scheduling order (FIFO via a
 /// monotonically increasing sequence number), which keeps simulations
 /// deterministic regardless of heap internals.
+///
+/// The heap is hand-rolled over a std::vector rather than std::priority_queue:
+/// priority_queue's const top() forces a const_cast to move the callback out,
+/// and it cannot pre-size its storage. Here Pop moves the payload legally and
+/// Reserve lets callers pre-allocate for a known workload length.
 class EventQueue {
  public:
   /// Enqueues `fn` to fire at absolute time `at`.
   void Push(SimTime at, EventFn fn);
+
+  /// Pre-allocates capacity for `expected_events` queued entries.
+  void Reserve(size_t expected_events) { heap_.reserve(expected_events); }
 
   /// True when no events remain.
   bool empty() const { return heap_.empty(); }
@@ -43,14 +50,18 @@ class EventQueue {
     uint64_t seq;
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// True when the entry at `a` must fire before the entry at `b`.
+  static bool FiresBefore(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Restores the heap property from a hole at `pos` whose entry is `moving`.
+  void SiftUp(size_t pos, Entry moving);
+  void SiftDown(size_t pos, Entry moving);
+
+  std::vector<Entry> heap_;  ///< binary min-heap, root at index 0
   uint64_t next_seq_ = 0;
 };
 

@@ -34,6 +34,9 @@ class Simulator {
   /// Current simulation time. 0 before the first event fires.
   SimTime Now() const { return now_; }
 
+  /// Pre-allocates event-queue capacity (e.g. from the workload length).
+  void ReserveEvents(size_t expected_events) { queue_.Reserve(expected_events); }
+
   /// Schedules `fn` at absolute time `at`. CHECK-fails if `at` is in the past.
   void ScheduleAt(SimTime at, EventFn fn);
 

@@ -1,5 +1,6 @@
 #include "catalog/file_catalog.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -9,6 +10,7 @@
 
 #include "catalog/keyword_pool.h"
 #include "catalog/workload.h"
+#include "common/keyword_set.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
@@ -69,9 +71,37 @@ TEST(FileCatalogTest, GeneratesPaperShape) {
   const FileCatalog& cat = built.ValueOrDie();
   EXPECT_EQ(cat.num_files(), 3000u);
   EXPECT_EQ(cat.keywords_per_file(), 3u);
+  EXPECT_EQ(cat.num_keywords(), 9000u);
   for (FileId f = 0; f < 100; ++f) {
     EXPECT_EQ(cat.keywords(f).size(), 3u);
-    EXPECT_EQ(TokenizeKeywords(cat.filename(f)), cat.keywords(f));
+    // Tokenizing the filename must recover exactly the interned keyword ids,
+    // in filename order.
+    const auto tokens = TokenizeKeywords(cat.filename(f));
+    ASSERT_EQ(tokens.size(), cat.keywords(f).size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      EXPECT_EQ(cat.LookupKeyword(tokens[i]), cat.keywords(f)[i]);
+      EXPECT_EQ(cat.keyword(cat.keywords(f)[i]), tokens[i]);
+    }
+    // sorted_keywords is the ascending permutation of keywords.
+    auto sorted = cat.keywords(f);
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(cat.sorted_keywords(f), sorted);
+  }
+}
+
+TEST(FileCatalogTest, KeywordTablesAreConsistent) {
+  Rng rng(51);
+  CatalogConfig cfg;
+  cfg.num_files = 100;
+  cfg.keyword_pool_size = 300;
+  auto cat = std::move(FileCatalog::Generate(cfg, &rng)).ValueOrDie();
+  for (KeywordId kw = 0; kw < cat.num_keywords(); ++kw) {
+    EXPECT_EQ(cat.LookupKeyword(cat.keyword(kw)), kw);
+    EXPECT_EQ(cat.KeywordWireBytes(kw), cat.keyword(kw).size());
+  }
+  EXPECT_EQ(cat.LookupKeyword("notaword"), kInvalidKeyword);
+  for (FileId f = 0; f < cat.num_files(); ++f) {
+    EXPECT_EQ(cat.FilenameWireBytes(f), cat.filename(f).size());
   }
 }
 
@@ -107,11 +137,24 @@ TEST(FileCatalogTest, RejectsBadConfigs) {
 TEST(FileCatalogTest, MatchesImplementsContainment) {
   Rng rng(8);
   auto cat = std::move(FileCatalog::Generate(PaperCatalog(), &rng)).ValueOrDie();
-  const auto& kws = cat.keywords(0);
+  const auto& kws = cat.sorted_keywords(0);
   EXPECT_TRUE(cat.Matches(0, {kws[0]}));
-  EXPECT_TRUE(cat.Matches(0, {kws[2], kws[0]}));
+  EXPECT_TRUE(cat.Matches(0, {kws[0], kws[2]}));
   EXPECT_TRUE(cat.Matches(0, kws));
-  EXPECT_FALSE(cat.Matches(0, {kws[0], "definitelynotakeyword"}));
+  // A keyword of another file that file 0 does not carry breaks containment.
+  KeywordId foreign = kInvalidKeyword;
+  for (FileId f = 1; f < cat.num_files() && foreign == kInvalidKeyword; ++f) {
+    for (KeywordId kw : cat.sorted_keywords(f)) {
+      if (!ContainsAllIds(kws, {kw})) {
+        foreign = kw;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(foreign, kInvalidKeyword);
+  std::vector<KeywordId> query{kws[0], foreign};
+  std::sort(query.begin(), query.end());
+  EXPECT_FALSE(cat.Matches(0, query));
 }
 
 TEST(FileCatalogTest, FindMatchesAgreesWithBruteForce) {
@@ -123,7 +166,7 @@ TEST(FileCatalogTest, FindMatchesAgreesWithBruteForce) {
   auto cat = std::move(FileCatalog::Generate(cfg, &rng)).ValueOrDie();
 
   for (FileId probe = 0; probe < 50; ++probe) {
-    const std::vector<std::string> query{cat.keywords(probe)[0]};
+    const std::vector<KeywordId> query{cat.keywords(probe)[0]};
     std::set<FileId> brute;
     for (FileId f = 0; f < cat.num_files(); ++f) {
       if (cat.Matches(f, query)) brute.insert(f);
@@ -134,12 +177,22 @@ TEST(FileCatalogTest, FindMatchesAgreesWithBruteForce) {
   }
 }
 
-TEST(FileCatalogTest, FindMatchesUnknownKeywordIsEmpty) {
+TEST(FileCatalogTest, InternQueryKeywordsSortsAndRejectsUnknown) {
   Rng rng(10);
   auto cat = std::move(FileCatalog::Generate(PaperCatalog(), &rng)).ValueOrDie();
-  EXPECT_TRUE(cat.FindMatches({"zzzznotaword"}).empty());
   EXPECT_TRUE(cat.FindMatches({}).empty());
-  EXPECT_TRUE(cat.FindMatches({cat.keywords(0)[0], "zzzznotaword"}).empty());
+
+  const auto& kws = cat.keywords(0);
+  auto interned = cat.InternQueryKeywords(
+      {cat.keyword(kws[2]), cat.keyword(kws[0]), cat.keyword(kws[2])});
+  ASSERT_TRUE(interned.ok());
+  // Sorted ascending, deduplicated.
+  std::vector<KeywordId> expected{kws[0], kws[2]};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(interned.ValueOrDie(), expected);
+
+  EXPECT_FALSE(cat.InternQueryKeywords({"zzzznotaword"}).ok());
+  EXPECT_FALSE(cat.InternQueryKeywords({cat.keyword(kws[0]), "zzzznotaword"}).ok());
 }
 
 TEST(FileCatalogTest, LookupFilenameRoundTrip) {
@@ -183,7 +236,9 @@ TEST_F(WorkloadFixture, QueryKeywordsComeFromTargetFile) {
   for (const QueryEvent& q : wl.queries()) {
     EXPECT_GE(q.keywords.size(), 1u);
     EXPECT_LE(q.keywords.size(), 3u);
-    EXPECT_TRUE(catalog_.Matches(q.target, q.keywords))
+    std::vector<KeywordId> sorted = q.keywords;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(catalog_.Matches(q.target, sorted))
         << "query " << q.id << " does not match its own target";
     EXPECT_LT(q.requester, 1000u);
   }
@@ -237,8 +292,8 @@ TEST_F(WorkloadFixture, LoadedTraceHasUnknownRanks) {
   auto wl = std::move(QueryWorkload::Generate(PaperWorkload(50), catalog_, 50, &rng))
                 .ValueOrDie();
   const std::string path = ::testing::TempDir() + "/locaware_rank_trace.txt";
-  ASSERT_TRUE(wl.SaveTrace(path).ok());
-  auto loaded = std::move(QueryWorkload::LoadTrace(path)).ValueOrDie();
+  ASSERT_TRUE(wl.SaveTrace(path, catalog_).ok());
+  auto loaded = std::move(QueryWorkload::LoadTrace(path, &catalog_)).ValueOrDie();
   EXPECT_EQ(loaded.RankOfFile(0), QueryWorkload::kUnknownRank);
   std::remove(path.c_str());
 }
@@ -280,9 +335,9 @@ TEST_F(WorkloadFixture, TraceSaveLoadRoundTrip) {
   auto wl = std::move(QueryWorkload::Generate(PaperWorkload(300), catalog_, 100, &rng))
                 .ValueOrDie();
   const std::string path = ::testing::TempDir() + "/locaware_trace_test.txt";
-  ASSERT_TRUE(wl.SaveTrace(path).ok());
+  ASSERT_TRUE(wl.SaveTrace(path, catalog_).ok());
 
-  auto loaded = QueryWorkload::LoadTrace(path);
+  auto loaded = QueryWorkload::LoadTrace(path, &catalog_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const auto& a = wl.queries();
   const auto& b = loaded.ValueOrDie().queries();
@@ -298,7 +353,7 @@ TEST_F(WorkloadFixture, TraceSaveLoadRoundTrip) {
 }
 
 TEST_F(WorkloadFixture, LoadTraceRejectsMissingAndMalformed) {
-  EXPECT_FALSE(QueryWorkload::LoadTrace("/nonexistent/path/trace.txt").ok());
+  EXPECT_FALSE(QueryWorkload::LoadTrace("/nonexistent/path/trace.txt", &catalog_).ok());
 
   const std::string path = ::testing::TempDir() + "/locaware_bad_trace.txt";
   {
@@ -307,7 +362,7 @@ TEST_F(WorkloadFixture, LoadTraceRejectsMissingAndMalformed) {
     std::fputs("1 2 3\n", f);  // too few fields
     std::fclose(f);
   }
-  EXPECT_FALSE(QueryWorkload::LoadTrace(path).ok());
+  EXPECT_FALSE(QueryWorkload::LoadTrace(path, &catalog_).ok());
 
   {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -315,7 +370,46 @@ TEST_F(WorkloadFixture, LoadTraceRejectsMissingAndMalformed) {
     std::fputs("1 2 3 400\n", f);  // no keywords
     std::fclose(f);
   }
-  EXPECT_FALSE(QueryWorkload::LoadTrace(path).ok());
+  EXPECT_FALSE(QueryWorkload::LoadTrace(path, &catalog_).ok());
+
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    // A repeated keyword: ambiguous under set semantics, rejected loudly.
+    const std::string word = catalog_.keyword(0);
+    std::fprintf(f, "1 2 3 400 %s %s\n", word.c_str(), word.c_str());
+    std::fclose(f);
+  }
+  EXPECT_FALSE(QueryWorkload::LoadTrace(path, &catalog_).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadFixture, LoadTraceInternsUnknownKeywords) {
+  // A trace may query words no generated filename carries (e.g. searches for
+  // nonexistent content, used to measure failure rates): the word is
+  // interned at the edge and the query simply never matches anything.
+  const std::string path = ::testing::TempDir() + "/locaware_unknown_kw_trace.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1 2 3 400 notacatalogword\n", f);
+    std::fclose(f);
+  }
+  const size_t before = catalog_.num_keywords();
+  auto loaded = QueryWorkload::LoadTrace(path, &catalog_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.ValueOrDie().queries().size(), 1u);
+  const KeywordId minted = loaded.ValueOrDie().queries()[0].keywords[0];
+  EXPECT_EQ(catalog_.num_keywords(), before + 1);
+  EXPECT_EQ(minted, static_cast<KeywordId>(before));
+  EXPECT_EQ(catalog_.keyword(minted), "notacatalogword");
+  EXPECT_EQ(catalog_.LookupKeyword("notacatalogword"), minted);
+  EXPECT_EQ(catalog_.KeywordWireBytes(minted), std::string("notacatalogword").size());
+  EXPECT_TRUE(catalog_.FindMatches({minted}).empty());
+  // Re-loading does not mint again.
+  auto again = QueryWorkload::LoadTrace(path, &catalog_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(catalog_.num_keywords(), before + 1);
   std::remove(path.c_str());
 }
 

@@ -84,7 +84,9 @@ TEST_P(EngineInvariantsTest, MetricsAreInternallyConsistent) {
     EXPECT_GE(r.response_bytes, r.response_msgs * 23);
     // A response can only have arrived if the query left the requester (or
     // was answered locally with zero messages).
-    if (r.responses_received > 0) EXPECT_GT(r.query_msgs, 0u);
+    if (r.responses_received > 0) {
+      EXPECT_GT(r.query_msgs, 0u);
+    }
   }
 }
 
@@ -100,31 +102,38 @@ TEST_P(EngineInvariantsTest, IndexContentsRespectProtocolRules) {
       continue;
     }
     ASSERT_NE(n.ri, nullptr);
-    for (const std::string& f : n.ri->Filenames()) {
-      const auto& kws = n.ri->KeywordsOf(f);
+    for (FileId f : n.ri->Files()) {
+      // The cached keyword set must be the catalog's sorted set for f.
+      EXPECT_EQ(n.ri->KeywordsOf(f), e->catalog().sorted_keywords(f))
+          << "peer " << p << " file " << f;
       switch (param.kind) {
         case ProtocolKind::kDicas:
-          EXPECT_EQ(GroupOfKeywords(kws, e->params().num_groups), n.gid)
+          EXPECT_EQ(GroupOfSetFnv(e->catalog().FileSetFnv(f), e->params().num_groups),
+                    n.gid)
               << "peer " << p << " file " << f;
           break;
         case ProtocolKind::kDicasKeys: {
           // Cached via *some* query's keywords — which are a subset of the
           // filename's, so the node's gid must be one of the filename's
           // keyword groups.
-          const auto groups = KeywordGroups(kws, e->params().num_groups);
+          const auto groups = KeywordGroupsOfIds(
+              n.ri->KeywordsOf(f),
+              [&](KeywordId kw) { return e->catalog().KeywordFnv(kw); },
+              e->params().num_groups);
           EXPECT_NE(std::find(groups.begin(), groups.end(), n.gid), groups.end())
               << "peer " << p << " file " << f;
           break;
         }
         case ProtocolKind::kLocaware:
-          EXPECT_EQ(GroupOfKeywords(kws, e->params().num_groups), n.gid)
+          EXPECT_EQ(GroupOfSetFnv(e->catalog().FileSetFnv(f), e->params().num_groups),
+                    n.gid)
               << "peer " << p << " file " << f;
           break;
         case ProtocolKind::kFlooding:
           break;
       }
       // No index ever names the impossible: all providers are real peers.
-      const auto hit = n.ri->LookupFilename(f, e->simulator().Now() + 1);
+      const auto hit = n.ri->LookupFile(f, e->simulator().Now() + 1);
       if (hit.has_value()) {
         for (const auto& prov : hit->providers) {
           EXPECT_LT(prov.provider, e->num_peers());
@@ -142,8 +151,10 @@ TEST_P(EngineInvariantsTest, LocawareBloomStaysConsistent) {
   for (PeerId p = 0; p < e->num_peers(); ++p) {
     const NodeState& n = e->node(p);
     bloom::BloomFilter rebuilt(e->params().bloom_bits, e->params().bloom_hashes);
-    for (const std::string& f : n.ri->Filenames()) {
-      for (const std::string& kw : n.ri->KeywordsOf(f)) rebuilt.Insert(kw);
+    for (FileId f : n.ri->Files()) {
+      // Rebuild from strings so string-path and precomputed-hash-path bits
+      // are cross-checked end to end.
+      for (KeywordId kw : n.ri->KeywordsOf(f)) rebuilt.Insert(e->catalog().keyword(kw));
     }
     EXPECT_EQ(n.keyword_filter->projection(), rebuilt) << "peer " << p;
   }

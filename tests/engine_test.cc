@@ -103,13 +103,15 @@ TEST(EngineTest, FloodingCoversTheNetwork) {
 TEST(EngineTest, DicasCachingRespectsGroupCondition) {
   auto e = std::move(Engine::Create(TinyConfig(ProtocolKind::kDicas))).ValueOrDie();
   e->Run();
-  // Invariant (eq. 1): every filename in RI_n satisfies hash(f) mod M = Gid_n.
+  // Invariant (eq. 1): every file in RI_n satisfies hash(f) mod M = Gid_n.
   size_t cached_total = 0;
   for (PeerId p = 0; p < e->num_peers(); ++p) {
     const NodeState& n = e->node(p);
-    for (const std::string& f : n.ri->Filenames()) {
-      EXPECT_EQ(GroupOfFilename(f, e->params().num_groups), n.gid)
-          << "peer " << p << " cached " << f << " outside its group";
+    for (FileId f : n.ri->Files()) {
+      EXPECT_EQ(GroupOfSetFnv(e->catalog().FileSetFnv(f), e->params().num_groups),
+                n.gid)
+          << "peer " << p << " cached " << e->catalog().filename(f)
+          << " outside its group";
       ++cached_total;
     }
   }
@@ -122,10 +124,14 @@ TEST(EngineTest, DicasKeysCachingUsesKeywordGroups) {
   size_t cached_total = 0;
   for (PeerId p = 0; p < e->num_peers(); ++p) {
     const NodeState& n = e->node(p);
-    for (const std::string& f : n.ri->Filenames()) {
-      const auto groups = KeywordGroups(n.ri->KeywordsOf(f), e->params().num_groups);
+    for (FileId f : n.ri->Files()) {
+      const auto groups = KeywordGroupsOfIds(
+          n.ri->KeywordsOf(f),
+          [&](KeywordId kw) { return e->catalog().KeywordFnv(kw); },
+          e->params().num_groups);
       EXPECT_NE(std::find(groups.begin(), groups.end(), n.gid), groups.end())
-          << "peer " << p << " cached " << f << " outside every keyword group";
+          << "peer " << p << " cached " << e->catalog().filename(f)
+          << " outside every keyword group";
       ++cached_total;
     }
   }
@@ -164,8 +170,10 @@ TEST(EngineTest, LocawareBloomFilterMatchesIndexContents) {
   for (PeerId p = 0; p < e->num_peers(); ++p) {
     const NodeState& n = e->node(p);
     bloom::BloomFilter rebuilt(e->params().bloom_bits, e->params().bloom_hashes);
-    for (const std::string& f : n.ri->Filenames()) {
-      for (const std::string& kw : n.ri->KeywordsOf(f)) rebuilt.Insert(kw);
+    for (FileId f : n.ri->Files()) {
+      // Rebuild from keyword *strings*: the precomputed-hash path the engine
+      // uses must land on exactly the same bits.
+      for (KeywordId kw : n.ri->KeywordsOf(f)) rebuilt.Insert(e->catalog().keyword(kw));
     }
     EXPECT_EQ(n.keyword_filter->projection(), rebuilt) << "peer " << p;
   }
@@ -299,7 +307,7 @@ TEST(EngineTest, TraceReplayReproducesGeneratedRun) {
   const ExperimentConfig cfg = TinyConfig(ProtocolKind::kLocaware, 77);
   auto original = std::move(Engine::Create(cfg)).ValueOrDie();
   const std::string path = ::testing::TempDir() + "/locaware_engine_trace.txt";
-  ASSERT_TRUE(original->workload().SaveTrace(path).ok());
+  ASSERT_TRUE(original->workload().SaveTrace(path, original->catalog()).ok());
   original->Run();
   const auto base = metrics::Summarize(original->metrics());
 

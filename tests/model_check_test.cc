@@ -3,16 +3,14 @@
 // naive reference implementation. Divergence means one of them is wrong —
 // and the reference is simple enough to trust.
 #include <algorithm>
-#include <map>
 #include <optional>
-#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cache/response_index.h"
+#include "common/keyword_set.h"
 #include "common/rng.h"
-#include "common/string_util.h"
 
 namespace locaware::cache {
 namespace {
@@ -20,20 +18,19 @@ namespace {
 /// Straight-line reference for ResponseIndex with LRU eviction.
 class ReferenceIndex {
  public:
-  ReferenceIndex(size_t max_filenames, size_t max_providers, sim::SimTime ttl)
-      : max_filenames_(max_filenames), max_providers_(max_providers), ttl_(ttl) {}
+  ReferenceIndex(size_t max_files, size_t max_providers, sim::SimTime ttl)
+      : max_files_(max_files), max_providers_(max_providers), ttl_(ttl) {}
 
-  std::vector<std::string> AddProvider(const std::string& name,
-                                       const std::vector<std::string>& kws,
-                                       PeerId provider, LocId loc, sim::SimTime now) {
-    std::vector<std::string> evicted;
-    auto it = Find(name);
+  std::vector<FileId> AddProvider(FileId file, const std::vector<KeywordId>& kws,
+                                  PeerId provider, LocId loc, sim::SimTime now) {
+    std::vector<FileId> evicted;
+    auto it = Find(file);
     if (it == entries_.end()) {
-      while (entries_.size() >= max_filenames_) {
-        evicted.push_back(entries_.front().name);
+      while (entries_.size() >= max_files_) {
+        evicted.push_back(entries_.front().file);
         entries_.erase(entries_.begin());
       }
-      entries_.push_back(Entry{name, kws, {}});
+      entries_.push_back(Entry{file, kws, {}});
       it = std::prev(entries_.end());
     } else {
       Touch(it);
@@ -48,9 +45,8 @@ class ReferenceIndex {
     return evicted;
   }
 
-  std::optional<std::vector<ProviderEntry>> Lookup(const std::string& name,
-                                                   sim::SimTime now) {
-    auto it = Find(name);
+  std::optional<std::vector<ProviderEntry>> Lookup(FileId file, sim::SimTime now) {
+    auto it = Find(file);
     if (it == entries_.end()) return std::nullopt;
     std::vector<ProviderEntry> live;
     for (const auto& p : it->providers) {
@@ -61,28 +57,28 @@ class ReferenceIndex {
     return live;
   }
 
-  /// Names matching the query (with >=1 live provider), LRU-refreshing each
+  /// Files matching the query (with >=1 live provider), LRU-refreshing each
   /// match like the real index does. Callers must keep queries single-match:
-  /// with several matches the real index's touch order follows hash-map
-  /// iteration order, which a reference cannot (and should not) replicate.
-  std::vector<std::string> MatchingNames(const std::vector<std::string>& query,
-                                         sim::SimTime now) {
-    std::vector<std::string> out;
+  /// with several matches the real index's touch order follows posting-list
+  /// order, which a reference cannot (and should not) replicate.
+  std::vector<FileId> MatchingFiles(const std::vector<KeywordId>& query,
+                                    sim::SimTime now) {
+    std::vector<FileId> out;
     for (const auto& e : entries_) {
-      if (!ContainsAllKeywords(e.keywords, query)) continue;
+      if (!ContainsAllIds(e.keywords, query)) continue;
       bool any_live = false;
       for (const auto& p : e.providers) {
         if (ttl_ <= 0 || now - p.added_at <= ttl_) any_live = true;
       }
-      if (any_live) out.push_back(e.name);
+      if (any_live) out.push_back(e.file);
     }
-    for (const std::string& name : out) Touch(Find(name));
+    for (FileId file : out) Touch(Find(file));
     std::sort(out.begin(), out.end());
     return out;
   }
 
-  std::vector<std::string> Expire(sim::SimTime now) {
-    std::vector<std::string> removed;
+  std::vector<FileId> Expire(sim::SimTime now) {
+    std::vector<FileId> removed;
     if (ttl_ <= 0) return removed;
     for (auto it = entries_.begin(); it != entries_.end();) {
       auto& provs = it->providers;
@@ -90,7 +86,7 @@ class ReferenceIndex {
                                  [&](const auto& p) { return now - p.added_at > ttl_; }),
                   provs.end());
       if (provs.empty()) {
-        removed.push_back(it->name);
+        removed.push_back(it->file);
         it = entries_.erase(it);
       } else {
         ++it;
@@ -104,14 +100,14 @@ class ReferenceIndex {
 
  private:
   struct Entry {
-    std::string name;
-    std::vector<std::string> keywords;
+    FileId file;
+    std::vector<KeywordId> keywords;
     std::vector<ProviderEntry> providers;
   };
 
-  std::vector<Entry>::iterator Find(const std::string& name) {
+  std::vector<Entry>::iterator Find(FileId file) {
     return std::find_if(entries_.begin(), entries_.end(),
-                        [&](const Entry& e) { return e.name == name; });
+                        [&](const Entry& e) { return e.file == file; });
   }
   void Touch(std::vector<Entry>::iterator it) {
     Entry copy = *it;
@@ -119,7 +115,7 @@ class ReferenceIndex {
     entries_.push_back(std::move(copy));
   }
 
-  size_t max_filenames_;
+  size_t max_files_;
   size_t max_providers_;
   sim::SimTime ttl_;
   std::vector<Entry> entries_;  // front = LRU victim
@@ -144,13 +140,18 @@ TEST_P(ResponseIndexModelTest, AgreesWithReferenceOverRandomOps) {
   ResponseIndex real(cfg);
   ReferenceIndex reference(params.max_filenames, params.max_providers, cfg.entry_ttl);
 
-  // A small universe of files so operations collide often.
-  std::vector<std::pair<std::string, std::vector<std::string>>> files;
-  for (int i = 0; i < 12; ++i) {
-    std::vector<std::string> kws{"shared" + std::to_string(i % 3),
-                                 "mid" + std::to_string(i % 5),
-                                 "uniq" + std::to_string(i)};
-    files.emplace_back(Join(kws, " "), kws);
+  // A small universe of files so operations collide often. Keyword-id
+  // layout: shared ids 0..2, mid ids 10..14, a unique id 100+i per file —
+  // sorted ascending by construction.
+  struct FileDef {
+    FileId file;
+    std::vector<KeywordId> kws;
+  };
+  std::vector<FileDef> files;
+  for (KeywordId i = 0; i < 12; ++i) {
+    files.push_back(FileDef{static_cast<FileId>(i),
+                            {i % 3, static_cast<KeywordId>(10 + i % 5),
+                             static_cast<KeywordId>(100 + i)}});
   }
 
   Rng rng(params.seed);
@@ -158,21 +159,21 @@ TEST_P(ResponseIndexModelTest, AgreesWithReferenceOverRandomOps) {
   for (int step = 0; step < 3000; ++step) {
     now += static_cast<sim::SimTime>(rng.UniformInt(1, 2 * sim::kSecond));
     const int op = static_cast<int>(rng.UniformInt(0, 9));
-    const auto& [name, kws] = files[rng.UniformInt(0, files.size() - 1)];
+    const auto& [file, kws] = files[rng.UniformInt(0, files.size() - 1)];
 
     if (op < 5) {  // AddProvider
       const PeerId provider = static_cast<PeerId>(rng.UniformInt(0, 9));
       const LocId loc = static_cast<LocId>(rng.UniformInt(0, 23));
       const auto outcome =
-          real.AddProvider(name, kws, ProviderEntry{provider, loc, 0}, now);
+          real.AddProvider(file, kws, ProviderEntry{provider, loc, 0}, now);
       const auto expected_evicted =
-          reference.AddProvider(name, kws, provider, loc, now);
-      std::vector<std::string> got_evicted;
-      for (const auto& e : outcome.evicted) got_evicted.push_back(e.filename);
+          reference.AddProvider(file, kws, provider, loc, now);
+      std::vector<FileId> got_evicted;
+      for (const auto& e : outcome.evicted) got_evicted.push_back(e.file);
       EXPECT_EQ(got_evicted, expected_evicted) << "step " << step;
     } else if (op < 7) {  // exact lookup
-      const auto got = real.LookupFilename(name, now);
-      const auto expected = reference.Lookup(name, now);
+      const auto got = real.LookupFile(file, now);
+      const auto expected = reference.Lookup(file, now);
       ASSERT_EQ(got.has_value(), expected.has_value()) << "step " << step;
       if (got.has_value()) {
         ASSERT_EQ(got->providers.size(), expected->size()) << "step " << step;
@@ -184,17 +185,17 @@ TEST_P(ResponseIndexModelTest, AgreesWithReferenceOverRandomOps) {
       }
     } else if (op < 9) {  // keyword lookup via the file's unique keyword, so
                           // at most one entry matches and LRU-touch order is
-                          // deterministic (see ReferenceIndex::MatchingNames)
-      const std::vector<std::string> query{kws[2]};
-      std::vector<std::string> got;
+                          // deterministic (see ReferenceIndex::MatchingFiles)
+      const std::vector<KeywordId> query{kws[2]};
+      std::vector<FileId> got;
       for (const auto& hit : real.LookupByKeywords(query, now)) {
-        got.push_back(hit.filename);
+        got.push_back(hit.file);
       }
       std::sort(got.begin(), got.end());
-      EXPECT_EQ(got, reference.MatchingNames(query, now)) << "step " << step;
+      EXPECT_EQ(got, reference.MatchingFiles(query, now)) << "step " << step;
     } else {  // expiry sweep
-      std::vector<std::string> got;
-      for (const auto& e : real.ExpireStale(now)) got.push_back(e.filename);
+      std::vector<FileId> got;
+      for (const auto& e : real.ExpireStale(now)) got.push_back(e.file);
       std::sort(got.begin(), got.end());
       EXPECT_EQ(got, reference.Expire(now)) << "step " << step;
     }

@@ -178,25 +178,34 @@ TEST(OverlayGraphTest, DeterministicForSeed) {
 
 // --- messages ---
 
+/// Deterministic stand-in for the catalog's string tables: every keyword is
+/// charged as a 5-byte word, every filename as "kw kw kw" (17 bytes).
+struct FakeNames : WireNames {
+  size_t KeywordWireBytes(KeywordId /*kw*/) const override { return 5; }
+  size_t FilenameWireBytes(FileId /*f*/) const override { return 17; }
+};
+
 TEST(MessageTest, QuerySizeGrowsWithKeywords) {
+  const FakeNames names;
   QueryMessage q;
-  q.keywords = {"one"};
-  const size_t small = EstimateSizeBytes(q);
-  q.keywords = {"one", "two", "three"};
-  EXPECT_GT(EstimateSizeBytes(q), small);
+  q.keywords = {1};
+  const size_t small = EstimateSizeBytes(q, names);
+  q.keywords = {1, 2, 3};
+  EXPECT_EQ(EstimateSizeBytes(q, names), small + 2 * 6);  // 2 more 5-byte words
   EXPECT_GT(small, 23u);  // at least a Gnutella header
 }
 
 TEST(MessageTest, ResponseSizeGrowsWithProviders) {
+  const FakeNames names;
   ResponseMessage m;
   ResponseRecord rec;
-  rec.filename = "alpha beta gamma";
+  rec.file = 7;
   rec.providers = {{1, 0}};
   m.records.push_back(rec);
-  const size_t one = EstimateSizeBytes(m);
+  const size_t one = EstimateSizeBytes(m, names);
   m.records[0].providers.push_back({2, 1});
   m.records[0].providers.push_back({3, 2});
-  EXPECT_GT(EstimateSizeBytes(m), one);
+  EXPECT_EQ(EstimateSizeBytes(m, names), one + 2 * 7);  // 2 more (addr+locId)
 }
 
 TEST(MessageTest, BloomUpdateSizeMatchesDeltaEncoding) {

@@ -2,13 +2,13 @@
 // simulations, these build a small engine, hand-craft node state (caches,
 // Bloom filters, group ids) and call ForwardTargets / AnswerFromIndex /
 // ObserveResponse directly, asserting the paper's routing and caching rules
-// decision by decision.
+// decision by decision. All symbols come from the engine's own catalog — the
+// id plane has no notion of out-of-catalog strings.
 #include <algorithm>
 #include <set>
 
 #include <gtest/gtest.h>
 
-#include "common/string_util.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/group_hash.h"
@@ -29,11 +29,14 @@ std::unique_ptr<Engine> MakeEngine(ProtocolKind kind, uint64_t seed = 5,
 }
 
 overlay::QueryMessage MakeQuery(Engine& e, PeerId origin,
-                                std::vector<std::string> keywords) {
+                                std::vector<KeywordId> keywords) {
   overlay::QueryMessage q;
   q.qid = 777;
   q.origin = origin;
   q.origin_loc = e.loc_of(origin);
+  q.route_kw = keywords.front();  // "first sampled" = first listed
+  std::sort(keywords.begin(), keywords.end());
+  q.kw_set_fnv = e.catalog().CanonicalSetFnv(keywords);
   q.keywords = std::move(keywords);
   q.ttl = 7;
   return q;
@@ -48,13 +51,23 @@ PeerId PeerWithNeighbors(Engine& e, size_t min_neighbors) {
   return 0;
 }
 
+/// Group of file `f` under the engine's M.
+GroupId FileGroup(Engine& e, FileId f) {
+  return GroupOfSetFnv(e.catalog().FileSetFnv(f), e.params().num_groups);
+}
+
+/// Group of a single keyword under the engine's M.
+GroupId KeywordGroup(Engine& e, KeywordId kw) {
+  return GroupOfKeywordFnv(e.catalog().KeywordFnv(kw), e.params().num_groups);
+}
+
 // ---------------------------------------------------------------- Flooding
 
 TEST(FloodingBehaviorTest, ForwardsToAllNeighborsExceptSender) {
   auto e = MakeEngine(ProtocolKind::kFlooding);
   const PeerId node = PeerWithNeighbors(*e, 2);
   const PeerId from = e->graph().Neighbors(node)[0];
-  const auto q = MakeQuery(*e, 9, {"whatever"});
+  const auto q = MakeQuery(*e, 9, {e->catalog().keywords(0)[0]});
 
   const auto targets = e->protocol().ForwardTargets(*e, node, q, from);
   std::set<PeerId> expected(e->graph().Neighbors(node).begin(),
@@ -66,14 +79,14 @@ TEST(FloodingBehaviorTest, ForwardsToAllNeighborsExceptSender) {
 TEST(FloodingBehaviorTest, OriginForwardsEverywhere) {
   auto e = MakeEngine(ProtocolKind::kFlooding);
   const PeerId node = PeerWithNeighbors(*e, 2);
-  const auto q = MakeQuery(*e, node, {"whatever"});
+  const auto q = MakeQuery(*e, node, {e->catalog().keywords(0)[0]});
   const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
   EXPECT_EQ(targets.size(), e->graph().Degree(node));
 }
 
 TEST(FloodingBehaviorTest, NeverAnswersFromIndexAndKeepsForwarding) {
   auto e = MakeEngine(ProtocolKind::kFlooding);
-  const auto q = MakeQuery(*e, 1, {"whatever"});
+  const auto q = MakeQuery(*e, 1, {e->catalog().keywords(0)[0]});
   EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 2, q).empty());
   EXPECT_TRUE(e->protocol().ForwardAfterHit());
 }
@@ -83,8 +96,9 @@ TEST(FloodingBehaviorTest, NeverAnswersFromIndexAndKeepsForwarding) {
 TEST(DicasBehaviorTest, PrefersAllGroupMatchingNeighbors) {
   auto e = MakeEngine(ProtocolKind::kDicas);
   const PeerId node = PeerWithNeighbors(*e, 3);
-  const auto q = MakeQuery(*e, 9, {"alpha", "beta"});
-  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  const auto q =
+      MakeQuery(*e, 9, {e->catalog().keywords(0)[0], e->catalog().keywords(0)[1]});
+  const GroupId g = GroupOfSetFnv(q.kw_set_fnv, e->params().num_groups);
 
   // Force two neighbors into the query's group, the rest out of it.
   const auto& neighbors = e->graph().Neighbors(node);
@@ -101,8 +115,9 @@ TEST(DicasBehaviorTest, PrefersAllGroupMatchingNeighbors) {
 TEST(DicasBehaviorTest, FallsBackToBoundedRandomNeighbors) {
   auto e = MakeEngine(ProtocolKind::kDicas);
   const PeerId node = PeerWithNeighbors(*e, 3);
-  const auto q = MakeQuery(*e, 9, {"alpha", "beta"});
-  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  const auto q =
+      MakeQuery(*e, 9, {e->catalog().keywords(0)[0], e->catalog().keywords(0)[1]});
+  const GroupId g = GroupOfSetFnv(q.kw_set_fnv, e->params().num_groups);
   for (PeerId nb : e->graph().Neighbors(node)) {
     e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
   }
@@ -116,7 +131,7 @@ TEST(DicasBehaviorTest, FallsBackToBoundedRandomNeighbors) {
 TEST(DicasBehaviorTest, SenderIsNeverATarget) {
   auto e = MakeEngine(ProtocolKind::kDicas);
   const PeerId node = PeerWithNeighbors(*e, 2);
-  const auto q = MakeQuery(*e, 9, {"alpha"});
+  const auto q = MakeQuery(*e, 9, {e->catalog().keywords(0)[0]});
   for (PeerId from : e->graph().Neighbors(node)) {
     const auto targets = e->protocol().ForwardTargets(*e, node, q, from);
     EXPECT_EQ(std::find(targets.begin(), targets.end(), from), targets.end());
@@ -126,20 +141,22 @@ TEST(DicasBehaviorTest, SenderIsNeverATarget) {
 TEST(DicasBehaviorTest, AnswersOnlyFullFilenameQueries) {
   auto e = MakeEngine(ProtocolKind::kDicas);
   NodeState& n = e->node(3);
-  const std::vector<std::string> kws{"blue", "monday", "live"};
-  n.ri->AddProvider("blue monday live", kws, cache::ProviderEntry{7, 2, 0}, 0);
+  const FileId file = 0;
+  const auto& kws = e->catalog().sorted_keywords(file);
+  ASSERT_EQ(kws.size(), 3u);
+  n.ri->AddProvider(file, kws, cache::ProviderEntry{7, 2, 0}, 0);
 
   // Partial keyword query: invisible ("designed for filename search").
-  auto q_partial = MakeQuery(*e, 9, {"blue"});
+  auto q_partial = MakeQuery(*e, 9, {kws[0]});
   EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 3, q_partial).empty());
-  auto q_two = MakeQuery(*e, 9, {"monday", "blue"});
+  auto q_two = MakeQuery(*e, 9, {kws[1], kws[0]});
   EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 3, q_two).empty());
 
   // Full keyword set (any order): answered with the single provider.
-  auto q_full = MakeQuery(*e, 9, {"live", "blue", "monday"});
+  auto q_full = MakeQuery(*e, 9, {kws[2], kws[0], kws[1]});
   const auto records = e->protocol().AnswerFromIndex(*e, 3, q_full);
   ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].filename, "blue monday live");
+  EXPECT_EQ(records[0].file, file);
   EXPECT_TRUE(records[0].from_index);
   ASSERT_EQ(records[0].providers.size(), 1u);
   EXPECT_EQ(records[0].providers[0].peer, 7u);
@@ -147,17 +164,17 @@ TEST(DicasBehaviorTest, AnswersOnlyFullFilenameQueries) {
 
 TEST(DicasBehaviorTest, CachesOnlyAtMatchingGidWithSingleProvider) {
   auto e = MakeEngine(ProtocolKind::kDicas);
-  const std::string filename = "blue monday live";
-  const GroupId g = GroupOfFilename(filename, e->params().num_groups);
+  const FileId file = 0;
+  const GroupId g = FileGroup(*e, file);
 
   overlay::ResponseMessage resp;
   resp.qid = 1;
   resp.responder = 8;
   resp.origin = 9;
   resp.origin_loc = 3;
-  resp.query_keywords = {"blue", "monday", "live"};
+  resp.query_keywords = e->catalog().sorted_keywords(file);
   overlay::ResponseRecord rec;
-  rec.filename = filename;
+  rec.file = file;
   rec.providers = {{8, 5}, {4, 1}};
   resp.records.push_back(rec);
 
@@ -169,10 +186,10 @@ TEST(DicasBehaviorTest, CachesOnlyAtMatchingGidWithSingleProvider) {
   e->protocol().ObserveResponse(*e, 10, resp);
   e->protocol().ObserveResponse(*e, 11, resp);
 
-  EXPECT_TRUE(matching.ri->Contains(filename));
-  EXPECT_FALSE(other.ri->Contains(filename));
+  EXPECT_TRUE(matching.ri->Contains(file));
+  EXPECT_FALSE(other.ri->Contains(file));
   // Single-provider index: only the freshest provider is kept.
-  auto hit = matching.ri->LookupFilename(filename, 1);
+  auto hit = matching.ri->LookupFile(file, 1);
   ASSERT_TRUE(hit.has_value());
   ASSERT_EQ(hit->providers.size(), 1u);
   EXPECT_EQ(hit->providers[0].provider, 8u);
@@ -183,8 +200,10 @@ TEST(DicasBehaviorTest, CachesOnlyAtMatchingGidWithSingleProvider) {
 TEST(DicasKeysBehaviorTest, RoutesByFirstKeywordGroup) {
   auto e = MakeEngine(ProtocolKind::kDicasKeys);
   const PeerId node = PeerWithNeighbors(*e, 3);
-  const auto q = MakeQuery(*e, 9, {"alpha", "beta"});
-  const GroupId g_first = GroupOfKeyword("alpha", e->params().num_groups);
+  const auto q =
+      MakeQuery(*e, 9, {e->catalog().keywords(0)[0], e->catalog().keywords(0)[1]});
+  // The routed keyword is the message's designated route_kw.
+  const GroupId g_first = KeywordGroup(*e, q.route_kw);
 
   const auto& neighbors = e->graph().Neighbors(node);
   for (size_t i = 0; i < neighbors.size(); ++i) {
@@ -199,47 +218,48 @@ TEST(DicasKeysBehaviorTest, RoutesByFirstKeywordGroup) {
 
 TEST(DicasKeysBehaviorTest, CachesUnderQueryKeywordGroups) {
   auto e = MakeEngine(ProtocolKind::kDicasKeys);
-  const std::string filename = "blue monday live";
+  const FileId file = 0;
+  const KeywordId routed_kw = e->catalog().sorted_keywords(file)[1];
 
   overlay::ResponseMessage resp;
   resp.qid = 1;
   resp.responder = 8;
   resp.origin = 9;
-  resp.query_keywords = {"monday"};  // the query that produced this response
+  resp.query_keywords = {routed_kw};  // the query that produced this response
   overlay::ResponseRecord rec;
-  rec.filename = filename;
+  rec.file = file;
   rec.providers = {{8, 5}};
   resp.records.push_back(rec);
 
-  const GroupId g_monday = GroupOfKeyword("monday", e->params().num_groups);
-  const GroupId g_other = static_cast<GroupId>((g_monday + 1) % e->params().num_groups);
+  const GroupId g_kw = KeywordGroup(*e, routed_kw);
+  const GroupId g_other = static_cast<GroupId>((g_kw + 1) % e->params().num_groups);
 
-  e->node(20).gid = g_monday;
+  e->node(20).gid = g_kw;
   e->node(21).gid = g_other;
   e->protocol().ObserveResponse(*e, 20, resp);
   e->protocol().ObserveResponse(*e, 21, resp);
 
-  EXPECT_TRUE(e->node(20).ri->Contains(filename));
-  EXPECT_FALSE(e->node(21).ri->Contains(filename));
+  EXPECT_TRUE(e->node(20).ri->Contains(file));
+  EXPECT_FALSE(e->node(21).ri->Contains(file));
 }
 
 TEST(DicasKeysBehaviorTest, HitVisibleOnlyWhenQueryPointsAtThisGroup) {
   auto e = MakeEngine(ProtocolKind::kDicasKeys);
   NodeState& n = e->node(5);
-  const std::vector<std::string> kws{"blue", "monday", "live"};
-  n.ri->AddProvider("blue monday live", kws, cache::ProviderEntry{7, 2, 0}, 0);
-  n.gid = GroupOfKeyword("monday", e->params().num_groups);
+  const FileId file = 0;
+  const auto& kws = e->catalog().sorted_keywords(file);
+  ASSERT_EQ(kws.size(), 3u);
+  n.ri->AddProvider(file, kws, cache::ProviderEntry{7, 2, 0}, 0);
+  n.gid = KeywordGroup(*e, kws[1]);
 
-  // Query containing "monday": its hash points at this node's group.
-  auto q_visible = MakeQuery(*e, 9, {"monday", "blue"});
+  // Query containing kws[1]: its hash points at this node's group.
+  auto q_visible = MakeQuery(*e, 9, {kws[1], kws[0]});
   EXPECT_FALSE(e->protocol().AnswerFromIndex(*e, 5, q_visible).empty());
 
   // Query with only keywords whose groups differ: the entry is unreachable
   // through the keyword-hash index even though the node has it.
-  GroupId g_blue = GroupOfKeyword("blue", e->params().num_groups);
-  GroupId g_live = GroupOfKeyword("live", e->params().num_groups);
-  if (g_blue != n.gid && g_live != n.gid) {
-    auto q_invisible = MakeQuery(*e, 9, {"blue", "live"});
+  if (KeywordGroup(*e, kws[0]) != n.gid && KeywordGroup(*e, kws[2]) != n.gid) {
+    auto q_invisible = MakeQuery(*e, 9, {kws[0], kws[2]});
     EXPECT_TRUE(e->protocol().AnswerFromIndex(*e, 5, q_invisible).empty());
   }
 }
@@ -250,15 +270,18 @@ TEST(LocawareBehaviorTest, BloomTierBeatsGidTier) {
   auto e = MakeEngine(ProtocolKind::kLocaware);
   const PeerId node = PeerWithNeighbors(*e, 3);
   const auto& neighbors = e->graph().Neighbors(node);
-  const auto q = MakeQuery(*e, 9, {"blue", "monday"});
+  const auto q =
+      MakeQuery(*e, 9, {e->catalog().keywords(0)[0], e->catalog().keywords(0)[1]});
 
-  // Neighbor 0's filter advertises both keywords; neighbor 1 matches by gid.
+  // Neighbor 0's filter advertises both keywords (inserted by *string*, so
+  // the precomputed-hash probe path is cross-checked); neighbor 1 matches by
+  // gid.
   NodeState& n = e->node(node);
   bloom::BloomFilter match(e->params().bloom_bits, e->params().bloom_hashes);
-  match.Insert("blue");
-  match.Insert("monday");
+  match.Insert(e->catalog().keyword(q.keywords[0]));
+  match.Insert(e->catalog().keyword(q.keywords[1]));
   n.neighbor_filters.insert_or_assign(neighbors[0], match);
-  e->node(neighbors[1]).gid = GroupOfKeywords(q.keywords, e->params().num_groups);
+  e->node(neighbors[1]).gid = GroupOfSetFnv(q.kw_set_fnv, e->params().num_groups);
 
   const auto targets = e->protocol().ForwardTargets(*e, node, q, kInvalidPeer);
   ASSERT_EQ(targets.size(), 1u);
@@ -269,14 +292,15 @@ TEST(LocawareBehaviorTest, PartialBloomMatchDoesNotCount) {
   auto e = MakeEngine(ProtocolKind::kLocaware);
   const PeerId node = PeerWithNeighbors(*e, 2);
   const auto& neighbors = e->graph().Neighbors(node);
-  const auto q = MakeQuery(*e, 9, {"blue", "monday"});
+  const auto q =
+      MakeQuery(*e, 9, {e->catalog().keywords(0)[0], e->catalog().keywords(0)[1]});
 
   NodeState& n = e->node(node);
   bloom::BloomFilter partial(e->params().bloom_bits, e->params().bloom_hashes);
-  partial.Insert("blue");  // only one of the two keywords
+  partial.Insert(e->catalog().keyword(q.keywords[0]));  // only one of the two
   n.neighbor_filters.insert_or_assign(neighbors[0], partial);
   // Keep every neighbor out of the query's gid so tier 2 is empty too.
-  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  const GroupId g = GroupOfSetFnv(q.kw_set_fnv, e->params().num_groups);
   for (PeerId nb : neighbors) {
     e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
   }
@@ -292,8 +316,9 @@ TEST(LocawareBehaviorTest, PartialBloomMatchDoesNotCount) {
 TEST(LocawareBehaviorTest, FallbackIsBoundedAndDegreeSorted) {
   auto e = MakeEngine(ProtocolKind::kLocaware);
   const PeerId node = PeerWithNeighbors(*e, 3);
-  const auto q = MakeQuery(*e, 9, {"zzz", "yyy"});
-  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  const auto q =
+      MakeQuery(*e, 9, {e->catalog().keywords(7)[0], e->catalog().keywords(7)[1]});
+  const GroupId g = GroupOfSetFnv(q.kw_set_fnv, e->params().num_groups);
   for (PeerId nb : e->graph().Neighbors(node)) {
     e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
   }
@@ -305,27 +330,27 @@ TEST(LocawareBehaviorTest, FallbackIsBoundedAndDegreeSorted) {
 TEST(LocawareBehaviorTest, AnswerPutsRequesterLocalityFirstAndCapsProviders) {
   auto e = MakeEngine(ProtocolKind::kLocaware);
   NodeState& n = e->node(3);
-  const std::vector<std::string> kws{"blue", "monday", "live"};
-  const std::string filename = "blue monday live";
+  const FileId file = 0;
+  const auto& kws = e->catalog().sorted_keywords(file);
   const PeerId origin = 9;
   const LocId origin_loc = e->loc_of(origin);
 
   // Five providers, two in the requester's locality (inserted early, so they
   // are *not* the freshest).
   sim::SimTime t = 0;
-  n.ri->AddProvider(filename, kws, cache::ProviderEntry{30, origin_loc, 0}, ++t);
-  n.ri->AddProvider(filename, kws, cache::ProviderEntry{31, origin_loc, 0}, ++t);
-  n.ri->AddProvider(filename, kws,
+  n.ri->AddProvider(file, kws, cache::ProviderEntry{30, origin_loc, 0}, ++t);
+  n.ri->AddProvider(file, kws, cache::ProviderEntry{31, origin_loc, 0}, ++t);
+  n.ri->AddProvider(file, kws,
                     cache::ProviderEntry{32, static_cast<LocId>(origin_loc + 1), 0},
                     ++t);
-  n.ri->AddProvider(filename, kws,
+  n.ri->AddProvider(file, kws,
                     cache::ProviderEntry{33, static_cast<LocId>(origin_loc + 1), 0},
                     ++t);
-  n.ri->AddProvider(filename, kws,
+  n.ri->AddProvider(file, kws,
                     cache::ProviderEntry{34, static_cast<LocId>(origin_loc + 2), 0},
                     ++t);
 
-  auto q = MakeQuery(*e, origin, {"blue", "live"});
+  auto q = MakeQuery(*e, origin, {kws[0], kws[2]});
   const auto records = e->protocol().AnswerFromIndex(*e, 3, q);
   ASSERT_EQ(records.size(), 1u);
   const auto& provs = records[0].providers;
@@ -336,15 +361,17 @@ TEST(LocawareBehaviorTest, AnswerPutsRequesterLocalityFirstAndCapsProviders) {
   EXPECT_EQ(provs[2].peer, 34u);  // freshest non-matching
 
   // The requester was recorded as a new provider ("adds the entry (E, 1)").
-  auto hit = n.ri->LookupFilename(filename, t + 1);
+  auto hit = n.ri->LookupFile(file, t + 1);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->providers.front().provider, origin);
 }
 
 TEST(LocawareBehaviorTest, CachingKeepsBloomInSync) {
   auto e = MakeEngine(ProtocolKind::kLocaware);
-  const std::string filename = "blue monday live";
-  const GroupId g = GroupOfFilename(filename, e->params().num_groups);
+  const FileId file = 0;
+  const auto& kws = e->catalog().sorted_keywords(file);
+  ASSERT_EQ(kws.size(), 3u);
+  const GroupId g = FileGroup(*e, file);
   NodeState& n = e->node(12);
   n.gid = g;
 
@@ -353,20 +380,22 @@ TEST(LocawareBehaviorTest, CachingKeepsBloomInSync) {
   resp.responder = 8;
   resp.origin = 9;
   resp.origin_loc = e->loc_of(9);
-  resp.query_keywords = {"blue"};
+  resp.query_keywords = {kws[0]};
   overlay::ResponseRecord rec;
-  rec.filename = filename;
+  rec.file = file;
   rec.providers = {{8, 5}};
   resp.records.push_back(rec);
 
-  EXPECT_FALSE(n.keyword_filter->MayContain("monday"));
+  // Membership checks go through the *string* overloads: the engine inserts
+  // via precomputed hashes, so agreement proves the two paths are identical.
+  EXPECT_FALSE(n.keyword_filter->MayContain(e->catalog().keyword(kws[1])));
   e->protocol().ObserveResponse(*e, 12, resp);
-  EXPECT_TRUE(n.ri->Contains(filename));
-  EXPECT_TRUE(n.keyword_filter->MayContain("blue"));
-  EXPECT_TRUE(n.keyword_filter->MayContain("monday"));
-  EXPECT_TRUE(n.keyword_filter->MayContain("live"));
+  EXPECT_TRUE(n.ri->Contains(file));
+  EXPECT_TRUE(n.keyword_filter->MayContain(e->catalog().keyword(kws[0])));
+  EXPECT_TRUE(n.keyword_filter->MayContain(e->catalog().keyword(kws[1])));
+  EXPECT_TRUE(n.keyword_filter->MayContain(e->catalog().keyword(kws[2])));
   // Both the responder and the origin became providers.
-  auto hit = n.ri->LookupFilename(filename, 1);
+  auto hit = n.ri->LookupFile(file, 1);
   ASSERT_TRUE(hit.has_value());
   std::set<PeerId> providers;
   for (const auto& p : hit->providers) providers.insert(p.provider);
@@ -386,10 +415,11 @@ TEST(LocawareBehaviorTest, LocAwareRoutingPrefersOriginLocality) {
   const PeerId node = PeerWithNeighbors(*e, 3);
   const auto& neighbors = e->graph().Neighbors(node);
   const PeerId origin = 9;
-  auto q = MakeQuery(*e, origin, {"qqq", "rrr"});
+  auto q =
+      MakeQuery(*e, origin, {e->catalog().keywords(13)[0], e->catalog().keywords(13)[2]});
 
   // Tier 2 setup: two gid-matching neighbors, one in the origin's locality.
-  const GroupId g = GroupOfKeywords(q.keywords, e->params().num_groups);
+  const GroupId g = GroupOfSetFnv(q.kw_set_fnv, e->params().num_groups);
   for (PeerId nb : neighbors) {
     e->node(nb).gid = static_cast<GroupId>((g + 1) % e->params().num_groups);
     e->node(nb).loc_id = static_cast<LocId>(q.origin_loc + 1);

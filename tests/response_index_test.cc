@@ -20,16 +20,26 @@ ResponseIndexConfig SmallConfig() {
 
 ProviderEntry P(PeerId peer, LocId loc = 0) { return ProviderEntry{peer, loc, 0}; }
 
-const std::vector<std::string> kAbcKws{"alpha", "beta", "gamma"};
+// A small id universe: keywords by number, files by number. Keyword-id sets
+// are sorted ascending per the id-plane contract.
+constexpr KeywordId kAlpha = 1, kBeta = 2, kGamma = 3, kDelta = 4;
+constexpr FileId kAbc = 10;   // {alpha, beta, gamma}
+constexpr FileId kAd = 11;    // {alpha, delta}
+const std::vector<KeywordId> kAbcKws{kAlpha, kBeta, kGamma};
+const std::vector<KeywordId> kAdKws{kAlpha, kDelta};
+
+/// Files f1..f4 used by the eviction tests: each has a shared keyword 100
+/// and a unique keyword (200 + i).
+std::vector<KeywordId> FKws(KeywordId i) { return {100, static_cast<KeywordId>(200 + i)}; }
 
 TEST(ResponseIndexTest, InsertAndExactLookup) {
   ResponseIndex ri(SmallConfig());
-  const auto outcome = ri.AddProvider("alpha beta gamma", kAbcKws, P(7, 3), 100);
-  EXPECT_TRUE(outcome.filename_inserted);
+  const auto outcome = ri.AddProvider(kAbc, kAbcKws, P(7, 3), 100);
+  EXPECT_TRUE(outcome.file_inserted);
   EXPECT_TRUE(outcome.provider_inserted);
   EXPECT_TRUE(outcome.evicted.empty());
 
-  auto hit = ri.LookupFilename("alpha beta gamma", 200);
+  auto hit = ri.LookupFile(kAbc, 200);
   ASSERT_TRUE(hit.has_value());
   ASSERT_EQ(hit->providers.size(), 1u);
   EXPECT_EQ(hit->providers[0].provider, 7u);
@@ -39,27 +49,27 @@ TEST(ResponseIndexTest, InsertAndExactLookup) {
 
 TEST(ResponseIndexTest, KeywordLookupUsesContainment) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
-  EXPECT_EQ(ri.LookupByKeywords({"beta"}, 1).size(), 1u);
-  EXPECT_EQ(ri.LookupByKeywords({"gamma", "alpha"}, 1).size(), 1u);
-  EXPECT_TRUE(ri.LookupByKeywords({"delta"}, 1).empty());
-  EXPECT_TRUE(ri.LookupByKeywords({"alpha", "delta"}, 1).empty());
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
+  EXPECT_EQ(ri.LookupByKeywords({kBeta}, 1).size(), 1u);
+  EXPECT_EQ(ri.LookupByKeywords({kAlpha, kGamma}, 1).size(), 1u);
+  EXPECT_TRUE(ri.LookupByKeywords({kDelta}, 1).empty());
+  EXPECT_TRUE(ri.LookupByKeywords({kAlpha, kDelta}, 1).empty());
 }
 
-TEST(ResponseIndexTest, MultipleFilenamesCanMatchOneQuery) {
+TEST(ResponseIndexTest, MultipleFilesCanMatchOneQuery) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
-  ri.AddProvider("alpha delta", {"alpha", "delta"}, P(2), 0);
-  EXPECT_EQ(ri.LookupByKeywords({"alpha"}, 1).size(), 2u);
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
+  ri.AddProvider(kAd, kAdKws, P(2), 0);
+  EXPECT_EQ(ri.LookupByKeywords({kAlpha}, 1).size(), 2u);
 }
 
 TEST(ResponseIndexTest, ProvidersAreMostRecentFirstAndBounded) {
   ResponseIndex ri(SmallConfig());  // 2 providers max
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 10);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 20);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(3), 30);  // evicts peer 1
+  ri.AddProvider(kAbc, kAbcKws, P(1), 10);
+  ri.AddProvider(kAbc, kAbcKws, P(2), 20);
+  ri.AddProvider(kAbc, kAbcKws, P(3), 30);  // evicts peer 1
 
-  auto hit = ri.LookupFilename("alpha beta gamma", 40);
+  auto hit = ri.LookupFile(kAbc, 40);
   ASSERT_TRUE(hit.has_value());
   ASSERT_EQ(hit->providers.size(), 2u);
   EXPECT_EQ(hit->providers[0].provider, 3u);  // "most recent pf entries
@@ -68,11 +78,11 @@ TEST(ResponseIndexTest, ProvidersAreMostRecentFirstAndBounded) {
 
 TEST(ResponseIndexTest, ReAddingProviderRefreshesIt) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1, 5), 10);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 20);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1, 9), 30);  // refresh peer 1
+  ri.AddProvider(kAbc, kAbcKws, P(1, 5), 10);
+  ri.AddProvider(kAbc, kAbcKws, P(2), 20);
+  ri.AddProvider(kAbc, kAbcKws, P(1, 9), 30);  // refresh peer 1
 
-  auto hit = ri.LookupFilename("alpha beta gamma", 40);
+  auto hit = ri.LookupFile(kAbc, 40);
   ASSERT_TRUE(hit.has_value());
   ASSERT_EQ(hit->providers.size(), 2u);  // not duplicated
   EXPECT_EQ(hit->providers[0].provider, 1u);
@@ -81,42 +91,42 @@ TEST(ResponseIndexTest, ReAddingProviderRefreshesIt) {
 }
 
 TEST(ResponseIndexTest, CapacityEvictionReportsVictimWithKeywords) {
-  ResponseIndex ri(SmallConfig());  // 3 filenames max
-  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
-  ri.AddProvider("f two", {"f", "two"}, P(2), 2);
-  ri.AddProvider("f three", {"f", "three"}, P(3), 3);
-  const auto outcome = ri.AddProvider("f four", {"f", "four"}, P(4), 4);
+  ResponseIndex ri(SmallConfig());  // 3 files max
+  ri.AddProvider(1, FKws(1), P(1), 1);
+  ri.AddProvider(2, FKws(2), P(2), 2);
+  ri.AddProvider(3, FKws(3), P(3), 3);
+  const auto outcome = ri.AddProvider(4, FKws(4), P(4), 4);
   ASSERT_EQ(outcome.evicted.size(), 1u);
-  EXPECT_EQ(outcome.evicted[0].filename, "f one");  // LRU victim
-  EXPECT_EQ(outcome.evicted[0].keywords, (std::vector<std::string>{"f", "one"}));
+  EXPECT_EQ(outcome.evicted[0].file, 1u);  // LRU victim
+  EXPECT_EQ(outcome.evicted[0].keywords, FKws(1));
   EXPECT_EQ(ri.num_filenames(), 3u);
-  EXPECT_FALSE(ri.Contains("f one"));
+  EXPECT_FALSE(ri.Contains(1));
 }
 
 TEST(ResponseIndexTest, LookupRefreshesLruPosition) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
-  ri.AddProvider("f two", {"f", "two"}, P(2), 2);
-  ri.AddProvider("f three", {"f", "three"}, P(3), 3);
-  // Touch "f one" so "f two" becomes the LRU victim.
-  ri.LookupFilename("f one", 4);
-  const auto outcome = ri.AddProvider("f four", {"f", "four"}, P(4), 5);
+  ri.AddProvider(1, FKws(1), P(1), 1);
+  ri.AddProvider(2, FKws(2), P(2), 2);
+  ri.AddProvider(3, FKws(3), P(3), 3);
+  // Touch file 1 so file 2 becomes the LRU victim.
+  ri.LookupFile(1, 4);
+  const auto outcome = ri.AddProvider(4, FKws(4), P(4), 5);
   ASSERT_EQ(outcome.evicted.size(), 1u);
-  EXPECT_EQ(outcome.evicted[0].filename, "f two");
-  EXPECT_TRUE(ri.Contains("f one"));
+  EXPECT_EQ(outcome.evicted[0].file, 2u);
+  EXPECT_TRUE(ri.Contains(1));
 }
 
 TEST(ResponseIndexTest, FifoIgnoresUse) {
   ResponseIndexConfig cfg = SmallConfig();
   cfg.eviction = EvictionPolicy::kFifo;
   ResponseIndex ri(cfg);
-  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
-  ri.AddProvider("f two", {"f", "two"}, P(2), 2);
-  ri.AddProvider("f three", {"f", "three"}, P(3), 3);
-  ri.LookupFilename("f one", 4);  // FIFO must not care
-  const auto outcome = ri.AddProvider("f four", {"f", "four"}, P(4), 5);
+  ri.AddProvider(1, FKws(1), P(1), 1);
+  ri.AddProvider(2, FKws(2), P(2), 2);
+  ri.AddProvider(3, FKws(3), P(3), 3);
+  ri.LookupFile(1, 4);  // FIFO must not care
+  const auto outcome = ri.AddProvider(4, FKws(4), P(4), 5);
   ASSERT_EQ(outcome.evicted.size(), 1u);
-  EXPECT_EQ(outcome.evicted[0].filename, "f one");
+  EXPECT_EQ(outcome.evicted[0].file, 1u);
 }
 
 TEST(ResponseIndexTest, RandomEvictionStillBoundsCapacity) {
@@ -124,7 +134,7 @@ TEST(ResponseIndexTest, RandomEvictionStillBoundsCapacity) {
   cfg.eviction = EvictionPolicy::kRandom;
   ResponseIndex ri(cfg);
   for (int i = 0; i < 50; ++i) {
-    ri.AddProvider("file " + std::to_string(i), {"file", std::to_string(i)},
+    ri.AddProvider(static_cast<FileId>(i), FKws(static_cast<KeywordId>(i)),
                    P(static_cast<PeerId>(i)), i);
     EXPECT_LE(ri.num_filenames(), 3u);
   }
@@ -135,76 +145,78 @@ TEST(ResponseIndexTest, StaleProvidersAreFilteredFromLookups) {
   ResponseIndexConfig cfg = SmallConfig();
   cfg.entry_ttl = 10 * kSecond;
   ResponseIndex ri(cfg);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 5 * kSecond);
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
+  ri.AddProvider(kAbc, kAbcKws, P(2), 5 * kSecond);
 
   // At t=12s provider 1 (age 12s) is stale, provider 2 (age 7s) is live.
-  auto hit = ri.LookupFilename("alpha beta gamma", 12 * kSecond);
+  auto hit = ri.LookupFile(kAbc, 12 * kSecond);
   ASSERT_TRUE(hit.has_value());
   ASSERT_EQ(hit->providers.size(), 1u);
   EXPECT_EQ(hit->providers[0].provider, 2u);
 
   // At t=20s everything is stale: no hit, but the entry still exists until a
   // sweep removes it (lookups never erase).
-  EXPECT_FALSE(ri.LookupFilename("alpha beta gamma", 20 * kSecond).has_value());
-  EXPECT_TRUE(ri.Contains("alpha beta gamma"));
+  EXPECT_FALSE(ri.LookupFile(kAbc, 20 * kSecond).has_value());
+  EXPECT_TRUE(ri.Contains(kAbc));
 }
 
 TEST(ResponseIndexTest, ExpireStaleSweepsAndReportsKeywords) {
   ResponseIndexConfig cfg = SmallConfig();
   cfg.entry_ttl = 10 * kSecond;
   ResponseIndex ri(cfg);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
-  ri.AddProvider("f two", {"f", "two"}, P(2), 8 * kSecond);
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
+  ri.AddProvider(2, FKws(2), P(2), 8 * kSecond);
 
   const auto removed = ri.ExpireStale(15 * kSecond);
   ASSERT_EQ(removed.size(), 1u);
-  EXPECT_EQ(removed[0].filename, "alpha beta gamma");
+  EXPECT_EQ(removed[0].file, kAbc);
   EXPECT_EQ(removed[0].keywords, kAbcKws);
-  EXPECT_FALSE(ri.Contains("alpha beta gamma"));
-  EXPECT_TRUE(ri.Contains("f two"));
+  EXPECT_FALSE(ri.Contains(kAbc));
+  EXPECT_TRUE(ri.Contains(2));
   EXPECT_GT(ri.stats().expirations, 0u);
 }
 
 TEST(ResponseIndexTest, ExpireStaleNoTtlIsNoOp) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
   EXPECT_TRUE(ri.ExpireStale(1000 * kSecond).empty());
-  EXPECT_TRUE(ri.Contains("alpha beta gamma"));
+  EXPECT_TRUE(ri.Contains(kAbc));
 }
 
 TEST(ResponseIndexTest, EraseRemovesEntry) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
-  EXPECT_TRUE(ri.Erase("alpha beta gamma"));
-  EXPECT_FALSE(ri.Erase("alpha beta gamma"));
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
+  EXPECT_TRUE(ri.Erase(kAbc));
+  EXPECT_FALSE(ri.Erase(kAbc));
   EXPECT_EQ(ri.num_filenames(), 0u);
+  // The inverted index dropped the postings too: no keyword matches remain.
+  EXPECT_TRUE(ri.LookupByKeywords({kAlpha}, 1).empty());
 }
 
 TEST(ResponseIndexTest, TotalProviderCountTracksDuplication) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("f one", {"f", "one"}, P(1), 1);
-  ri.AddProvider("f one", {"f", "one"}, P(2), 2);
-  ri.AddProvider("f two", {"f", "two"}, P(3), 3);
+  ri.AddProvider(1, FKws(1), P(1), 1);
+  ri.AddProvider(1, FKws(1), P(2), 2);
+  ri.AddProvider(2, FKws(2), P(3), 3);
   EXPECT_EQ(ri.TotalProviderCount(), 3u);
 }
 
-TEST(ResponseIndexTest, FilenamesAndKeywordsAccessors) {
+TEST(ResponseIndexTest, FilesAndKeywordsAccessors) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
-  const auto names = ri.Filenames();
-  ASSERT_EQ(names.size(), 1u);
-  EXPECT_EQ(names[0], "alpha beta gamma");
-  EXPECT_EQ(ri.KeywordsOf("alpha beta gamma"), kAbcKws);
-  EXPECT_DEATH(ri.KeywordsOf("absent"), "absent");
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
+  const auto files = ri.Files();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], kAbc);
+  EXPECT_EQ(ri.KeywordsOf(kAbc), kAbcKws);
+  EXPECT_DEATH(ri.KeywordsOf(999), "absent");
 }
 
 TEST(ResponseIndexTest, StatsCountHitsAndMisses) {
   ResponseIndex ri(SmallConfig());
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 0);
-  ri.LookupByKeywords({"alpha"}, 1);   // hit
-  ri.LookupByKeywords({"nothere"}, 1); // miss
-  ri.LookupFilename("alpha beta gamma", 1);  // hit
+  ri.AddProvider(kAbc, kAbcKws, P(1), 0);
+  ri.LookupByKeywords({kAlpha}, 1);  // hit
+  ri.LookupByKeywords({kDelta}, 1);  // miss
+  ri.LookupFile(kAbc, 1);            // hit
   EXPECT_EQ(ri.stats().lookups, 3u);
   EXPECT_EQ(ri.stats().hits, 2u);
   EXPECT_EQ(ri.stats().inserts, 1u);
@@ -214,9 +226,9 @@ TEST(ResponseIndexTest, SingleProviderModeModelsDicas) {
   ResponseIndexConfig cfg = SmallConfig();
   cfg.max_providers_per_file = 1;
   ResponseIndex ri(cfg);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(1), 1);
-  ri.AddProvider("alpha beta gamma", kAbcKws, P(2), 2);
-  auto hit = ri.LookupFilename("alpha beta gamma", 3);
+  ri.AddProvider(kAbc, kAbcKws, P(1), 1);
+  ri.AddProvider(kAbc, kAbcKws, P(2), 2);
+  auto hit = ri.LookupFile(kAbc, 3);
   ASSERT_TRUE(hit.has_value());
   ASSERT_EQ(hit->providers.size(), 1u);
   EXPECT_EQ(hit->providers[0].provider, 2u);  // newest replaces the only slot
@@ -242,15 +254,15 @@ TEST_P(EvictionPolicyTest, CapacityIsRespectedAndEvictionsReported) {
   cfg.eviction = GetParam();
   ResponseIndex ri(cfg);
 
-  std::set<std::string> resident;
+  std::set<FileId> resident;
   size_t reported_evictions = 0;
   for (int i = 0; i < 100; ++i) {
-    const std::string name = "file " + std::to_string(i);
+    const FileId file = static_cast<FileId>(i);
     const auto outcome =
-        ri.AddProvider(name, {"file", std::to_string(i)}, P(i % 7), i);
-    resident.insert(name);
+        ri.AddProvider(file, FKws(static_cast<KeywordId>(i)), P(i % 7), i);
+    resident.insert(file);
     for (const auto& gone : outcome.evicted) {
-      EXPECT_TRUE(resident.erase(gone.filename) == 1) << gone.filename;
+      EXPECT_TRUE(resident.erase(gone.file) == 1) << gone.file;
       EXPECT_EQ(gone.keywords.size(), 2u);
       ++reported_evictions;
     }
