@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
               metrics::FormatFigureCsv(series, metrics::Field::kDownloadMs).c_str());
   bench::MaybeWriteSvg(series, metrics::Field::kDownloadMs,
                        "Figure 2: comparison of download distance", "ms RTT", options);
+  bench::MaybeWriteJson(results, options);
 
   bench::PrintSummaries(results);
 

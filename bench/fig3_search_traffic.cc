@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   bench::MaybeWriteSvg(series, metrics::Field::kMsgsPerQuery,
                        "Figure 3: comparison of search traffic", "messages per query",
                        options);
+  bench::MaybeWriteJson(results, options);
 
   bench::PrintSummaries(results);
   std::printf("\nwire bytes per query (Gnutella 0.4 framing estimate):\n");

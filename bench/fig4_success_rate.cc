@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   bench::MaybeWriteSvg(series, metrics::Field::kSuccessRate,
                        "Figure 4: comparison of success rate", "fraction satisfied",
                        options);
+  bench::MaybeWriteJson(results, options);
 
   bench::PrintSummaries(results);
 

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <future>
 
+#include "core/config_io.h"
 #include "metrics/svg_plot.h"
 
 namespace locaware::bench {
@@ -19,12 +20,17 @@ FigOptions ParseArgs(int argc, char** argv) {
       options.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strncmp(arg, "--buckets=", 10) == 0) {
       options.buckets = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      options.shards = static_cast<uint32_t>(std::strtoul(arg + 9, nullptr, 10));
     } else if (std::strncmp(arg, "--svg=", 6) == 0) {
       options.svg_path = arg + 6;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path = arg + 7;
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
-                   "usage: %s [--queries=N] [--seed=S] [--buckets=B] [--svg=PATH]\n",
+                   "usage: %s [--queries=N] [--seed=S] [--buckets=B] [--shards=K] "
+                   "[--svg=PATH] [--json=PATH]\n",
                    arg, argv[0]);
       std::exit(2);
     }
@@ -46,6 +52,7 @@ std::vector<core::ExperimentResult> RunAllProtocols(
     futures.push_back(std::async(std::launch::async, [=] {
       core::ExperimentConfig config =
           core::MakePaperConfig(kind, options.num_queries, options.seed);
+      config.shards = options.shards;
       if (tweak) tweak(&config);
       auto result = core::RunExperiment(config, options.buckets);
       if (!result.ok()) {
@@ -93,6 +100,24 @@ void MaybeWriteSvg(const std::vector<metrics::LabeledSeries>& series,
     return;
   }
   std::printf("wrote %s\n", options.svg_path.c_str());
+}
+
+void MaybeWriteJson(const std::vector<core::ExperimentResult>& results,
+                    const FigOptions& options) {
+  if (options.json_path.empty()) return;
+  std::FILE* out = std::fopen(options.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "json: cannot open %s\n", options.json_path.c_str());
+    return;
+  }
+  std::fputs("[\n", out);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fputs(core::ResultToJson(results[i]).c_str(), out);
+    std::fputs(i + 1 < results.size() ? ",\n" : "\n", out);
+  }
+  std::fputs("]\n", out);
+  std::fclose(out);
+  std::printf("wrote %s\n", options.json_path.c_str());
 }
 
 void PrintSummaries(const std::vector<core::ExperimentResult>& results) {

@@ -17,18 +17,32 @@ struct FigOptions {
   uint64_t num_queries = 5000;
   uint64_t seed = 42;
   size_t buckets = 10;
+  /// Simulation shards per experiment (ExperimentConfig::shards). Any value
+  /// yields identical metrics for a fixed seed — CI's determinism gate diffs
+  /// the --json output of --shards=1 against --shards=4 to prove it.
+  uint32_t shards = 1;
   /// When non-empty, the bench also renders its figure to this SVG path.
   std::string svg_path;
+  /// When non-empty, the figure benches dump every protocol's full result
+  /// (summary + series) as a JSON array to this path.
+  std::string json_path;
 };
 
-/// Parses --queries=N --seed=S --buckets=B --svg=PATH (unknown flags are
-/// fatal, so a typo cannot silently run the default experiment).
+/// Parses --queries=N --seed=S --buckets=B --shards=K --svg=PATH --json=PATH
+/// (unknown flags are fatal, so a typo cannot silently run the default
+/// experiment). The ablation mains share this parser but only the figure
+/// benches write --json output.
 FigOptions ParseArgs(int argc, char** argv);
 
 /// Writes the figure as an SVG chart when options.svg_path is set.
 void MaybeWriteSvg(const std::vector<metrics::LabeledSeries>& series,
                    metrics::Field field, const std::string& title,
                    const std::string& y_label, const FigOptions& options);
+
+/// Writes all results as a JSON array when options.json_path is set — the
+/// machine-readable artifact CI's determinism gate byte-compares.
+void MaybeWriteJson(const std::vector<core::ExperimentResult>& results,
+                    const FigOptions& options);
 
 /// Runs all four protocols on the paper config (plus an optional per-config
 /// tweak), in parallel worker threads. Order: Flooding, Dicas, Dicas-Keys,

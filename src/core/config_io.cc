@@ -99,6 +99,7 @@ std::string FormatConfig(const ExperimentConfig& c) {
       << "\n";
   out << "protocol = " << ToLower(ProtocolKindName(c.protocol)) << "\n";
   out << "seed = " << c.seed << "\n";
+  out << "shards = " << c.shards << "\n";
   out << "\n# network\n";
   out << "num_peers = " << c.num_peers << "\n";
   out << "avg_degree = " << FormatDouble(c.avg_degree) << "\n";
@@ -189,6 +190,8 @@ Result<ExperimentConfig> ParseConfig(const std::string& text) {
       c.protocol = v.ValueOrDie();
     } else if (kv.key == "seed") {
       LOCAWARE_ASSIGN(u64, c.seed, uint64_t)
+    } else if (kv.key == "shards") {
+      LOCAWARE_ASSIGN(u64, c.shards, uint32_t)
     } else if (kv.key == "num_peers") {
       LOCAWARE_ASSIGN(u64, c.num_peers, size_t)
     } else if (kv.key == "avg_degree") {

@@ -26,7 +26,7 @@ std::vector<PeerId> DicasProtocol::ForwardTargets(Engine& engine, PeerId node,
   std::vector<PeerId> others;
   for (PeerId nb : engine.graph().Neighbors(node)) {
     if (nb == from) continue;
-    const GroupId g = engine.node(nb).gid;
+    const GroupId g = engine.gid_of(nb);
     if (std::find(groups.begin(), groups.end(), g) != groups.end()) {
       matching.push_back(nb);
     } else {
@@ -35,9 +35,12 @@ std::vector<PeerId> DicasProtocol::ForwardTargets(Engine& engine, PeerId node,
   }
   if (!matching.empty()) return matching;
   // No group member among neighbors: hand the query to random neighbors so it
-  // keeps moving toward the group.
+  // keeps moving toward the group. The draw is keyed by (query, node) — a
+  // node forwards a given query at most once (GUID dedup), so the key is
+  // unique, and the pick stays identical across shard counts.
   if (others.empty()) return {};
-  engine.protocol_rng().Shuffle(&others);
+  Rng fallback_rng = engine.DecisionRng(Engine::kDecisionFallback, query.qid, node);
+  fallback_rng.Shuffle(&others);
   if (others.size() > params_.fallback_fanout) others.resize(params_.fallback_fanout);
   return others;
 }
@@ -55,7 +58,7 @@ void DicasProtocol::ObserveResponse(Engine& engine, PeerId node,
     const overlay::ProviderInfo& p = record.providers.front();
     state.ri->AddProvider(record.file, engine.catalog().sorted_keywords(record.file),
                           cache::ProviderEntry{p.peer, p.loc_id, 0},
-                          engine.simulator().Now());
+                          engine.Now());
   }
 }
 
@@ -72,7 +75,7 @@ std::vector<overlay::ResponseRecord> DicasProtocol::AnswerFromIndex(
   if (state.ri == nullptr) return {};
   std::vector<overlay::ResponseRecord> records;
   for (const cache::ResponseIndex::Hit& hit :
-       state.ri->LookupByKeywords(query.keywords, engine.simulator().Now())) {
+       state.ri->LookupByKeywords(query.keywords, engine.Now())) {
     if (!HitVisible(engine, state, hit.file, query)) continue;
     overlay::ResponseRecord record;
     record.file = hit.file;

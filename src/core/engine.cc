@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "core/provider_selection.h"
 #include "net/landmark.h"
@@ -12,10 +13,12 @@ namespace locaware::core {
 
 Engine::Engine(const ExperimentConfig& config)
     : config_(config),
+      num_shards_(config.shards),
       root_rng_(config.seed),
-      protocol_rng_(root_rng_.Split("protocol")),
-      selection_rng_(root_rng_.Split("selection")),
-      churn_rng_(root_rng_.Split("churn")) {}
+      churn_rng_(root_rng_.Split("churn")) {
+  Rng decisions = root_rng_.Split("decisions");
+  decision_seed_ = decisions.NextU64();
+}
 
 Result<std::unique_ptr<Engine>> Engine::Create(const ExperimentConfig& config) {
   // Normalize nested sizes from the top-level fields so callers set each
@@ -23,6 +26,15 @@ Result<std::unique_ptr<Engine>> Engine::Create(const ExperimentConfig& config) {
   ExperimentConfig cfg = config;
   cfg.underlay.num_peers = cfg.num_peers;
   cfg.underlay.num_landmarks = cfg.num_landmarks;
+
+  if (cfg.shards == 0) {
+    return Status::InvalidArgument("shards must be > 0");
+  }
+  if (cfg.shards > 1 && cfg.churn.enabled) {
+    return Status::InvalidArgument(
+        "churn requires shards = 1 (session churn rewires the overlay, which "
+        "is cross-shard mutable state)");
+  }
 
   auto engine = std::unique_ptr<Engine>(new Engine(cfg));
   LOCAWARE_RETURN_NOT_OK(engine->Setup());
@@ -51,6 +63,29 @@ Status Engine::Setup() {
     underlay_ = std::move(built).ValueOrDie();
   }
   const std::vector<LocId> loc_ids = net::ComputeAllLocIds(*underlay_);
+
+  // 1b. The simulator. The conservative lookahead is half the underlay's
+  // minimum distinct-pair RTT: no cross-shard message can arrive sooner, so
+  // every shard may safely run that far past the global minimum event time.
+  const sim::SimTime lookahead = sim::FromMs(underlay_->MinPairRttMs() / 2.0);
+  if (num_shards_ > 1) {
+    if (lookahead <= 0) {
+      return Status::InvalidArgument(
+          "underlay cannot bound its minimum link latency; shards > 1 needs a "
+          "positive conservative lookahead");
+    }
+    if (config_.params.query_deadline < lookahead) {
+      return Status::InvalidArgument(
+          "query_deadline below the cross-shard lookahead; cleanup events "
+          "would violate the conservative window");
+    }
+  }
+  sim::ShardedSimulatorConfig sim_cfg;
+  sim_cfg.num_shards = num_shards_;
+  sim_cfg.lookahead = lookahead;
+  sim_cfg.num_sources = static_cast<sim::SourceId>(config_.num_peers) + 1;
+  sim_ = std::make_unique<sim::ShardedSimulator>(sim_cfg);
+  shards_.resize(num_shards_);
 
   // 2. Overlay.
   Rng overlay_rng = root_rng_.Split("overlay");
@@ -138,16 +173,28 @@ Status Engine::Setup() {
 
   // 7. Periodic maintenance (index expiry; Locaware Bloom gossip). Start
   // ticks are staggered so 1000 nodes do not fire in the same microsecond.
+  // The initial offset events come from the controller source; every
+  // rescheduled tick is keyed by the node itself, keeping the tick chain's
+  // tie-break order shard-count-invariant.
   if (caches) {
     Rng stagger_rng = root_rng_.Split("maintenance");
     for (PeerId p = 0; p < config_.num_peers; ++p) {
       const sim::SimTime offset = static_cast<sim::SimTime>(stagger_rng.UniformInt(
           0, static_cast<uint64_t>(config_.params.maintenance_interval)));
-      sim_.ScheduleAfter(offset, [this, p] {
-        sim_.SchedulePeriodic(config_.params.maintenance_interval, [this, p] {
-          if (graph_->IsAlive(p)) protocol_->OnMaintenanceTick(*this, p);
-          return true;
-        });
+      // Queued events own the tick chain (strong refs); the stored closure
+      // holds itself weakly so the chain frees when the queue drains.
+      auto tick = std::make_shared<std::function<void()>>();
+      std::weak_ptr<std::function<void()>> weak = tick;
+      *tick = [this, p, weak] {
+        if (graph_->IsAlive(p)) protocol_->OnMaintenanceTick(*this, p);
+        if (auto self = weak.lock()) {
+          ScheduleFromNode(p, p, config_.params.maintenance_interval,
+                           [self] { (*self)(); });
+        }
+      };
+      sim_->ScheduleAt(shard_of(p), /*src=*/0, offset, [this, p, tick] {
+        ScheduleFromNode(p, p, config_.params.maintenance_interval,
+                         [tick] { (*tick)(); });
         if (graph_->IsAlive(p)) protocol_->OnMaintenanceTick(*this, p);
       });
     }
@@ -157,6 +204,15 @@ Status Engine::Setup() {
 
 NodeState& Engine::node(PeerId p) {
   LOCAWARE_CHECK_LT(p, nodes_.size());
+  if (num_shards_ > 1) {
+    // Shard-local ownership: inside a parallel run, mutable node state may
+    // only be touched by the shard the peer lives on. Remote immutable facts
+    // go through gid_of/loc_of instead.
+    const sim::ShardId cur = sim::ShardedSimulator::current_shard();
+    if (cur != sim::kNoShard) {
+      LOCAWARE_CHECK_EQ(cur, shard_of(p)) << "cross-shard mutable node access";
+    }
+  }
   return nodes_[p];
 }
 
@@ -167,29 +223,81 @@ const NodeState& Engine::node(PeerId p) const {
 
 LocId Engine::loc_of(PeerId p) const { return node(p).loc_id; }
 
+GroupId Engine::gid_of(PeerId p) const { return node(p).gid; }
+
+Rng Engine::DecisionRng(uint64_t domain, uint64_t a, uint64_t b) const {
+  uint64_t x = decision_seed_;
+  x = Mix64(x ^ (domain * 0x9e3779b97f4a7c15ULL));
+  x = Mix64(x ^ a);
+  x = Mix64(x ^ b);
+  return Rng(x);
+}
+
+size_t Engine::pending_query_count() const {
+  size_t total = 0;
+  for (const ShardState& shard : shards_) total += shard.pending.size();
+  return total;
+}
+
+size_t Engine::tracked_query_count() const {
+  size_t total = 0;
+  for (const ShardState& shard : shards_) total += shard.slot_of.size();
+  return total;
+}
+
 sim::SimTime Engine::OneWayDelay(PeerId a, PeerId b) const {
   return sim::FromMs(underlay_->RttMs(a, b) / 2.0);
 }
 
+void Engine::ScheduleFromNode(PeerId src, PeerId dst, sim::SimTime delay,
+                              sim::EventFn fn) {
+  LOCAWARE_CHECK_GE(delay, 0);
+  sim_->ScheduleAt(shard_of(dst), SourceOf(src), sim_->Now() + delay, std::move(fn));
+}
+
 void Engine::Run() {
   const auto& queries = workload_.queries();
-  // Pre-size the event heap: one submission event per query up front, plus
+  // Pre-register every query's metrics slot in every shard. Slots equal the
+  // workload index everywhere, so per-shard counter contributions line up at
+  // merge time; per-shard slot maps are erased by that query's cleanup event,
+  // which is what stops post-deadline stragglers from charging traffic.
+  for (ShardState& shard : shards_) {
+    for (const catalog::QueryEvent& ev : queries) {
+      const size_t slot = shard.metrics.BeginQuery(ev.id, ev.requester, ev.submit_time);
+      shard.metrics.Record(slot)->target_rank = workload_.RankOfFile(ev.target);
+      shard.slot_of.emplace(ev.id, slot);
+    }
+  }
+
+  // Pre-size the event heaps: one submission event per query up front, plus
   // headroom for the per-query message churn that replaces it.
-  sim_.ReserveEvents(queries.size() + 1024);
+  sim_->ReserveEvents(queries.size() / num_shards_ + 1024);
   for (const catalog::QueryEvent& ev : queries) {
-    sim_.ScheduleAt(ev.submit_time, [this, &ev] { SubmitQuery(ev); });
+    sim_->ScheduleAt(shard_of(ev.requester), /*src=*/0, ev.submit_time,
+                     [this, &ev] { SubmitQuery(ev); });
   }
   sim::SimTime horizon = 0;
   if (!queries.empty()) {
     horizon = queries.back().submit_time + 2 * config_.params.query_deadline +
               sim::kSecond;
   }
-  sim_.Run(horizon);
+  sim_->Run(horizon);
+
+  // Fold the per-shard collectors into the run-level view.
+  std::vector<const metrics::MetricsCollector*> parts;
+  parts.reserve(shards_.size());
+  for (const ShardState& shard : shards_) parts.push_back(&shard.metrics);
+  std::vector<uint32_t> origin_shard(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    origin_shard[i] = shard_of(queries[i].requester);
+  }
+  metrics_ = metrics::MetricsCollector::MergeShards(parts, origin_shard);
 }
 
-size_t Engine::SlotOf(QueryId qid) const {
-  auto it = slot_of_.find(qid);
-  if (it == slot_of_.end()) return SIZE_MAX;
+size_t Engine::SlotOf(sim::ShardId shard, QueryId qid) const {
+  const auto& slots = shards_[shard].slot_of;
+  auto it = slots.find(qid);
+  if (it == slots.end()) return SIZE_MAX;
   return it->second;
 }
 
@@ -212,14 +320,17 @@ std::vector<overlay::ResponseRecord> Engine::AnswerFromFileStore(
 }
 
 void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
-  const size_t slot = metrics_.BeginQuery(ev.id, ev.requester, sim_.Now());
-  slot_of_[ev.id] = slot;
-  metrics_.Record(slot)->target_rank = workload_.RankOfFile(ev.target);
+  ShardState& shard = shards_[shard_of(ev.requester)];
+  const size_t slot = SlotOf(shard_of(ev.requester), ev.id);
+  LOCAWARE_CHECK_NE(slot, SIZE_MAX) << "query submitted twice or never registered";
 
   if (!graph_->IsAlive(ev.requester)) {
     // Offline requester: the query is never issued. No messages exist, so
-    // the tracking entry can go immediately.
-    CleanupQuery(ev.id);
+    // the local tracking entry can go immediately; remote shards hold only
+    // the inert slot mapping, which the deferred cleanup sweeps so every
+    // shard ends the run with zero tracked queries.
+    CleanupShard(shard_of(ev.requester), ev.id);
+    if (num_shards_ > 1) ScheduleCleanup(ev.requester, ev.id);
     return;
   }
 
@@ -237,11 +348,12 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
   // safe.)
   for (FileId f : origin.file_store) {
     if (catalog_.MatchesSorted(f, sorted_kws)) {
-      metrics::QueryRecord* record = metrics_.Record(slot);
+      metrics::QueryRecord* record = shard.metrics.Record(slot);
       record->success = true;
       record->source = metrics::AnswerSource::kLocalStore;
       record->provider_loc_match = true;
-      CleanupQuery(ev.id);  // nothing in flight
+      CleanupShard(shard_of(ev.requester), ev.id);  // nothing in flight
+      if (num_shards_ > 1) ScheduleCleanup(ev.requester, ev.id);
       return;
     }
   }
@@ -269,19 +381,20 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
     for (overlay::ResponseRecord& record : local) {
       pq.offers.push_back(PendingQuery::Offer{std::move(record), ev.requester});
     }
-    pending_.emplace(ev.id, std::move(pq));
-    FinalizeQuery(ev.id);
+    shard.pending.emplace(ev.id, std::move(pq));
+    FinalizeQuery(ev.requester, ev.id);
     return;
   }
 
-  pending_.emplace(ev.id, std::move(pq));
+  shard.pending.emplace(ev.id, std::move(pq));
   origin.seen_queries.insert(ev.id);
-  touched_[ev.id].push_back(ev.requester);
+  shard.touched[ev.id].push_back(ev.requester);
 
   ForwardQuery(ev.requester, kInvalidPeer, query);
-  sim_.ScheduleAfter(config_.params.query_deadline, [this, qid = ev.id] {
-    FinalizeQuery(qid);
-  });
+  ScheduleFromNode(ev.requester, ev.requester, config_.params.query_deadline,
+                   [this, origin_id = ev.requester, qid = ev.id] {
+                     FinalizeQuery(origin_id, qid);
+                   });
 }
 
 void Engine::ForwardQuery(PeerId node_id, PeerId from,
@@ -297,18 +410,19 @@ void Engine::ForwardQuery(PeerId node_id, PeerId from,
   fwd->ttl -= 1;
   fwd->hops += 1;
 
-  const size_t slot = SlotOf(msg.qid);
+  const size_t slot = SlotOf(shard_of(node_id), msg.qid);
   const size_t wire_bytes = EstimateSizeBytes(*fwd, catalog_);
   std::shared_ptr<const overlay::QueryMessage> shared = std::move(fwd);
   for (PeerId target : targets) {
     if (slot != SIZE_MAX) {
-      metrics::QueryRecord* record = metrics_.Record(slot);
+      metrics::QueryRecord* record = CollectorAt(node_id).Record(slot);
       ++record->query_msgs;
       record->query_bytes += wire_bytes;
     }
-    sim_.ScheduleAfter(OneWayDelay(node_id, target), [this, target, node_id, shared] {
-      DeliverQuery(target, node_id, shared);
-    });
+    ScheduleFromNode(node_id, target, OneWayDelay(node_id, target),
+                     [this, target, node_id, shared] {
+                       DeliverQuery(target, node_id, shared);
+                     });
   }
 }
 
@@ -319,7 +433,7 @@ void Engine::DeliverQuery(PeerId to, PeerId from,
   NodeState& n = node(to);
   if (!n.seen_queries.insert(msg.qid).second) return;  // duplicate: dropped
   n.reverse_path[msg.qid] = from;
-  touched_[msg.qid].push_back(to);
+  shards_[shard_of(to)].touched[msg.qid].push_back(to);
 
   // Answer from the shared-file store first, then the response index
   // ("either in its file storage or in its response index", §4.2).
@@ -344,16 +458,16 @@ void Engine::DeliverQuery(PeerId to, PeerId from,
 
 void Engine::SendResponse(PeerId sender, PeerId next_hop,
                           overlay::ResponseMessage msg) {
-  const size_t slot = SlotOf(msg.qid);
+  const size_t slot = SlotOf(shard_of(sender), msg.qid);
   if (slot != SIZE_MAX) {
-    metrics::QueryRecord* record = metrics_.Record(slot);
+    metrics::QueryRecord* record = CollectorAt(sender).Record(slot);
     ++record->response_msgs;
     record->response_bytes += EstimateSizeBytes(msg, catalog_);
   }
-  sim_.ScheduleAfter(OneWayDelay(sender, next_hop),
-                     [this, next_hop, sender, msg = std::move(msg)] {
-                       DeliverResponse(next_hop, sender, msg);
-                     });
+  ScheduleFromNode(sender, next_hop, OneWayDelay(sender, next_hop),
+                   [this, next_hop, sender, msg = std::move(msg)] {
+                     DeliverResponse(next_hop, sender, msg);
+                   });
 }
 
 void Engine::DeliverResponse(PeerId to, PeerId /*from*/, overlay::ResponseMessage msg) {
@@ -365,14 +479,14 @@ void Engine::DeliverResponse(PeerId to, PeerId /*from*/, overlay::ResponseMessag
   protocol_->ObserveResponse(*this, to, msg);
 
   if (to == msg.origin) {
-    auto it = pending_.find(msg.qid);
-    if (it == pending_.end()) return;  // arrived after the deadline
+    ShardState& shard = shards_[shard_of(to)];
+    auto it = shard.pending.find(msg.qid);
+    if (it == shard.pending.end()) return;  // arrived after the deadline
     PendingQuery& pq = it->second;
-    const size_t slot = pq.slot;
-    metrics::QueryRecord* record = metrics_.Record(slot);
+    metrics::QueryRecord* record = shard.metrics.Record(pq.slot);
     ++record->responses_received;
     if (record->first_response_at == 0) {
-      record->first_response_at = sim_.Now();
+      record->first_response_at = sim_->Now();
       record->first_response_hops = msg.hops;
     }
     for (overlay::ResponseRecord& rec : msg.records) {
@@ -387,13 +501,14 @@ void Engine::DeliverResponse(PeerId to, PeerId /*from*/, overlay::ResponseMessag
   SendResponse(to, next->second, msg);
 }
 
-void Engine::FinalizeQuery(QueryId qid) {
-  auto it = pending_.find(qid);
-  if (it == pending_.end()) return;
+void Engine::FinalizeQuery(PeerId origin, QueryId qid) {
+  ShardState& shard = shards_[shard_of(origin)];
+  auto it = shard.pending.find(qid);
+  if (it == shard.pending.end()) return;
   PendingQuery pq = std::move(it->second);
-  pending_.erase(it);
+  shard.pending.erase(it);
 
-  metrics::QueryRecord* record = metrics_.Record(pq.slot);
+  metrics::QueryRecord* record = shard.metrics.Record(pq.slot);
 
   // Distinct candidate providers, preserving offer order (earliest response
   // first; freshest providers first within a record). The requester itself is
@@ -430,15 +545,18 @@ void Engine::FinalizeQuery(QueryId qid) {
   }
 
   if (candidates.empty()) {
-    if (filtered_dead) metrics_.AddStaleFailure();
-    sim_.ScheduleAfter(config_.params.query_deadline, [this, qid] { CleanupQuery(qid); });
+    if (filtered_dead) shard.metrics.AddStaleFailure();
+    ScheduleCleanup(origin, qid);
     return;  // record stays a failure
   }
 
   const SelectionStrategy strategy =
       config_.params.selection.value_or(protocol_->DefaultSelection());
+  // Selection randomness is keyed by the query id: order-independent, so the
+  // chosen provider cannot drift with shard count or event interleaving.
+  Rng selection_rng = DecisionRng(kDecisionSelection, qid);
   const SelectionOutcome outcome = SelectProvider(
-      strategy, candidates, pq.requester, pq.requester_loc, *underlay_, &selection_rng_);
+      strategy, candidates, pq.requester, pq.requester_loc, *underlay_, &selection_rng);
   record->probe_msgs += outcome.probe_msgs;
   record->probe_bytes += outcome.probe_msgs * EstimateSizeBytes(overlay::ProbeMessage{});
 
@@ -461,48 +579,66 @@ void Engine::FinalizeQuery(QueryId qid) {
     if (!requester.SharesFile(chosen.file)) requester.file_store.push_back(chosen.file);
   }
 
-  sim_.ScheduleAfter(config_.params.query_deadline, [this, qid] { CleanupQuery(qid); });
+  ScheduleCleanup(origin, qid);
 }
 
-void Engine::CleanupQuery(QueryId qid) {
-  auto touched = touched_.find(qid);
-  if (touched != touched_.end()) {
+void Engine::ScheduleCleanup(PeerId origin, QueryId qid) {
+  // One event per shard: each shard erases its own peers' tracking state, at
+  // the same instant a sequential run would. The deadline dwarfs the
+  // lookahead (Create checks), so the cross-shard sends are always legal.
+  const sim::SimTime at = sim_->Now() + config_.params.query_deadline;
+  for (sim::ShardId s = 0; s < num_shards_; ++s) {
+    sim_->ScheduleAt(s, SourceOf(origin), at,
+                     [this, s, qid] { CleanupShard(s, qid); });
+  }
+}
+
+void Engine::CleanupShard(sim::ShardId shard_id, QueryId qid) {
+  ShardState& shard = shards_[shard_id];
+  auto touched = shard.touched.find(qid);
+  if (touched != shard.touched.end()) {
     for (PeerId p : touched->second) {
       NodeState& n = node(p);
       n.seen_queries.erase(qid);
       n.reverse_path.erase(qid);
     }
-    touched_.erase(touched);
+    shard.touched.erase(touched);
   }
-  slot_of_.erase(qid);
+  shard.slot_of.erase(qid);
 }
 
 void Engine::SendBloomUpdate(PeerId from, PeerId to,
                              overlay::BloomUpdateMessage update) {
-  metrics_.AddBloomUpdate(1, EstimateSizeBytes(update));
-  sim_.ScheduleAfter(OneWayDelay(from, to), [this, to, update = std::move(update)] {
-    if (!graph_->IsAlive(to)) return;
-    protocol_->OnBloomUpdate(*this, to, update);
-  });
+  CollectorAt(from).AddBloomUpdate(1, EstimateSizeBytes(update));
+  ScheduleFromNode(from, to, OneWayDelay(from, to),
+                   [this, to, update = std::move(update)] {
+                     if (!graph_->IsAlive(to)) return;
+                     protocol_->OnBloomUpdate(*this, to, update);
+                   });
 }
 
 void Engine::ChargeMaintenance(uint64_t messages, uint64_t bytes) {
-  metrics_.AddBloomUpdate(messages, bytes);
+  // Counters are additive and merged at Run() exit, so any shard's collector
+  // works; outside event execution (setup handshakes) shard 0 takes it.
+  const sim::ShardId cur = sim::ShardedSimulator::current_shard();
+  shards_[cur == sim::kNoShard ? 0 : cur].metrics.AddBloomUpdate(messages, bytes);
 }
 
 void Engine::ScheduleDeparture(PeerId p) {
-  sim_.ScheduleAfter(churn_model_.SampleSession(&churn_rng_),
-                     [this, p] { HandleDeparture(p); });
+  const sim::SimTime delay = churn_model_.SampleSession(&churn_rng_);
+  const bool in_event = sim::ShardedSimulator::current_shard() != sim::kNoShard;
+  sim_->ScheduleAt(shard_of(p), in_event ? SourceOf(p) : 0, sim_->Now() + delay,
+                   [this, p] { HandleDeparture(p); });
 }
 
 void Engine::ScheduleRejoin(PeerId p) {
-  sim_.ScheduleAfter(churn_model_.SampleOffline(&churn_rng_),
-                     [this, p] { HandleRejoin(p); });
+  ScheduleFromNode(p, p, churn_model_.SampleOffline(&churn_rng_),
+                   [this, p] { HandleRejoin(p); });
 }
 
 void Engine::HandleDeparture(PeerId p) {
   if (!graph_->IsAlive(p)) return;
-  metrics_.AddChurnEvent();
+  CollectorAt(p).AddChurnEvent();
 
   const std::vector<PeerId> dropped = graph_->Depart(p);
   for (PeerId nb : dropped) protocol_->OnLinkDown(*this, p, nb);
@@ -524,7 +660,7 @@ void Engine::HandleDeparture(PeerId p) {
 
 void Engine::HandleRejoin(PeerId p) {
   if (graph_->IsAlive(p)) return;
-  metrics_.AddChurnEvent();
+  CollectorAt(p).AddChurnEvent();
   graph_->Join(p);
   RepairLinks(p, config_.churn.rejoin_links);
   ScheduleDeparture(p);

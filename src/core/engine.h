@@ -3,6 +3,14 @@
 // message plumbing every protocol shares — TTL-bounded forwarding, GUID
 // duplicate suppression, reverse-path response routing (paper §3.1), query
 // finalization with provider selection, churn, and periodic maintenance.
+//
+// Sharded execution: peers are partitioned across config.shards shards
+// (shard_of(p) = p % shards), each owning its peers' node state, pending
+// queries, and a private MetricsCollector (merged at Run() exit). All
+// cross-peer interaction travels as events through the ShardedSimulator's
+// conservative-lookahead windows, and all event-time randomness is derived
+// from stable identities (DecisionRng), so the run's metrics are identical
+// for every shard count — `--shards` is purely a wall-clock knob.
 #pragma once
 
 #include <memory>
@@ -23,7 +31,7 @@
 #include "overlay/churn.h"
 #include "overlay/message.h"
 #include "overlay/overlay_graph.h"
-#include "sim/simulator.h"
+#include "sim/sharded_simulator.h"
 
 namespace locaware::core {
 
@@ -34,7 +42,8 @@ namespace locaware::core {
 class Engine {
  public:
   /// Builds every subsystem deterministically from config.seed. Fails if any
-  /// subsystem rejects its configuration.
+  /// subsystem rejects its configuration (including shards > 1 with churn
+  /// enabled, or an underlay that cannot bound its minimum link latency).
   static Result<std::unique_ptr<Engine>> Create(const ExperimentConfig& config);
 
   Engine(const Engine&) = delete;
@@ -46,30 +55,52 @@ class Engine {
 
   // --- services for protocols, benches and tests ---
   size_t num_peers() const { return nodes_.size(); }
+  /// Mutable node state. During a multi-shard run this asserts the calling
+  /// shard owns `p`: protocols must only mutate the node an event executes
+  /// at, and reach remote peers' immutable facts via gid_of/loc_of.
   NodeState& node(PeerId p);
   const NodeState& node(PeerId p) const;
   LocId loc_of(PeerId p) const;
+  /// Group id of `p`. Immutable after Setup, safe from any shard.
+  GroupId gid_of(PeerId p) const;
+
+  uint32_t num_shards() const { return num_shards_; }
+  sim::ShardId shard_of(PeerId p) const {
+    return static_cast<sim::ShardId>(p % num_shards_);
+  }
 
   const net::Underlay& underlay() const { return *underlay_; }
   overlay::OverlayGraph& graph() { return *graph_; }
   const overlay::OverlayGraph& graph() const { return *graph_; }
   const catalog::FileCatalog& catalog() const { return catalog_; }
   const catalog::QueryWorkload& workload() const { return workload_; }
-  sim::Simulator& simulator() { return sim_; }
+  sim::ShardedSimulator& simulator() { return *sim_; }
+  /// Merged run-level metrics; complete once Run() has returned.
   metrics::MetricsCollector& metrics() { return metrics_; }
   const metrics::MetricsCollector& metrics() const { return metrics_; }
   Protocol& protocol() { return *protocol_; }
   const ExperimentConfig& config() const { return config_; }
   const ProtocolParams& params() const { return config_.params; }
 
-  /// RNG stream for protocol decisions (random fallback neighbor, ...).
-  Rng& protocol_rng() { return protocol_rng_; }
+  /// Current simulation time (the executing shard's clock inside an event).
+  sim::SimTime Now() const { return sim_->Now(); }
+
+  // Randomness domains for DecisionRng.
+  static constexpr uint64_t kDecisionFallback = 1;   ///< routed-protocol fallback picks
+  static constexpr uint64_t kDecisionSelection = 2;  ///< provider selection
+
+  /// Order-independent event-time randomness: a fresh stream derived from
+  /// (seed, domain, a, b). Unlike a shared sequential stream, the draw does
+  /// not depend on global event execution order, which is what keeps results
+  /// byte-identical across shard counts. Key decisions by stable identities
+  /// (query id, peer id), never by "how many draws happened before me".
+  Rng DecisionRng(uint64_t domain, uint64_t a, uint64_t b = 0) const;
 
   /// Queries currently awaiting their deadline (0 after Run()).
-  size_t pending_query_count() const { return pending_.size(); }
-  /// Queries whose metrics slots are still addressable by in-flight messages
-  /// (0 after Run(): every query was cleaned up).
-  size_t tracked_query_count() const { return slot_of_.size(); }
+  size_t pending_query_count() const;
+  /// Per-shard tracking entries still addressable by in-flight messages
+  /// (0 after Run(): every query was cleaned up everywhere).
+  size_t tracked_query_count() const;
 
   /// One-way overlay-link delay between two peers (RTT/2).
   sim::SimTime OneWayDelay(PeerId a, PeerId b) const;
@@ -98,7 +129,25 @@ class Engine {
     std::vector<Offer> offers;
   };
 
+  /// Everything one shard owns besides its peers' NodeStates. Only events
+  /// executing on the owning shard touch an instance, so the hot path needs
+  /// no locks; the metrics collectors are merged after the run.
+  struct ShardState {
+    std::unordered_map<QueryId, PendingQuery> pending;
+    std::unordered_map<QueryId, size_t> slot_of;
+    /// Peers of this shard whose seen/reverse-path tables mention a query.
+    std::unordered_map<QueryId, std::vector<PeerId>> touched;
+    metrics::MetricsCollector metrics;
+  };
+
   Status Setup();
+
+  /// Event source id of peer `p` (source 0 is the pre-run controller).
+  sim::SourceId SourceOf(PeerId p) const { return static_cast<sim::SourceId>(p) + 1; }
+
+  /// Schedules `fn` at Now() + delay on dst's shard, keyed by creator `src`.
+  /// Must run inside an event executing at a peer of src's shard.
+  void ScheduleFromNode(PeerId src, PeerId dst, sim::SimTime delay, sim::EventFn fn);
 
   // Query lifecycle. Forwarded queries share one immutable message per hop
   // (shared_ptr), so fan-out costs O(targets) pointer copies.
@@ -109,15 +158,20 @@ class Engine {
   void ForwardQuery(PeerId node, PeerId from, const overlay::QueryMessage& msg);
   void SendResponse(PeerId responder, PeerId next_hop,
                     overlay::ResponseMessage msg);
-  void FinalizeQuery(QueryId qid);
-  void CleanupQuery(QueryId qid);
+  void FinalizeQuery(PeerId origin, QueryId qid);
+  /// Erases one shard's tracking state for `qid` (its peers' seen/reverse
+  /// entries, the slot mapping). The full cleanup is one such event per
+  /// shard, scheduled by the origin at finalize + deadline.
+  void CleanupShard(sim::ShardId shard, QueryId qid);
+  /// Schedules CleanupShard on every shard at Now() + query deadline.
+  void ScheduleCleanup(PeerId origin, QueryId qid);
 
   /// Records a file-store answer's records for `node` against `query`
   /// (empty when nothing matches).
   std::vector<overlay::ResponseRecord> AnswerFromFileStore(
       PeerId node, const overlay::QueryMessage& query);
 
-  // Churn lifecycle.
+  // Churn lifecycle (shards == 1 only; Create rejects the combination).
   void ScheduleDeparture(PeerId p);
   void ScheduleRejoin(PeerId p);
   void HandleDeparture(PeerId p);
@@ -126,16 +180,21 @@ class Engine {
   /// Registers `count` new links from p to random peers and fires OnLinkUp.
   void RepairLinks(PeerId p, size_t count);
 
-  /// Metrics slot of a query, or SIZE_MAX after cleanup.
-  size_t SlotOf(QueryId qid) const;
+  /// Metrics slot of a query in `shard`, or SIZE_MAX after cleanup.
+  size_t SlotOf(sim::ShardId shard, QueryId qid) const;
+
+  /// The executing shard's metrics collector for accounting at `node`.
+  metrics::MetricsCollector& CollectorAt(PeerId node) {
+    return shards_[shard_of(node)].metrics;
+  }
 
   ExperimentConfig config_;
-  sim::Simulator sim_;
+  uint32_t num_shards_ = 1;
   Rng root_rng_;
-  Rng protocol_rng_;
-  Rng selection_rng_;
+  uint64_t decision_seed_ = 0;
   Rng churn_rng_;
 
+  std::unique_ptr<sim::ShardedSimulator> sim_;
   std::unique_ptr<net::Underlay> underlay_;
   std::unique_ptr<overlay::OverlayGraph> graph_;
   catalog::FileCatalog catalog_;
@@ -144,12 +203,9 @@ class Engine {
   overlay::ChurnModel churn_model_;
 
   std::vector<NodeState> nodes_;
-  std::unordered_map<QueryId, PendingQuery> pending_;
-  std::unordered_map<QueryId, size_t> slot_of_;
-  /// Peers whose seen/reverse-path tables mention a query (for cleanup).
-  std::unordered_map<QueryId, std::vector<PeerId>> touched_;
+  std::vector<ShardState> shards_;
 
-  metrics::MetricsCollector metrics_;
+  metrics::MetricsCollector metrics_;  ///< merged from shards at Run() exit
 };
 
 }  // namespace locaware::core

@@ -26,6 +26,15 @@ struct ExperimentConfig {
   size_t files_per_peer = 3;     ///< paper: 3 initial shared files
   size_t num_landmarks = 4;      ///< paper: 4 landmarks → 24 locIds
 
+  /// Simulation shards (worker threads). Peers are partitioned shard_of(p) =
+  /// p % shards; each shard owns its peers' events and synchronizes with the
+  /// others through conservative-lookahead windows. Any value, including 1,
+  /// produces identical metrics for the same seed (the determinism contract
+  /// CI enforces); > 1 trades barrier overhead for multi-core wall-clock.
+  /// Requires churn disabled when > 1 (churn rewires the overlay, which is
+  /// cross-shard mutable state).
+  uint32_t shards = 1;
+
   /// Use the geometry-free control underlay (locality ablation) instead of
   /// the BRITE-inspired router plane.
   bool use_uniform_underlay = false;

@@ -44,7 +44,7 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
     if (!params_.loc_aware_routing || tier->empty()) return;
     std::vector<PeerId> local;
     for (PeerId nb : *tier) {
-      if (engine.node(nb).loc_id == query.origin_loc) local.push_back(nb);
+      if (engine.loc_of(nb) == query.origin_loc) local.push_back(nb);
     }
     if (!local.empty()) *tier = std::move(local);
   };
@@ -54,7 +54,7 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
   std::vector<PeerId> gid_matched;
   for (PeerId nb : neighbors) {
     if (nb == from) continue;
-    if (engine.node(nb).gid == query_group) gid_matched.push_back(nb);
+    if (engine.gid_of(nb) == query_group) gid_matched.push_back(nb);
   }
   prefer_local(&gid_matched);
   if (!gid_matched.empty()) return gid_matched;
@@ -68,8 +68,8 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
   }
   std::sort(rest.begin(), rest.end(), [&](PeerId a, PeerId b) {
     if (params_.loc_aware_routing) {
-      const bool la = engine.node(a).loc_id == query.origin_loc;
-      const bool lb = engine.node(b).loc_id == query.origin_loc;
+      const bool la = engine.loc_of(a) == query.origin_loc;
+      const bool lb = engine.loc_of(b) == query.origin_loc;
       if (la != lb) return la;
     }
     const size_t da = engine.graph().Degree(a);
@@ -87,7 +87,7 @@ void LocawareProtocol::AddToIndex(Engine& engine, NodeState& state, FileId file,
   LOCAWARE_CHECK(state.ri != nullptr);
   const auto outcome = state.ri->AddProvider(
       file, sorted_keywords, cache::ProviderEntry{provider, provider_loc, 0},
-      engine.simulator().Now());
+      engine.Now());
   // Keep the counting filter consistent: one Insert per file arrival,
   // one Remove per file eviction (§4.2: "built incrementally as new
   // filenames are inserted in RI and existing ones discarded").
@@ -139,7 +139,7 @@ std::vector<overlay::ResponseRecord> LocawareProtocol::AnswerFromIndex(
 
   std::vector<overlay::ResponseRecord> records;
   for (const cache::ResponseIndex::Hit& hit :
-       state.ri->LookupByKeywords(query.keywords, engine.simulator().Now())) {
+       state.ri->LookupByKeywords(query.keywords, engine.Now())) {
     overlay::ResponseRecord record;
     record.file = hit.file;
     record.from_index = true;
@@ -178,7 +178,7 @@ void LocawareProtocol::OnMaintenanceTick(Engine& engine, PeerId node) {
 
   // Index expiry, mirrored into the counting filter.
   const catalog::FileCatalog& catalog = engine.catalog();
-  for (const auto& evicted : state.ri->ExpireStale(engine.simulator().Now())) {
+  for (const auto& evicted : state.ri->ExpireStale(engine.Now())) {
     for (KeywordId kw : evicted.keywords) {
       state.keyword_filter->Remove(catalog.KeywordBloomHash(kw));
     }

@@ -60,7 +60,7 @@ ProtocolParams MakeDefaultParams(ProtocolKind kind) {
 void Protocol::OnMaintenanceTick(Engine& engine, PeerId node) {
   NodeState& state = engine.node(node);
   if (state.ri != nullptr) {
-    state.ri->ExpireStale(engine.simulator().Now());
+    state.ri->ExpireStale(engine.Now());
   }
 }
 

@@ -18,4 +18,37 @@ QueryRecord* MetricsCollector::Record(size_t slot) {
   return &records_[slot];
 }
 
+MetricsCollector MetricsCollector::MergeShards(
+    const std::vector<const MetricsCollector*>& parts,
+    const std::vector<uint32_t>& origin_shard) {
+  LOCAWARE_CHECK(!parts.empty());
+  MetricsCollector merged;
+  const size_t num_slots = parts[0]->records_.size();
+  LOCAWARE_CHECK_EQ(origin_shard.size(), num_slots);
+  for (const MetricsCollector* part : parts) {
+    LOCAWARE_CHECK_EQ(part->records_.size(), num_slots) << "shards disagree on slots";
+    merged.bloom_update_msgs_ += part->bloom_update_msgs_;
+    merged.bloom_update_bytes_ += part->bloom_update_bytes_;
+    merged.churn_events_ += part->churn_events_;
+    merged.stale_failures_ += part->stale_failures_;
+  }
+  merged.records_.reserve(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    LOCAWARE_CHECK_LT(origin_shard[slot], parts.size());
+    QueryRecord record = parts[origin_shard[slot]]->records_[slot];
+    for (size_t s = 0; s < parts.size(); ++s) {
+      if (s == origin_shard[slot]) continue;
+      const QueryRecord& other = parts[s]->records_[slot];
+      record.query_msgs += other.query_msgs;
+      record.query_bytes += other.query_bytes;
+      record.response_msgs += other.response_msgs;
+      record.response_bytes += other.response_bytes;
+      record.probe_msgs += other.probe_msgs;
+      record.probe_bytes += other.probe_bytes;
+    }
+    merged.records_.push_back(record);
+  }
+  return merged;
+}
+
 }  // namespace locaware::metrics

@@ -233,6 +233,10 @@ Result<std::unique_ptr<GeometricUnderlay>> GeometricUnderlay::Build(
   for (double& d : underlay->router_spath_ms_) d *= scale;
 
   // 6. Attach peers to uniformly chosen routers with random access latency.
+  // Every distinct-pair one-way path crosses two access links, so 4 x the
+  // (possibly shifted) access floor lower-bounds all pairwise RTTs — the
+  // conservative-lookahead bound the sharded engine runs on.
+  underlay->min_pair_rtt_ms_ = 4.0 * access_lo;
   underlay->peer_router_.resize(config.num_peers);
   underlay->peer_access_ms_.resize(config.num_peers);
   for (size_t p = 0; p < config.num_peers; ++p) {

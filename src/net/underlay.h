@@ -41,6 +41,14 @@ class Underlay {
   /// Round-trip time from a peer to a landmark host in milliseconds.
   virtual double LandmarkRttMs(PeerId peer, size_t landmark) const = 0;
 
+  /// Lower bound (> 0) on RttMs(a, b) over all DISTINCT peer pairs, or 0 when
+  /// the implementation cannot bound it. The sharded engine derives its
+  /// conservative lookahead from this: every cross-shard delivery takes at
+  /// least MinPairRttMs()/2 one-way, so no shard ever needs to wait on a
+  /// remote event closer than that. Implementations may return any valid
+  /// lower bound; tighter bounds mean wider windows and fewer barriers.
+  virtual double MinPairRttMs() const { return 0.0; }
+
   /// One-line description for reports.
   virtual std::string Describe() const = 0;
 };
@@ -99,6 +107,9 @@ class GeometricUnderlay final : public Underlay {
   size_t num_landmarks() const override { return landmark_router_.size(); }
   double RttMs(PeerId a, PeerId b) const override;
   double LandmarkRttMs(PeerId peer, size_t landmark) const override;
+  /// 4 x the minimum access latency: two peers (even on one router) cross two
+  /// access links each way, and router paths only add to that.
+  double MinPairRttMs() const override { return min_pair_rtt_ms_; }
   std::string Describe() const override;
 
   // --- introspection (tests, reports, visualization) ---
@@ -128,6 +139,7 @@ class GeometricUnderlay final : public Underlay {
   std::vector<uint32_t> router_degree_;
   size_t num_edges_ = 0;
   RouterGraphModel model_ = RouterGraphModel::kWaxman;
+  double min_pair_rtt_ms_ = 0.0;
 };
 
 /// Parameters for the geometry-free control underlay.
@@ -151,6 +163,8 @@ class UniformUnderlay final : public Underlay {
   size_t num_landmarks() const override { return num_landmarks_; }
   double RttMs(PeerId a, PeerId b) const override;
   double LandmarkRttMs(PeerId peer, size_t landmark) const override;
+  /// Distinct-pair RTTs are drawn from [min_rtt, max_rtt], so min_rtt bounds.
+  double MinPairRttMs() const override { return min_rtt_ms_; }
   std::string Describe() const override;
 
  private:

@@ -30,7 +30,12 @@ void EventQueue::SiftDown(size_t pos, Entry moving) {
 }
 
 void EventQueue::Push(SimTime at, EventFn fn) {
-  Entry entry{at, next_seq_++, std::move(fn)};
+  PushKeyed(at, /*src=*/0, next_seq_++, std::move(fn));
+}
+
+void EventQueue::PushKeyed(SimTime at, SourceId src, uint64_t seq, EventFn fn) {
+  Entry entry{at, src, seq, std::move(fn)};
+  ++pushed_;
   heap_.emplace_back();  // open a hole at the tail, then sift the entry in
   SiftUp(heap_.size() - 1, std::move(entry));
 }

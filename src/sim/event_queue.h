@@ -12,11 +12,20 @@ namespace locaware::sim {
 /// Callback executed when an event fires.
 using EventFn = std::function<void()>;
 
-/// \brief Min-heap of (time, sequence) ordered events.
+/// Logical source of an event, used for shard-count-invariant tie-breaking.
+/// The sharded engine maps source 0 to "the controller" and source p + 1 to
+/// peer p; the single-threaded Simulator schedules everything as source 0.
+using SourceId = uint32_t;
+
+/// \brief Min-heap of (time, source, sequence) ordered events.
 ///
-/// Events scheduled for the same instant fire in scheduling order (FIFO via a
-/// monotonically increasing sequence number), which keeps simulations
-/// deterministic regardless of heap internals.
+/// Events scheduled for the same instant fire in (source, per-source
+/// sequence) order. For the classic single-source Simulator this degenerates
+/// to scheduling order (FIFO via a monotonically increasing sequence number).
+/// For the sharded engine the key is assigned at creation from the *logical*
+/// source (the peer whose event handler scheduled it), which makes the tie
+/// order a property of the simulation rather than of thread interleaving —
+/// the root of the "--shards=K never changes results" contract.
 ///
 /// The heap is hand-rolled over a std::vector rather than std::priority_queue:
 /// priority_queue's const top() forces a const_cast to move the callback out,
@@ -24,8 +33,14 @@ using EventFn = std::function<void()>;
 /// Reserve lets callers pre-allocate for a known workload length.
 class EventQueue {
  public:
-  /// Enqueues `fn` to fire at absolute time `at`.
+  /// Enqueues `fn` to fire at absolute time `at`, as source 0 with the next
+  /// internal sequence number (the single-threaded Simulator's path).
   void Push(SimTime at, EventFn fn);
+
+  /// Enqueues `fn` with an explicit (source, sequence) tie-break key. The
+  /// caller owns sequence assignment (the sharded engine keeps one counter
+  /// per source); mixing with the keyless Push in one queue is unsupported.
+  void PushKeyed(SimTime at, SourceId src, uint64_t seq, EventFn fn);
 
   /// Pre-allocates capacity for `expected_events` queued entries.
   void Reserve(size_t expected_events) { heap_.reserve(expected_events); }
@@ -42,11 +57,12 @@ class EventQueue {
   EventFn Pop(SimTime* time);
 
   /// Total number of events ever pushed.
-  uint64_t pushed_count() const { return next_seq_; }
+  uint64_t pushed_count() const { return pushed_; }
 
  private:
   struct Entry {
     SimTime time;
+    SourceId src;
     uint64_t seq;
     EventFn fn;
   };
@@ -54,6 +70,7 @@ class EventQueue {
   /// True when the entry at `a` must fire before the entry at `b`.
   static bool FiresBefore(const Entry& a, const Entry& b) {
     if (a.time != b.time) return a.time < b.time;
+    if (a.src != b.src) return a.src < b.src;
     return a.seq < b.seq;
   }
 
@@ -62,7 +79,8 @@ class EventQueue {
   void SiftDown(size_t pos, Entry moving);
 
   std::vector<Entry> heap_;  ///< binary min-heap, root at index 0
-  uint64_t next_seq_ = 0;
+  uint64_t next_seq_ = 0;    ///< sequence source for the keyless Push
+  uint64_t pushed_ = 0;
 };
 
 }  // namespace locaware::sim

@@ -1,0 +1,186 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace locaware::sim {
+
+namespace {
+/// Which shard the calling thread is executing events for. Thread-local so
+/// several simulators (e.g. one engine per protocol in the figure benches)
+/// can run concurrently on disjoint thread sets.
+thread_local ShardId tls_current_shard = kNoShard;
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(const ShardedSimulatorConfig& config)
+    : shards_(config.num_shards),
+      next_seq_(config.num_sources, 0),
+      lookahead_(config.lookahead),
+      barrier_(config.num_shards),
+      local_min_(config.num_shards, kNoHorizon) {
+  LOCAWARE_CHECK_GT(config.num_shards, 0u);
+  LOCAWARE_CHECK_GT(config.num_sources, 0u);
+  if (config.num_shards > 1) {
+    LOCAWARE_CHECK_GT(lookahead_, 0) << "multi-shard runs need positive lookahead";
+  }
+  for (Shard& shard : shards_) shard.outbox.resize(config.num_shards);
+}
+
+ShardId ShardedSimulator::current_shard() { return tls_current_shard; }
+
+void ShardedSimulator::ScheduleAt(ShardId dst, SourceId src, SimTime at, EventFn fn) {
+  LOCAWARE_CHECK_LT(dst, shards_.size());
+  LOCAWARE_CHECK_LT(src, next_seq_.size());
+  const uint64_t seq = next_seq_[src]++;
+
+  const ShardId cur = tls_current_shard;
+  if (cur == kNoShard) {
+    // Controller phase: workers are not running, direct pushes are safe.
+    LOCAWARE_CHECK(!running_) << "non-worker scheduling during a parallel run";
+    shards_[dst].queue.PushKeyed(at, src, seq, std::move(fn));
+    return;
+  }
+
+  Shard& me = shards_[cur];
+  LOCAWARE_CHECK_GE(at, me.now) << "scheduling into the past";
+  if (dst == cur) {
+    me.queue.PushKeyed(at, src, seq, std::move(fn));
+    return;
+  }
+  // Conservative-window soundness: a remote event may only land at or beyond
+  // the current window's end, where the destination has provably not executed
+  // yet. Real message delays satisfy this via the lookahead lower bound.
+  LOCAWARE_CHECK_GE(at, window_end_)
+      << "cross-shard event inside the lookahead window";
+  me.outbox[dst].push_back(ShardEvent{at, src, seq, std::move(fn)});
+}
+
+SimTime ShardedSimulator::Now() const {
+  const ShardId cur = tls_current_shard;
+  if (cur != kNoShard && cur < shards_.size()) return shards_[cur].now;
+  return controller_now_;
+}
+
+void ShardedSimulator::ReserveEvents(size_t expected_events_per_shard) {
+  for (Shard& shard : shards_) shard.queue.Reserve(expected_events_per_shard);
+}
+
+uint64_t ShardedSimulator::executed_count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.executed;
+  return total;
+}
+
+size_t ShardedSimulator::pending_count() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.queue.size();
+    for (const auto& box : shard.outbox) total += box.size();
+  }
+  return total;
+}
+
+uint64_t ShardedSimulator::RunSingle(SimTime horizon) {
+  Shard& shard = shards_[0];
+  tls_current_shard = 0;
+  // A single shard has no remote senders, so windows are unnecessary: this is
+  // the plain sequential loop over the same keyed queue, guaranteeing the
+  // identical execution order the windowed path produces.
+  uint64_t executed_this_run = 0;
+  while (!shard.queue.empty() && shard.queue.PeekTime() <= horizon) {
+    SimTime t;
+    EventFn fn = shard.queue.Pop(&t);
+    LOCAWARE_CHECK_GE(t, shard.now);
+    shard.now = t;
+    ++shard.executed;
+    ++executed_this_run;
+    fn();
+  }
+  tls_current_shard = kNoShard;
+  if (shard.queue.empty() && horizon != kNoHorizon && shard.now < horizon) {
+    shard.now = horizon;  // idle advance so repeated Run(horizon) calls compose
+  }
+  controller_now_ = shard.now;
+  return executed_this_run;
+}
+
+void ShardedSimulator::DrainInbound(ShardId sid) {
+  Shard& me = shards_[sid];
+  for (Shard& sender : shards_) {
+    std::vector<ShardEvent>& box = sender.outbox[sid];
+    for (ShardEvent& ev : box) {
+      me.queue.PushKeyed(ev.time, ev.src, ev.seq, std::move(ev.fn));
+    }
+    box.clear();
+  }
+}
+
+void ShardedSimulator::WorkerLoop(ShardId sid, SimTime horizon) {
+  tls_current_shard = sid;
+  Shard& me = shards_[sid];
+  while (true) {
+    // 1. Pull everything other shards batched for us in the last window.
+    DrainInbound(sid);
+    local_min_[sid] = me.queue.empty() ? kNoHorizon : me.queue.PeekTime();
+
+    // 2. Reduce to the global minimum and derive this window's bound.
+    barrier_.ArriveAndWait([this, horizon] {
+      SimTime t_min = kNoHorizon;
+      for (SimTime t : local_min_) t_min = std::min(t_min, t);
+      if (t_min == kNoHorizon || t_min > horizon) {
+        done_ = true;
+        return;
+      }
+      ++windows_;
+      SimTime end = (t_min > kNoHorizon - lookahead_) ? kNoHorizon : t_min + lookahead_;
+      // Events at exactly `horizon` still run; the +1 keeps the strict `<`
+      // window comparison while never overflowing (horizon < kNoHorizon here).
+      if (horizon != kNoHorizon) end = std::min(end, horizon + 1);
+      window_end_ = end;
+    });
+    if (done_) break;
+
+    // 3. Execute our events inside the window, batching remote sends.
+    const SimTime end = window_end_;
+    while (!me.queue.empty() && me.queue.PeekTime() < end) {
+      SimTime t;
+      EventFn fn = me.queue.Pop(&t);
+      LOCAWARE_CHECK_GE(t, me.now);
+      me.now = t;
+      ++me.executed;
+      fn();
+    }
+
+    // 4. Publish our outboxes to the next window's drain.
+    barrier_.ArriveAndWait();
+  }
+  if (me.queue.empty() && horizon != kNoHorizon && me.now < horizon) {
+    me.now = horizon;
+  }
+  tls_current_shard = kNoShard;
+}
+
+uint64_t ShardedSimulator::Run(SimTime horizon) {
+  const uint64_t executed_before = executed_count();
+  if (shards_.size() == 1) return RunSingle(horizon);
+
+  running_ = true;
+  done_ = false;
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (ShardId sid = 0; sid < shards_.size(); ++sid) {
+    workers.emplace_back([this, sid, horizon] { WorkerLoop(sid, horizon); });
+  }
+  for (std::thread& worker : workers) worker.join();
+  running_ = false;
+
+  SimTime now = 0;
+  for (const Shard& shard : shards_) now = std::max(now, shard.now);
+  controller_now_ = now;
+  return executed_count() - executed_before;
+}
+
+}  // namespace locaware::sim

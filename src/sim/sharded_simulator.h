@@ -1,0 +1,136 @@
+// Sharded parallel discrete-event engine — the multi-core substitute for the
+// single-threaded Simulator.
+//
+// Peers (event destinations) are partitioned across K shards. Each shard owns
+// an EventQueue and a worker thread, and executes events in conservative
+// time windows: no shard runs past T_min + lookahead, where T_min is the
+// global minimum pending-event time and `lookahead` is a lower bound on the
+// delivery delay of any cross-shard event. Within a window the shards run
+// fully in parallel and lock-free; cross-shard sends are appended to
+// per-(src-shard, dst-shard) mailboxes that are drained into destination
+// queues at the window barrier.
+//
+// Determinism contract (the reason this engine can replace the sequential
+// one without changing results): every event carries a (time, source,
+// per-source sequence) key assigned at creation, where `source` is the
+// *logical* creator (a peer, not a thread or shard). Queues pop in key
+// order, and the conservative windows guarantee a cross-shard event is
+// enqueued before any event with a larger key executes at its destination.
+// Per-destination execution order is therefore a pure function of the
+// simulation — identical for every shard count, including 1. Callers must
+// keep event handlers shard-local (mutate only state owned by the
+// destination's shard) and derive any randomness from stable identities
+// rather than shared sequential streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/shard.h"
+#include "sim/sim_time.h"
+
+namespace locaware::sim {
+
+/// Construction parameters for the sharded engine.
+struct ShardedSimulatorConfig {
+  /// Number of shards (worker threads). 1 runs inline on the caller's thread
+  /// with no windows or barriers — the sequential fast path.
+  uint32_t num_shards = 1;
+  /// Conservative lookahead: a positive lower bound on the delay of every
+  /// cross-shard event. Unused (may be 0) when num_shards == 1.
+  SimTime lookahead = 0;
+  /// Size of the source-id space (ids are [0, num_sources)). Source 0 is
+  /// conventionally the controller; the engine maps peer p to source p + 1.
+  SourceId num_sources = 1;
+};
+
+/// \brief K event queues + worker threads under conservative-window sync.
+///
+/// Typical use:
+///   ShardedSimulator sim({.num_shards = 4, .lookahead = FromMs(5), ...});
+///   sim.ScheduleAt(dst_shard, src, at, fn);   // pre-run, from the controller
+///   sim.Run(horizon);                          // spawns workers, joins them
+///
+/// Scheduling rules:
+///  - Before/after Run(): any (dst, src, at) is accepted (controller phase).
+///  - Inside an event handler: intra-shard events may target any time >= the
+///    shard clock; cross-shard events must satisfy `at >= window end` (which
+///    the lookahead bound guarantees for real message delays). Violations
+///    CHECK-fail rather than silently reorder.
+///  - Each source's events must only ever be created from one shard (the
+///    shard owning that source's peer) — single-writer sequence counters.
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(const ShardedSimulatorConfig& config);
+
+  // Not copyable/movable: event callbacks routinely capture `this`.
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  /// Schedules `fn` at absolute time `at` on shard `dst`, created by logical
+  /// source `src`. See the class comment for the phase rules.
+  void ScheduleAt(ShardId dst, SourceId src, SimTime at, EventFn fn);
+
+  /// Current time: the executing shard's clock inside an event handler, the
+  /// last Run()'s final time (max over shards) on the controller thread.
+  SimTime Now() const;
+
+  /// Runs until every queue and mailbox drains, or `horizon` is crossed
+  /// (events at t > horizon stay queued). Returns events executed by this
+  /// call. num_shards == 1 runs inline; otherwise spawns one thread per
+  /// shard and joins them before returning.
+  uint64_t Run(SimTime horizon = kNoHorizon);
+
+  /// Pre-allocates per-shard event-queue capacity.
+  void ReserveEvents(size_t expected_events_per_shard);
+
+  /// Shard the calling thread is executing events for, or kNoShard outside
+  /// event execution (controller thread, tests).
+  static ShardId current_shard();
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  SimTime lookahead() const { return lookahead_; }
+
+  /// Total events executed over the simulator's lifetime.
+  uint64_t executed_count() const;
+  /// Events currently queued across all shards and mailboxes.
+  size_t pending_count() const;
+  /// Synchronization windows completed over the simulator's lifetime (0 for
+  /// single-shard runs, which need none).
+  uint64_t windows() const { return windows_; }
+
+  static constexpr SimTime kNoHorizon = INT64_MAX;
+
+ private:
+  /// One shard's private state. Padded so adjacent shards' hot fields do not
+  /// share cache lines.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    SimTime now = 0;
+    uint64_t executed = 0;
+    /// outbox[d]: events bound for shard d, flushed at the next barrier.
+    std::vector<std::vector<ShardEvent>> outbox;
+  };
+
+  uint64_t RunSingle(SimTime horizon);
+  void WorkerLoop(ShardId sid, SimTime horizon);
+  /// Moves every shard's outbox[sid] into shard sid's queue.
+  void DrainInbound(ShardId sid);
+
+  std::vector<Shard> shards_;
+  std::vector<uint64_t> next_seq_;  ///< per-source; single-writer by contract
+  SimTime lookahead_ = 0;
+  ShardBarrier barrier_;
+
+  // Window state, written only by the barrier completion hook (and therefore
+  // ordered by the barrier) or before workers start.
+  std::vector<SimTime> local_min_;  ///< per-shard published next-event time
+  SimTime window_end_ = 0;
+  bool done_ = false;
+  bool running_ = false;
+  SimTime controller_now_ = 0;
+  uint64_t windows_ = 0;
+};
+
+}  // namespace locaware::sim

@@ -33,9 +33,14 @@ void Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
 void Simulator::SchedulePeriodic(SimTime interval, std::function<bool()> fn) {
   LOCAWARE_CHECK_GT(interval, 0);
   // Self-rescheduling closure; stops rescheduling once fn returns false.
+  // Ownership lives in the queued events (strong refs); the stored closure
+  // only holds itself weakly, so cancelling or draining frees the chain
+  // instead of leaking a reference cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, interval, fn = std::move(fn), tick]() {
-    if (fn()) ScheduleAfter(interval, [tick] { (*tick)(); });
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, interval, fn = std::move(fn), weak]() {
+    if (!fn()) return;
+    if (auto self = weak.lock()) ScheduleAfter(interval, [self] { (*self)(); });
   };
   ScheduleAfter(interval, [tick] { (*tick)(); });
 }

@@ -18,7 +18,7 @@ namespace locaware::sim {
 /// \brief Single-threaded discrete-event simulator.
 ///
 /// Typical use:
-///   Simulator simlator;
+///   Simulator sim;
 ///   sim.ScheduleAfter(FromMs(10), [] { ... });
 ///   sim.SchedulePeriodic(FromSeconds(30), [] { ...; return true; });
 ///   sim.Run();                      // until queue drains

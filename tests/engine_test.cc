@@ -402,5 +402,93 @@ INSTANTIATE_TEST_SUITE_P(Kinds, AllProtocolsTest,
                                       : ProtocolKindName(info.param);
                          });
 
+// --- sharded execution (the TSan CI job also runs ShardInvariance*) --------
+
+/// Runs TinyConfig under `shards` and returns the merged per-query records.
+std::vector<metrics::QueryRecord> RunSharded(ProtocolKind kind, uint32_t shards,
+                                             uint64_t seed = 7) {
+  ExperimentConfig cfg = TinyConfig(kind, seed);
+  cfg.shards = shards;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  e->Run();
+  EXPECT_EQ(e->pending_query_count(), 0u);
+  EXPECT_EQ(e->tracked_query_count(), 0u);
+  return e->metrics().records();
+}
+
+class ShardInvarianceTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ShardInvarianceTest, FourShardsMatchSequentialPerQuery) {
+  // The determinism contract: --shards is a wall-clock knob, never a results
+  // knob. Compare every per-query field, not just the aggregates — a
+  // compensating error (one query over-counted, another under-counted) would
+  // survive a summary-only check.
+  const auto seq = RunSharded(GetParam(), 1);
+  const auto par = RunSharded(GetParam(), 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const metrics::QueryRecord& a = seq[i];
+    const metrics::QueryRecord& b = par[i];
+    EXPECT_EQ(a.qid, b.qid);
+    EXPECT_EQ(a.success, b.success) << "slot " << i;
+    EXPECT_EQ(a.source, b.source) << "slot " << i;
+    EXPECT_EQ(a.query_msgs, b.query_msgs) << "slot " << i;
+    EXPECT_EQ(a.query_bytes, b.query_bytes) << "slot " << i;
+    EXPECT_EQ(a.response_msgs, b.response_msgs) << "slot " << i;
+    EXPECT_EQ(a.response_bytes, b.response_bytes) << "slot " << i;
+    EXPECT_EQ(a.probe_msgs, b.probe_msgs) << "slot " << i;
+    EXPECT_EQ(a.responses_received, b.responses_received) << "slot " << i;
+    EXPECT_EQ(a.providers_offered, b.providers_offered) << "slot " << i;
+    EXPECT_EQ(a.first_response_at, b.first_response_at) << "slot " << i;
+    EXPECT_EQ(a.first_response_hops, b.first_response_hops) << "slot " << i;
+    EXPECT_EQ(a.download_distance_ms, b.download_distance_ms) << "slot " << i;
+    EXPECT_EQ(a.provider_loc_match, b.provider_loc_match) << "slot " << i;
+  }
+}
+
+TEST_P(ShardInvarianceTest, OddShardCountAlsoMatches) {
+  // 3 shards leaves uneven partitions (150 % 3 == 0 peers-wise but different
+  // peer sets per shard than 4); summaries must still match the sequential
+  // run exactly.
+  const auto seq = RunSharded(GetParam(), 1, /*seed=*/21);
+  const auto par = RunSharded(GetParam(), 3, /*seed=*/21);
+  ASSERT_EQ(seq.size(), par.size());
+  uint64_t seq_msgs = 0, par_msgs = 0, seq_bytes = 0, par_bytes = 0;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].success, par[i].success) << "slot " << i;
+    seq_msgs += seq[i].TotalSearchMessages();
+    par_msgs += par[i].TotalSearchMessages();
+    seq_bytes += seq[i].TotalSearchBytes();
+    par_bytes += par[i].TotalSearchBytes();
+  }
+  EXPECT_EQ(seq_msgs, par_msgs);
+  EXPECT_EQ(seq_bytes, par_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ShardInvarianceTest,
+                         ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
+                                           ProtocolKind::kDicasKeys,
+                                           ProtocolKind::kLocaware),
+                         [](const auto& info) {
+                           return std::string(ProtocolKindName(info.param)) == "Dicas-Keys"
+                                      ? "DicasKeys"
+                                      : ProtocolKindName(info.param);
+                         });
+
+TEST(ShardConfigTest, CreateRejectsShardedChurn) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
+  cfg.shards = 4;
+  cfg.churn.enabled = true;
+  EXPECT_FALSE(Engine::Create(cfg).ok());
+  cfg.shards = 1;
+  EXPECT_TRUE(Engine::Create(cfg).ok());
+}
+
+TEST(ShardConfigTest, CreateRejectsZeroShards) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
+  cfg.shards = 0;
+  EXPECT_FALSE(Engine::Create(cfg).ok());
+}
+
 }  // namespace
 }  // namespace locaware::core
