@@ -1,25 +1,34 @@
 // Ablation: churn and index staleness (paper §4.1.2 / Markatos [11]).
 //
 // The headline experiments are churn-free; this bench turns on session churn
-// and sweeps the index entry lifetime, reporting stale-download failures —
-// the cost the paper's freshness rule ("most recent pf entries replace the
-// oldest ones", short cache lifetimes) is designed to avoid.
+// and sweeps the index entry lifetime, reporting stale-download failures and
+// the overlay-repair traffic the message-routed link handshake costs — the
+// staleness/maintenance tradeoff the paper's freshness rule ("most recent pf
+// entries replace the oldest ones", short cache lifetimes) navigates.
+//
+// Dynamic-network scenarios run on the parallel engine: --shards=K uses K
+// worker shards, and the --json output is byte-identical for every K at a
+// fixed seed (CI's second determinism gate diffs shards=1 vs shards=4).
 #include <cstdio>
 #include <future>
+#include <string>
 #include <vector>
 
-#include "core/experiment.h"
+#include "fig_common.h"
 
 int main(int argc, char** argv) {
   using namespace locaware;
-  const uint64_t queries =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2500;
+  const bench::FigOptions options = bench::ParseArgs(argc, argv);
+  const uint64_t queries = options.num_queries;
 
   std::printf("== Ablation: churn & index staleness (%llu queries) ==\n",
               static_cast<unsigned long long>(queries));
-  std::printf("churn model: mean session 30 min, mean offline 10 min\n\n");
-  std::printf("%-12s %-14s %10s %15s %12s %10s\n", "protocol", "entry TTL",
-              "success", "stale failures", "download ms", "churns");
+  std::printf("churn model: mean session 30 min, mean offline 10 min\n");
+  std::printf("run: seed=%llu shards=%u\n\n",
+              static_cast<unsigned long long>(options.seed), options.shards);
+  std::printf("%-22s %-10s %8s %13s %12s %11s %8s %11s %8s\n", "cell", "TTL",
+              "success", "stale fails", "stale hits", "repair msg", "rep KB",
+              "download ms", "churns");
 
   struct Cell {
     core::ProtocolKind kind;
@@ -36,30 +45,60 @@ int main(int argc, char** argv) {
       {core::ProtocolKind::kDicas, 10 * sim::kMinute, true, "10 min"},
   };
 
-  std::vector<std::future<std::string>> rows;
+  std::vector<std::future<Result<core::ExperimentResult>>> futures;
   for (const Cell& cell : cells) {
-    rows.push_back(std::async(std::launch::async, [cell, queries] {
-      core::ExperimentConfig cfg = core::MakePaperConfig(cell.kind, queries, 42);
+    futures.push_back(std::async(std::launch::async, [cell, queries, &options] {
+      core::ExperimentConfig cfg =
+          core::MakePaperConfig(cell.kind, queries, options.seed);
+      cfg.shards = options.shards;
       cfg.churn.enabled = cell.churn;
       cfg.churn.mean_session_s = 1800;
       cfg.churn.mean_offline_s = 600;
       cfg.params.ri.entry_ttl = cell.ttl;
-      auto r = std::move(core::RunExperiment(cfg, 4)).ValueOrDie();
-      char buf[180];
-      std::snprintf(buf, sizeof(buf), "%-12s %-14s %9.1f%% %15llu %12.1f %10llu",
-                    r.label.c_str(), cell.ttl_label, r.summary.success_rate * 100,
-                    static_cast<unsigned long long>(r.summary.stale_failures),
-                    r.summary.avg_download_ms,
-                    static_cast<unsigned long long>(r.summary.churn_events));
-      return std::string(buf);
+      cfg.label = std::string(core::ProtocolKindName(cell.kind)) +
+                  (cell.churn ? " churn ttl=" : " ") + cell.ttl_label;
+      return core::RunExperiment(cfg, options.buckets);
     }));
   }
-  for (auto& row : rows) std::printf("%s\n", row.get().c_str());
+  // Failures are reported from the main thread after every worker joined: an
+  // exit() from inside a worker would run static destructors under the
+  // siblings' still-running simulations.
+  std::vector<core::ExperimentResult> results;
+  results.reserve(futures.size());
+  bool failed = false;
+  for (auto& f : futures) {
+    auto result = f.get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   result.status().ToString().c_str());
+      failed = true;
+      continue;
+    }
+    results.push_back(std::move(result).ValueOrDie());
+  }
+  if (failed) return 1;
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const metrics::Summary& s = results[i].summary;
+    std::printf("%-22s %-10s %7.1f%% %13llu %12llu %11llu %8.1f %11.1f %8llu\n",
+                results[i].label.c_str(), cells[i].ttl_label,
+                s.success_rate * 100,
+                static_cast<unsigned long long>(s.stale_failures),
+                static_cast<unsigned long long>(s.stale_provider_hits),
+                static_cast<unsigned long long>(s.repair_msgs),
+                static_cast<double>(s.repair_bytes) / 1024.0, s.avg_download_ms,
+                static_cast<unsigned long long>(s.churn_events));
+  }
+
+  bench::MaybeWriteJson(results, options);
 
   std::printf(
       "\nreading guide: under churn an unexpired index keeps offering peers\n"
-      "that already left (stale failures); expiring entries trades a bit of\n"
-      "hit ratio for freshness. Locaware's multi-provider records make it\n"
-      "more robust than Dicas' single-provider indexes at equal lifetimes.\n");
+      "that already left (stale failures; 'stale hits' counts every departed\n"
+      "provider the indexes served); expiring entries trades a bit of hit\n"
+      "ratio for freshness, and 'repair' is the LinkDrop/LinkProbe/LinkAccept\n"
+      "traffic that keeps the overlay wired. Locaware's multi-provider records\n"
+      "make it more robust than Dicas' single-provider indexes at equal\n"
+      "lifetimes.\n");
   return 0;
 }

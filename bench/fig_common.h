@@ -30,8 +30,8 @@ struct FigOptions {
 
 /// Parses --queries=N --seed=S --buckets=B --shards=K --svg=PATH --json=PATH
 /// (unknown flags are fatal, so a typo cannot silently run the default
-/// experiment). The ablation mains share this parser but only the figure
-/// benches write --json output.
+/// experiment). The ablation mains share this parser; the figure benches and
+/// ablation_churn (CI's churn determinism gate) write --json output.
 FigOptions ParseArgs(int argc, char** argv);
 
 /// Writes the figure as an SVG chart when options.svg_path is set.

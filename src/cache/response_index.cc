@@ -179,6 +179,31 @@ std::vector<ResponseIndex::EvictedFile> ResponseIndex::ExpireStale(sim::SimTime 
   return removed;
 }
 
+std::vector<ResponseIndex::EvictedFile> ResponseIndex::RemoveProvider(
+    PeerId provider) {
+  std::vector<EvictedFile> removed;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    std::vector<ProviderEntry>& providers = it->second.providers;
+    auto pos = std::find_if(providers.begin(), providers.end(),
+                            [&](const ProviderEntry& p) {
+                              return p.provider == provider;
+                            });
+    if (pos == providers.end()) {
+      ++it;
+      continue;
+    }
+    providers.erase(pos);
+    ++stats_.invalidations;
+    if (!providers.empty()) {
+      ++it;
+      continue;
+    }
+    removed.push_back(EvictedFile{it->first, std::move(it->second.keywords)});
+    it = EraseIt(it, removed.back().keywords);
+  }
+  return removed;
+}
+
 std::unordered_map<FileId, ResponseIndex::Entry>::iterator ResponseIndex::EraseIt(
     std::unordered_map<FileId, Entry>::iterator it) {
   return EraseIt(it, it->second.keywords);

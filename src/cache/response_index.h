@@ -107,6 +107,12 @@ class ResponseIndex {
   /// the files that became empty and were removed.
   std::vector<EvictedFile> ExpireStale(sim::SimTime now);
 
+  /// Invalidates every entry naming `provider` (a peer known to have left the
+  /// network); returns the files that lost their last provider and were
+  /// removed — the owner mirrors those into derived structures (Locaware's
+  /// counting Bloom filter), exactly like an expiry sweep.
+  std::vector<EvictedFile> RemoveProvider(PeerId provider);
+
   /// Removes one file outright; returns whether it was present.
   bool Erase(FileId file);
 
@@ -124,10 +130,11 @@ class ResponseIndex {
   // --- lifetime counters (monotonic) ---
   struct Stats {
     uint64_t lookups = 0;
-    uint64_t hits = 0;          ///< lookups returning >= 1 file
-    uint64_t inserts = 0;       ///< provider insertions (incl. refreshes)
-    uint64_t evictions = 0;     ///< files evicted for capacity
-    uint64_t expirations = 0;   ///< provider entries dropped for age
+    uint64_t hits = 0;           ///< lookups returning >= 1 file
+    uint64_t inserts = 0;        ///< provider insertions (incl. refreshes)
+    uint64_t evictions = 0;      ///< files evicted for capacity
+    uint64_t expirations = 0;    ///< provider entries dropped for age
+    uint64_t invalidations = 0;  ///< provider entries dropped via RemoveProvider
   };
   const Stats& stats() const { return stats_; }
 

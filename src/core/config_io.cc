@@ -345,6 +345,12 @@ std::string ResultToJson(const ExperimentResult& result) {
   w.Uint(result.summary.bloom_update_bytes);
   w.Key("stale_failures");
   w.Uint(result.summary.stale_failures);
+  w.Key("stale_provider_hits");
+  w.Uint(result.summary.stale_provider_hits);
+  w.Key("repair_msgs");
+  w.Uint(result.summary.repair_msgs);
+  w.Key("repair_bytes");
+  w.Uint(result.summary.repair_bytes);
   w.Key("churn_events");
   w.Uint(result.summary.churn_events);
   w.EndObject();

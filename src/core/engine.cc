@@ -12,12 +12,11 @@
 namespace locaware::core {
 
 Engine::Engine(const ExperimentConfig& config)
-    : config_(config),
-      num_shards_(config.shards),
-      root_rng_(config.seed),
-      churn_rng_(root_rng_.Split("churn")) {
+    : config_(config), num_shards_(config.shards), root_rng_(config.seed) {
   Rng decisions = root_rng_.Split("decisions");
   decision_seed_ = decisions.NextU64();
+  Rng churn = root_rng_.Split("churn");
+  churn_seed_ = churn.NextU64();
 }
 
 Result<std::unique_ptr<Engine>> Engine::Create(const ExperimentConfig& config) {
@@ -29,11 +28,6 @@ Result<std::unique_ptr<Engine>> Engine::Create(const ExperimentConfig& config) {
 
   if (cfg.shards == 0) {
     return Status::InvalidArgument("shards must be > 0");
-  }
-  if (cfg.shards > 1 && cfg.churn.enabled) {
-    return Status::InvalidArgument(
-        "churn requires shards = 1 (session churn rewires the overlay, which "
-        "is cross-shard mutable state)");
   }
 
   auto engine = std::unique_ptr<Engine>(new Engine(cfg));
@@ -163,39 +157,63 @@ Status Engine::Setup() {
     }
   }
 
-  // 6. Churn.
+  // 6. Churn. The whole on/off schedule is precomputed from stable
+  // per-(peer, cycle) streams; transitions execute as owner-shard events and
+  // all link rewiring travels as LinkDrop/LinkProbe/LinkAccept messages, so
+  // churn never touches another shard's mutable state and composes with any
+  // shard count.
   auto churn = overlay::ChurnModel::Create(config_.churn);
   if (!churn.ok()) return churn.status();
   churn_model_ = std::move(churn).ValueOrDie();
   if (config_.churn.enabled) {
-    for (PeerId p = 0; p < config_.num_peers; ++p) ScheduleDeparture(p);
+    graph_->SetPartitionedOwnership(num_shards_);
+    churn_timeline_ = overlay::ChurnTimeline::Build(churn_model_, churn_seed_,
+                                                    config_.num_peers, RunHorizon());
+    // Seed the degree hints the initial handshakes would have announced; the
+    // static graph is still consistent here, so these start exact.
+    for (PeerId p = 0; p < config_.num_peers; ++p) {
+      NodeState& n = nodes_[p];
+      for (PeerId nb : graph_->Neighbors(p)) {
+        n.neighbor_degree[nb] = static_cast<uint32_t>(graph_->Degree(nb));
+      }
+    }
+    ScheduleChurnTimeline();
   }
 
-  // 7. Periodic maintenance (index expiry; Locaware Bloom gossip). Start
-  // ticks are staggered so 1000 nodes do not fire in the same microsecond.
-  // The initial offset events come from the controller source; every
-  // rescheduled tick is keyed by the node itself, keeping the tick chain's
-  // tie-break order shard-count-invariant.
-  if (caches) {
+  // 7. Periodic maintenance (index expiry; Locaware Bloom gossip; under
+  // churn, orphan re-attachment — a lone probe lost to a mid-flight
+  // departure must not strand a peer at degree 0 for its whole session).
+  // Start ticks are staggered so 1000 nodes do not fire in the same
+  // microsecond. The initial offset events come from the controller source;
+  // every rescheduled tick is keyed by the node itself, keeping the tick
+  // chain's tie-break order shard-count-invariant.
+  if (caches || config_.churn.enabled) {
     Rng stagger_rng = root_rng_.Split("maintenance");
     for (PeerId p = 0; p < config_.num_peers; ++p) {
       const sim::SimTime offset = static_cast<sim::SimTime>(stagger_rng.UniformInt(
           0, static_cast<uint64_t>(config_.params.maintenance_interval)));
+      const auto work = [this, p, caches] {
+        if (!graph_->IsAlive(p)) return;
+        if (caches) protocol_->OnMaintenanceTick(*this, p);
+        if (config_.churn.enabled && graph_->Degree(p) == 0) {
+          StartLinkProbes(p, 1);
+        }
+      };
       // Queued events own the tick chain (strong refs); the stored closure
       // holds itself weakly so the chain frees when the queue drains.
       auto tick = std::make_shared<std::function<void()>>();
       std::weak_ptr<std::function<void()>> weak = tick;
-      *tick = [this, p, weak] {
-        if (graph_->IsAlive(p)) protocol_->OnMaintenanceTick(*this, p);
+      *tick = [this, p, weak, work] {
+        work();
         if (auto self = weak.lock()) {
           ScheduleFromNode(p, p, config_.params.maintenance_interval,
                            [self] { (*self)(); });
         }
       };
-      sim_->ScheduleAt(shard_of(p), /*src=*/0, offset, [this, p, tick] {
+      sim_->ScheduleAt(shard_of(p), /*src=*/0, offset, [this, p, tick, work] {
         ScheduleFromNode(p, p, config_.params.maintenance_interval,
                          [tick] { (*tick)(); });
-        if (graph_->IsAlive(p)) protocol_->OnMaintenanceTick(*this, p);
+        work();
       });
     }
   }
@@ -276,12 +294,7 @@ void Engine::Run() {
     sim_->ScheduleAt(shard_of(ev.requester), /*src=*/0, ev.submit_time,
                      [this, &ev] { SubmitQuery(ev); });
   }
-  sim::SimTime horizon = 0;
-  if (!queries.empty()) {
-    horizon = queries.back().submit_time + 2 * config_.params.query_deadline +
-              sim::kSecond;
-  }
-  sim_->Run(horizon);
+  sim_->Run(RunHorizon());
 
   // Fold the per-shard collectors into the run-level view.
   std::vector<const metrics::MetricsCollector*> parts;
@@ -532,13 +545,16 @@ void Engine::FinalizeQuery(PeerId origin, QueryId qid) {
   record->providers_offered = static_cast<uint32_t>(candidates.size());
 
   // A provider that has gone offline cannot serve the download (stale index).
+  // Liveness comes from the immutable churn timeline: the provider may live
+  // on any shard, and its mutable state is unreadable from here.
   if (config_.churn.enabled) {
     std::vector<Candidate> alive;
     for (Candidate& c : candidates) {
-      if (graph_->IsAlive(c.provider)) {
+      if (churn_timeline_.IsOnlineAt(c.provider, sim_->Now())) {
         alive.push_back(std::move(c));
       } else {
         filtered_dead = true;
+        shard.metrics.AddStaleProviderHit();
       }
     }
     candidates = std::move(alive);
@@ -624,24 +640,45 @@ void Engine::ChargeMaintenance(uint64_t messages, uint64_t bytes) {
   shards_[cur == sim::kNoShard ? 0 : cur].metrics.AddBloomUpdate(messages, bytes);
 }
 
-void Engine::ScheduleDeparture(PeerId p) {
-  const sim::SimTime delay = churn_model_.SampleSession(&churn_rng_);
-  const bool in_event = sim::ShardedSimulator::current_shard() != sim::kNoShard;
-  sim_->ScheduleAt(shard_of(p), in_event ? SourceOf(p) : 0, sim_->Now() + delay,
-                   [this, p] { HandleDeparture(p); });
+sim::SimTime Engine::RunHorizon() const {
+  const auto& queries = workload_.queries();
+  if (queries.empty()) return 0;
+  return queries.back().submit_time + 2 * config_.params.query_deadline +
+         sim::kSecond;
 }
 
-void Engine::ScheduleRejoin(PeerId p) {
-  ScheduleFromNode(p, p, churn_model_.SampleOffline(&churn_rng_),
-                   [this, p] { HandleRejoin(p); });
+void Engine::ScheduleChurnTimeline() {
+  const sim::SimTime horizon = RunHorizon();
+  for (PeerId p = 0; p < config_.num_peers; ++p) {
+    const std::vector<sim::SimTime>& trans = churn_timeline_.transitions(p);
+    for (size_t i = 0; i < trans.size(); ++i) {
+      if (trans[i] > horizon) break;
+      if (i % 2 == 0) {
+        sim_->ScheduleAt(shard_of(p), /*src=*/0, trans[i],
+                         [this, p] { HandleDeparture(p); });
+      } else {
+        sim_->ScheduleAt(shard_of(p), /*src=*/0, trans[i],
+                         [this, p] { HandleRejoin(p); });
+      }
+    }
+  }
 }
 
 void Engine::HandleDeparture(PeerId p) {
-  if (!graph_->IsAlive(p)) return;
+  LOCAWARE_CHECK(graph_->IsAlive(p)) << "departure of offline peer " << p;
   CollectorAt(p).AddChurnEvent();
 
-  const std::vector<PeerId> dropped = graph_->Depart(p);
-  for (PeerId nb : dropped) protocol_->OnLinkDown(*this, p, nb);
+  // Drop only our own half of each link; the neighbors dissolve theirs when
+  // the LinkDrop lands (and tolerate forwarding to us in the meantime — the
+  // delivery guards drop messages at dead peers).
+  const uint32_t ending_epoch = graph_->session_epoch(p);
+  const std::vector<PeerId> dropped = graph_->GoOffline(p);
+  for (PeerId nb : dropped) {
+    overlay::LinkDropMessage msg{p, ending_epoch};
+    CollectorAt(p).AddRepairTraffic(1, EstimateSizeBytes(msg));
+    ScheduleFromNode(p, nb, OneWayDelay(p, nb),
+                     [this, nb, msg] { DeliverLinkDrop(nb, msg); });
+  }
 
   // Session state dies with the session; the response index survives on disk
   // (its entries age out through entry_ttl instead).
@@ -649,27 +686,117 @@ void Engine::HandleDeparture(PeerId p) {
   n.seen_queries.clear();
   n.reverse_path.clear();
   n.neighbor_filters.clear();
-
-  // Orphaned neighbors re-attach to keep the overlay usable.
-  for (PeerId nb : dropped) {
-    if (graph_->IsAlive(nb) && graph_->Degree(nb) == 0) RepairLinks(nb, 1);
-  }
-
-  ScheduleRejoin(p);
+  n.neighbor_gids.clear();
+  n.neighbor_degree.clear();
 }
 
 void Engine::HandleRejoin(PeerId p) {
-  if (graph_->IsAlive(p)) return;
+  LOCAWARE_CHECK(!graph_->IsAlive(p)) << "rejoin of online peer " << p;
   CollectorAt(p).AddChurnEvent();
-  graph_->Join(p);
-  RepairLinks(p, config_.churn.rejoin_links);
-  ScheduleDeparture(p);
+  graph_->GoOnline(p);  // fresh session epoch
+  StartLinkProbes(p, config_.churn.rejoin_links);
 }
 
-void Engine::RepairLinks(PeerId p, size_t count) {
-  for (PeerId nb : graph_->LinkToRandomPeers(p, count, &churn_rng_)) {
-    protocol_->OnLinkUp(*this, p, nb);
+overlay::LinkAnnounce Engine::MakeAnnounce(PeerId p, bool with_filter) {
+  NodeState& n = node(p);
+  overlay::LinkAnnounce announce;
+  announce.peer = p;
+  announce.gid = n.gid;
+  announce.epoch = graph_->session_epoch(p);
+  announce.degree = static_cast<uint32_t>(graph_->Degree(p));
+  if (with_filter && n.advertised_filter != nullptr) {
+    announce.filter = *n.advertised_filter;
   }
+  return announce;
+}
+
+void Engine::StartLinkProbes(PeerId p, size_t want) {
+  NodeState& n = node(p);
+  // One stream per probe round, keyed by (p, round). The round counter lives
+  // on p and advances in p's event order, which is shard-count invariant.
+  Rng rng = DecisionRng(kDecisionChurnLink, p, n.link_round++);
+  const uint64_t num_peers = nodes_.size();
+  std::vector<PeerId> picked;
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * want + 100;
+  while (picked.size() < want && attempts < max_attempts) {
+    ++attempts;
+    const PeerId cand = static_cast<PeerId>(rng.UniformInt(0, num_peers - 1));
+    if (cand == p || graph_->HasHalfLink(p, cand)) continue;
+    if (std::find(picked.begin(), picked.end(), cand) != picked.end()) continue;
+    // The bootstrap directory only hands out currently-online peers. The
+    // timeline is immutable, so this is a legal any-shard read — and the
+    // candidate may still be gone by the time the probe lands.
+    if (!churn_timeline_.IsOnlineAt(cand, sim_->Now())) continue;
+    picked.push_back(cand);
+  }
+  for (PeerId cand : picked) {
+    overlay::LinkProbeMessage msg{MakeAnnounce(p, /*with_filter=*/false)};
+    CollectorAt(p).AddRepairTraffic(1, EstimateSizeBytes(msg));
+    ScheduleFromNode(p, cand, OneWayDelay(p, cand),
+                     [this, cand, msg = std::move(msg)] {
+                       DeliverLinkProbe(cand, msg);
+                     });
+  }
+}
+
+void Engine::DeliverLinkDrop(PeerId to, const overlay::LinkDropMessage& msg) {
+  if (!graph_->IsAlive(to)) return;  // lost on a dead peer
+  if (!graph_->RemoveHalfLink(to, msg.from, msg.epoch)) return;  // stale drop
+  node(to).neighbor_degree.erase(msg.from);
+  protocol_->OnPeerDeparted(*this, to, msg.from);
+  // Orphans re-attach to keep the overlay usable.
+  if (graph_->Degree(to) == 0) StartLinkProbes(to, 1);
+}
+
+void Engine::DeliverLinkProbe(PeerId to, const overlay::LinkProbeMessage& msg) {
+  if (!graph_->IsAlive(to)) return;  // probe lost on a dead peer
+  const PeerId prober = msg.from.peer;
+  // A prober whose session already ended (it left, or left and rejoined,
+  // while the probe was in flight) will never act on our accept — its rejoin
+  // starts a fresh epoch that rejects the echo. Model the handshake timing
+  // out rather than install a half-link its other side can never match. (The
+  // prober can still die while the accept is in flight — that ms-scale race
+  // leaves a dangling half-edge here that degrades to wasted forwards until
+  // our own departure or the prober's next probe refreshes it; real overlays
+  // carry exactly this staleness.)
+  if (!churn_timeline_.IsOnlineAt(prober, sim_->Now()) ||
+      churn_timeline_.SessionEpochAt(prober, sim_->Now()) != msg.from.epoch) {
+    return;
+  }
+  graph_->AddHalfLink(to, prober, msg.from.epoch);
+  node(to).neighbor_degree[prober] = msg.from.degree;
+  protocol_->OnNeighborUp(*this, to, msg.from);
+  overlay::LinkAcceptMessage reply{MakeAnnounce(to, /*with_filter=*/true),
+                                   msg.from.epoch};
+  CollectorAt(to).AddRepairTraffic(1, EstimateSizeBytes(reply));
+  ScheduleFromNode(to, prober, OneWayDelay(to, prober),
+                   [this, prober, reply = std::move(reply)] {
+                     DeliverLinkAccept(prober, reply);
+                   });
+}
+
+void Engine::DeliverLinkAccept(PeerId to, const overlay::LinkAcceptMessage& msg) {
+  if (!graph_->IsAlive(to)) return;  // we left again; accept arrives too late
+  if (msg.prober_epoch != graph_->session_epoch(to)) return;  // stale session
+  // The acceptor may have departed — or departed and rejoined under a fresh
+  // epoch — while the accept was in flight (its LinkDrop could even arrive
+  // first); skip acceptors whose accepting session is over.
+  if (!churn_timeline_.IsOnlineAt(msg.from.peer, sim_->Now()) ||
+      churn_timeline_.SessionEpochAt(msg.from.peer, sim_->Now()) !=
+          msg.from.epoch) {
+    return;
+  }
+  graph_->AddHalfLink(to, msg.from.peer, msg.from.epoch);
+  node(to).neighbor_degree[msg.from.peer] = msg.from.degree;
+  protocol_->OnNeighborUp(*this, to, msg.from);
+}
+
+size_t Engine::NeighborDegree(PeerId self, PeerId neighbor) {
+  if (!config_.churn.enabled) return graph_->Degree(neighbor);
+  const NodeState& n = node(self);
+  auto it = n.neighbor_degree.find(neighbor);
+  return it == n.neighbor_degree.end() ? 0 : static_cast<size_t>(it->second);
 }
 
 }  // namespace locaware::core

@@ -11,6 +11,13 @@
 // conservative-lookahead windows, and all event-time randomness is derived
 // from stable identities (DecisionRng), so the run's metrics are identical
 // for every shard count — `--shards` is purely a wall-clock knob.
+//
+// Churn composes with sharding: the per-peer on/off schedule is a precomputed
+// immutable ChurnTimeline (stable per-(peer, cycle) streams), departures and
+// rejoins execute as owner-shard events, and all overlay rewiring travels as
+// LinkDrop/LinkProbe/LinkAccept messages so each endpoint mutates only its
+// own (epoch-stamped) half of a link. The node() ownership assert extends to
+// overlay state via OverlayGraph::SetPartitionedOwnership.
 #pragma once
 
 #include <memory>
@@ -42,8 +49,8 @@ namespace locaware::core {
 class Engine {
  public:
   /// Builds every subsystem deterministically from config.seed. Fails if any
-  /// subsystem rejects its configuration (including shards > 1 with churn
-  /// enabled, or an underlay that cannot bound its minimum link latency).
+  /// subsystem rejects its configuration (for shards > 1, an underlay that
+  /// cannot bound its minimum link latency).
   static Result<std::unique_ptr<Engine>> Create(const ExperimentConfig& config);
 
   Engine(const Engine&) = delete;
@@ -88,6 +95,7 @@ class Engine {
   // Randomness domains for DecisionRng.
   static constexpr uint64_t kDecisionFallback = 1;   ///< routed-protocol fallback picks
   static constexpr uint64_t kDecisionSelection = 2;  ///< provider selection
+  static constexpr uint64_t kDecisionChurnLink = 3;  ///< link-probe candidate draws
 
   /// Order-independent event-time randomness: a fresh stream derived from
   /// (seed, domain, a, b). Unlike a shared sequential stream, the draw does
@@ -112,6 +120,15 @@ class Engine {
   /// Charges maintenance traffic without a scheduled message (used by the
   /// full-filter exchange when a link comes up).
   void ChargeMaintenance(uint64_t messages, uint64_t bytes);
+
+  /// `neighbor`'s degree as far as `self` may know it. Without churn the
+  /// overlay is immutable and this is the true degree; under churn, remote
+  /// adjacency is shard-partitioned, so it is the hint the last link
+  /// handshake announced (0 if none survives). Deterministic either way.
+  size_t NeighborDegree(PeerId self, PeerId neighbor);
+
+  /// The immutable per-peer on/off schedule (empty unless churn is enabled).
+  const overlay::ChurnTimeline& churn_timeline() const { return churn_timeline_; }
 
  private:
   explicit Engine(const ExperimentConfig& config);
@@ -171,14 +188,36 @@ class Engine {
   std::vector<overlay::ResponseRecord> AnswerFromFileStore(
       PeerId node, const overlay::QueryMessage& query);
 
-  // Churn lifecycle (shards == 1 only; Create rejects the combination).
-  void ScheduleDeparture(PeerId p);
-  void ScheduleRejoin(PeerId p);
+  // --- churn lifecycle (shard-safe: owner events + routed repair links) ---
+
+  /// End-of-run instant: last submission + 2x deadline + slack. Also the
+  /// churn timeline's generation bound.
+  sim::SimTime RunHorizon() const;
+
+  /// Schedules every timeline transition (<= RunHorizon()) as an owner-shard
+  /// PeerDown/PeerUp event. Controller phase only.
+  void ScheduleChurnTimeline();
+
+  /// PeerDown: drop own half-links, notify ex-neighbors via LinkDrop
+  /// messages, clear session state.
   void HandleDeparture(PeerId p);
+  /// PeerUp: fresh session epoch, probe for rejoin links.
   void HandleRejoin(PeerId p);
 
-  /// Registers `count` new links from p to random peers and fires OnLinkUp.
-  void RepairLinks(PeerId p, size_t count);
+  /// Sends LinkProbe to up to `want` distinct online non-neighbors, drawn
+  /// from a stream keyed by (p, p's probe-round counter).
+  void StartLinkProbes(PeerId p, size_t want);
+
+  /// p's self-description for link handshakes (gid, degree, epoch; the
+  /// advertised filter only when `with_filter` — the accept direction. The
+  /// probe direction omits it: the prober pushes its filter as a full-state
+  /// BloomUpdate once the handshake completes, so the receiver's delta
+  /// baseline can never desync against gossip racing the handshake).
+  overlay::LinkAnnounce MakeAnnounce(PeerId p, bool with_filter);
+
+  void DeliverLinkDrop(PeerId to, const overlay::LinkDropMessage& msg);
+  void DeliverLinkProbe(PeerId to, const overlay::LinkProbeMessage& msg);
+  void DeliverLinkAccept(PeerId to, const overlay::LinkAcceptMessage& msg);
 
   /// Metrics slot of a query in `shard`, or SIZE_MAX after cleanup.
   size_t SlotOf(sim::ShardId shard, QueryId qid) const;
@@ -192,7 +231,7 @@ class Engine {
   uint32_t num_shards_ = 1;
   Rng root_rng_;
   uint64_t decision_seed_ = 0;
-  Rng churn_rng_;
+  uint64_t churn_seed_ = 0;
 
   std::unique_ptr<sim::ShardedSimulator> sim_;
   std::unique_ptr<net::Underlay> underlay_;
@@ -201,6 +240,7 @@ class Engine {
   catalog::QueryWorkload workload_;
   std::unique_ptr<Protocol> protocol_;
   overlay::ChurnModel churn_model_;
+  overlay::ChurnTimeline churn_timeline_;
 
   std::vector<NodeState> nodes_;
   std::vector<ShardState> shards_;

@@ -31,8 +31,8 @@ struct ExperimentConfig {
   /// others through conservative-lookahead windows. Any value, including 1,
   /// produces identical metrics for the same seed (the determinism contract
   /// CI enforces); > 1 trades barrier overhead for multi-core wall-clock.
-  /// Requires churn disabled when > 1 (churn rewires the overlay, which is
-  /// cross-shard mutable state).
+  /// Composes with churn: lifecycle transitions run as owner-shard events
+  /// and overlay repair travels as LinkDrop/LinkProbe/LinkAccept messages.
   uint32_t shards = 1;
 
   /// Use the geometry-free control underlay (locality ablation) instead of

@@ -72,8 +72,10 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
       const bool lb = engine.loc_of(b) == query.origin_loc;
       if (la != lb) return la;
     }
-    const size_t da = engine.graph().Degree(a);
-    const size_t db = engine.graph().Degree(b);
+    // Under churn, remote adjacency is shard-partitioned; rank by the degree
+    // hints the link handshakes announced (exact when the overlay is static).
+    const size_t da = engine.NeighborDegree(node, a);
+    const size_t db = engine.NeighborDegree(node, b);
     if (da != db) return da > db;
     return a < b;  // deterministic tie-break
   });
@@ -205,6 +207,9 @@ void LocawareProtocol::OnBloomUpdate(Engine& engine, PeerId node,
   NodeState& state = engine.node(node);
   auto [it, inserted] = state.neighbor_filters.try_emplace(
       update.sender, params_.bloom_bits, params_.bloom_hashes);
+  // A full-state bootstrap replaces the copy outright (toggling into a stale
+  // copy would corrupt it); clearing first makes the apply absolute.
+  if (update.full_state && !inserted) it->second.Clear();
   bloom::BloomDelta delta;
   delta.filter_bits = update.filter_bits;
   delta.positions = update.toggled_positions;
@@ -232,6 +237,43 @@ void LocawareProtocol::OnLinkUp(Engine& engine, PeerId a, PeerId b) {
 void LocawareProtocol::OnLinkDown(Engine& engine, PeerId a, PeerId b) {
   engine.node(a).neighbor_filters.erase(b);
   engine.node(b).neighbor_filters.erase(a);
+}
+
+void LocawareProtocol::OnNeighborUp(Engine& engine, PeerId node,
+                                    const overlay::LinkAnnounce& peer) {
+  NodeState& state = engine.node(node);
+  state.neighbor_gids.insert_or_assign(peer.peer, peer.gid);
+  if (!peer.filter.has_value()) return;  // probe direction: filter comes later
+  // Accept direction: the acceptor snapshotted its advertised filter with us
+  // already in its adjacency, so its future deltas apply cleanly to this
+  // copy.
+  state.neighbor_filters.insert_or_assign(peer.peer, *peer.filter);
+  // Push our side as a full-state bootstrap (delta-encoded ones). A plain
+  // snapshot in the probe could desync: a maintenance tick firing during the
+  // two-hop handshake would gossip a delta the acceptor never receives. The
+  // full-state flag makes the copy absolute, and from this instant the
+  // acceptor is in our adjacency, so every later delta reaches it.
+  LOCAWARE_CHECK(state.advertised_filter != nullptr);
+  overlay::BloomUpdateMessage bootstrap;
+  bootstrap.sender = node;
+  bootstrap.filter_bits = static_cast<uint32_t>(state.advertised_filter->num_bits());
+  bootstrap.toggled_positions = state.advertised_filter->DiffPositions(
+      bloom::BloomFilter(params_.bloom_bits, params_.bloom_hashes));
+  bootstrap.full_state = true;
+  engine.SendBloomUpdate(node, peer.peer, std::move(bootstrap));
+}
+
+void LocawareProtocol::OnPeerDeparted(Engine& engine, PeerId node, PeerId departed) {
+  NodeState& state = engine.node(node);
+  state.neighbor_filters.erase(departed);
+  state.neighbor_gids.erase(departed);
+  if (state.ri == nullptr) return;
+  const catalog::FileCatalog& catalog = engine.catalog();
+  for (const auto& evicted : state.ri->RemoveProvider(departed)) {
+    for (KeywordId kw : evicted.keywords) {
+      state.keyword_filter->Remove(catalog.KeywordBloomHash(kw));
+    }
+  }
 }
 
 }  // namespace locaware::core

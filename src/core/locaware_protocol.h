@@ -43,6 +43,13 @@ class LocawareProtocol final : public Protocol {
   /// New neighbors exchange their full advertised filters (and Gids).
   void OnLinkUp(Engine& engine, PeerId a, PeerId b) override;
   void OnLinkDown(Engine& engine, PeerId a, PeerId b) override;
+  /// Message-routed link handshake: install the announced filter and Gid.
+  void OnNeighborUp(Engine& engine, PeerId node,
+                    const overlay::LinkAnnounce& peer) override;
+  /// A neighbor left: drop its filter copy and invalidate index entries
+  /// naming it, mirroring removals into the counting Bloom filter so the
+  /// next maintenance tick gossips the delta.
+  void OnPeerDeparted(Engine& engine, PeerId node, PeerId departed) override;
 
   SelectionStrategy DefaultSelection() const override {
     return SelectionStrategy::kLocIdThenRtt;

@@ -40,6 +40,17 @@ struct NodeState {
   /// peers exchange their group Ids as well as their Bloom filters").
   std::unordered_map<PeerId, GroupId> neighbor_gids;
 
+  // --- churn (message-routed link lifecycle) ---
+  /// Neighbor degree as announced in the last link handshake. Under churn,
+  /// remote adjacency is unreadable (shard-partitioned), so degree-ranked
+  /// forwarding uses these possibly stale hints — the knowledge a real peer
+  /// would actually have.
+  std::unordered_map<PeerId, uint32_t> neighbor_degree;
+  /// Count of link-probe rounds this peer has started; keys the candidate
+  /// draw (DecisionRng) so every round has a unique, shard-count-invariant
+  /// stream.
+  uint64_t link_round = 0;
+
   // --- message plumbing ---
   /// Query GUIDs already seen (duplicate suppression).
   std::unordered_set<QueryId> seen_queries;

@@ -71,6 +71,14 @@ void Protocol::OnLinkUp(Engine& /*engine*/, PeerId /*a*/, PeerId /*b*/) {}
 
 void Protocol::OnLinkDown(Engine& /*engine*/, PeerId /*a*/, PeerId /*b*/) {}
 
+void Protocol::OnNeighborUp(Engine& /*engine*/, PeerId /*node*/,
+                            const overlay::LinkAnnounce& /*peer*/) {}
+
+void Protocol::OnPeerDeparted(Engine& engine, PeerId node, PeerId departed) {
+  NodeState& state = engine.node(node);
+  if (state.ri != nullptr) state.ri->RemoveProvider(departed);
+}
+
 std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind, const ProtocolParams& params) {
   switch (kind) {
     case ProtocolKind::kFlooding:

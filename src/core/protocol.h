@@ -59,13 +59,30 @@ class Protocol {
   virtual void OnBloomUpdate(Engine& engine, PeerId node,
                              const overlay::BloomUpdateMessage& update);
 
-  /// A link appeared / disappeared (join, leave, repair). Locaware exchanges
-  /// full filters and Gids on new links.
+  /// A link appeared / disappeared (static setup path). Touches both
+  /// endpoints at once, so it is only legal outside partitioned churn runs;
+  /// the message-routed churn path uses OnNeighborUp/OnPeerDeparted instead.
+  /// Locaware exchanges full filters and Gids on new links.
   virtual void OnLinkUp(Engine& engine, PeerId a, PeerId b);
   virtual void OnLinkDown(Engine& engine, PeerId a, PeerId b);
 
+  /// One endpoint of a repaired link learned of its new neighbor through a
+  /// LinkProbe/LinkAccept message (executing on `node`'s shard). `peer` is
+  /// the remote side's announce; only `node`'s state may be mutated.
+  virtual void OnNeighborUp(Engine& engine, PeerId node,
+                            const overlay::LinkAnnounce& peer);
+
+  /// `node` received `departed`'s LinkDrop: the neighbor left the network.
+  /// Base implementation invalidates every response-index entry naming the
+  /// departed peer as a provider; Locaware additionally mirrors the removals
+  /// into its counting Bloom filter so the next maintenance tick gossips the
+  /// delta (the existing counting-Bloom invalidation path).
+  virtual void OnPeerDeparted(Engine& engine, PeerId node, PeerId departed);
+
   /// Provider-selection default when the config leaves it unset.
-  virtual SelectionStrategy DefaultSelection() const { return SelectionStrategy::kRandom; }
+  virtual SelectionStrategy DefaultSelection() const {
+    return SelectionStrategy::kRandom;
+  }
 
   const ProtocolParams& params() const { return params_; }
 

@@ -31,6 +31,9 @@ MetricsCollector MetricsCollector::MergeShards(
     merged.bloom_update_bytes_ += part->bloom_update_bytes_;
     merged.churn_events_ += part->churn_events_;
     merged.stale_failures_ += part->stale_failures_;
+    merged.stale_provider_hits_ += part->stale_provider_hits_;
+    merged.repair_msgs_ += part->repair_msgs_;
+    merged.repair_bytes_ += part->repair_bytes_;
   }
   merged.records_.reserve(num_slots);
   for (size_t slot = 0; slot < num_slots; ++slot) {

@@ -97,12 +97,29 @@ class MetricsCollector {
   void AddStaleFailure() { ++stale_failures_; }
   uint64_t stale_failures() const { return stale_failures_; }
 
+  /// Offered providers that had already departed by selection time — each one
+  /// is a "hit on a departed provider", the staleness the index carried.
+  void AddStaleProviderHit() { ++stale_provider_hits_; }
+  uint64_t stale_provider_hits() const { return stale_provider_hits_; }
+
+  /// Link-repair handshake traffic (LinkDrop/LinkProbe/LinkAccept), the
+  /// maintenance cost of keeping the overlay wired under churn.
+  void AddRepairTraffic(uint64_t messages, uint64_t bytes) {
+    repair_msgs_ += messages;
+    repair_bytes_ += bytes;
+  }
+  uint64_t repair_msgs() const { return repair_msgs_; }
+  uint64_t repair_bytes() const { return repair_bytes_; }
+
  private:
   std::vector<QueryRecord> records_;
   uint64_t bloom_update_msgs_ = 0;
   uint64_t bloom_update_bytes_ = 0;
   uint64_t churn_events_ = 0;
   uint64_t stale_failures_ = 0;
+  uint64_t stale_provider_hits_ = 0;
+  uint64_t repair_msgs_ = 0;
+  uint64_t repair_bytes_ = 0;
 };
 
 }  // namespace locaware::metrics

@@ -39,7 +39,8 @@ BucketPoint AggregateSpan(const std::vector<QueryRecord>& records, size_t begin,
       ++download_count;
     }
     if (r.provider_loc_match) ++loc_matches;
-    if (r.source == AnswerSource::kResponseIndex || r.source == AnswerSource::kLocalIndex) {
+    if (r.source == AnswerSource::kResponseIndex ||
+        r.source == AnswerSource::kLocalIndex) {
       ++cache_answers;
     }
   }
@@ -109,6 +110,9 @@ Summary Summarize(const MetricsCollector& collector) {
   s.bloom_update_msgs = collector.bloom_update_msgs();
   s.bloom_update_bytes = collector.bloom_update_bytes();
   s.stale_failures = collector.stale_failures();
+  s.stale_provider_hits = collector.stale_provider_hits();
+  s.repair_msgs = collector.repair_msgs();
+  s.repair_bytes = collector.repair_bytes();
   s.churn_events = collector.churn_events();
   return s;
 }

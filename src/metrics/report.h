@@ -40,6 +40,9 @@ struct Summary {
   uint64_t bloom_update_msgs = 0;
   uint64_t bloom_update_bytes = 0;
   uint64_t stale_failures = 0;
+  uint64_t stale_provider_hits = 0;
+  uint64_t repair_msgs = 0;
+  uint64_t repair_bytes = 0;
   uint64_t churn_events = 0;
 
   /// Time from submission to the first response, over queries that got one.

@@ -1,5 +1,10 @@
 #include "overlay/churn.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
 namespace locaware::overlay {
 
 Result<ChurnModel> ChurnModel::Create(const ChurnConfig& config) {
@@ -20,6 +25,52 @@ sim::SimTime ChurnModel::SampleSession(Rng* rng) const {
 
 sim::SimTime ChurnModel::SampleOffline(Rng* rng) const {
   return sim::FromSeconds(rng->Exponential(1.0 / config_.mean_offline_s));
+}
+
+ChurnTimeline ChurnTimeline::Build(const ChurnModel& model, uint64_t seed,
+                                   size_t num_peers, sim::SimTime horizon) {
+  ChurnTimeline timeline;
+  timeline.transitions_.resize(num_peers);
+  if (!model.config().enabled) return timeline;
+  for (PeerId p = 0; p < num_peers; ++p) {
+    std::vector<sim::SimTime>& trans = timeline.transitions_[p];
+    sim::SimTime t = 0;
+    for (uint64_t cycle = 0; t <= horizon; ++cycle) {
+      // One private stream per (peer, cycle): the draw cannot depend on how
+      // many draws other peers (or other cycles) made before it.
+      uint64_t x = Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+      x = Mix64(x ^ cycle);
+      Rng rng(x);
+      t += std::max<sim::SimTime>(1, model.SampleSession(&rng));
+      trans.push_back(t);  // departure
+      if (t > horizon) break;
+      t += std::max<sim::SimTime>(1, model.SampleOffline(&rng));
+      trans.push_back(t);  // rejoin
+    }
+  }
+  return timeline;
+}
+
+bool ChurnTimeline::IsOnlineAt(PeerId p, sim::SimTime t) const {
+  const std::vector<sim::SimTime>& trans = transitions(p);
+  const auto past =
+      std::upper_bound(trans.begin(), trans.end(), t) - trans.begin();
+  // Transitions alternate departure/rejoin starting from an online state, so
+  // an even number of transitions at or before t means "online".
+  return (past % 2) == 0;
+}
+
+uint32_t ChurnTimeline::SessionEpochAt(PeerId p, sim::SimTime t) const {
+  const std::vector<sim::SimTime>& trans = transitions(p);
+  const auto past =
+      std::upper_bound(trans.begin(), trans.end(), t) - trans.begin();
+  // Rejoins are the odd-indexed transitions: past/2 of them are <= t.
+  return static_cast<uint32_t>(past / 2);
+}
+
+const std::vector<sim::SimTime>& ChurnTimeline::transitions(PeerId p) const {
+  LOCAWARE_CHECK_LT(p, transitions_.size());
+  return transitions_[p];
 }
 
 }  // namespace locaware::overlay

@@ -5,10 +5,28 @@
 // gaps. The paper's headline experiments run without churn (§5 does not
 // enable it); the churn ablation (`bench/ablation_churn`) uses this model to
 // show how index staleness erodes each protocol.
+//
+// Two pieces live here:
+//
+//  * ChurnModel — validates the intensity parameters and samples one
+//    session/offline duration from a caller-provided stream.
+//  * ChurnTimeline — the whole run's on/off schedule, precomputed from
+//    *stable identities*: peer p's k-th cycle durations come from a private
+//    stream keyed by (seed, p, k), never from a shared sequential stream.
+//    The timeline is immutable after Build, so any shard of the parallel
+//    engine may ask "was peer p online at time t?" without reading another
+//    shard's mutable state, and the answer cannot depend on event
+//    interleaving — the property that lets churn compose with `shards > 1`
+//    (the engine routes the *state* transitions as owner-shard events and
+//    the neighbor notifications as LinkDrop/LinkProbe/LinkAccept messages;
+//    see core/engine.cc).
 #pragma once
+
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/types.h"
 #include "sim/sim_time.h"
 
 namespace locaware::overlay {
@@ -21,7 +39,8 @@ struct ChurnConfig {
   double mean_session_s = 1800.0;
   /// Mean offline gap before rejoining, in seconds.
   double mean_offline_s = 600.0;
-  /// Links a rejoining peer establishes.
+  /// Links a rejoining peer probes for (LinkProbe fan-out). Fewer links may
+  /// form when probed peers are offline by the time the probe lands.
   size_t rejoin_links = 3;
 };
 
@@ -45,6 +64,42 @@ class ChurnModel {
   explicit ChurnModel(const ChurnConfig& config) : config_(config) {}
 
   ChurnConfig config_{};
+};
+
+/// \brief Immutable per-peer on/off schedule for one run.
+///
+/// Every peer starts online at t = 0; transitions_[p] holds its alternating
+/// departure/rejoin instants (even index = departure). Durations are drawn
+/// from streams keyed by (seed, peer, cycle), so the schedule is a pure
+/// function of the config — identical for every shard count and safe to read
+/// from any thread.
+class ChurnTimeline {
+ public:
+  /// Empty timeline: everyone online forever (churn disabled).
+  ChurnTimeline() = default;
+
+  /// Precomputes transitions up to (just past) `horizon` for every peer.
+  static ChurnTimeline Build(const ChurnModel& model, uint64_t seed,
+                             size_t num_peers, sim::SimTime horizon);
+
+  /// Was peer p online at time t? Offline at exactly a departure instant,
+  /// online at exactly a rejoin instant. Pure; safe from any shard.
+  bool IsOnlineAt(PeerId p, sim::SimTime t) const;
+
+  /// Peer p's session epoch at time t: 0 for the initial session, +1 per
+  /// rejoin at or before t — the same counter OverlayGraph::session_epoch
+  /// tracks mutably on the owner shard. Lets a handshake receiver reject a
+  /// message from a session that ended (the sender departed and rejoined
+  /// while it was in flight) without reading remote mutable state.
+  uint32_t SessionEpochAt(PeerId p, sim::SimTime t) const;
+
+  /// Peer p's transition instants, ascending (even index = departure).
+  const std::vector<sim::SimTime>& transitions(PeerId p) const;
+
+  size_t num_peers() const { return transitions_.size(); }
+
+ private:
+  std::vector<std::vector<sim::SimTime>> transitions_;
 };
 
 }  // namespace locaware::overlay

@@ -39,4 +39,27 @@ size_t EstimateSizeBytes(const ProbeMessage& /*m*/) {
   return kDescriptorHeader + 2 * kAddress;
 }
 
+namespace {
+/// Address + gid + epoch + degree hint, plus the full filter bitmap when the
+/// announce carries one (link establishment is the one place Locaware ships a
+/// whole filter; deltas take over afterwards).
+size_t AnnounceBytes(const LinkAnnounce& a) {
+  size_t bytes = kAddress + 2 + 4 + 2;
+  if (a.filter.has_value()) bytes += 4 + (a.filter->num_bits() + 7) / 8;
+  return bytes;
+}
+}  // namespace
+
+size_t EstimateSizeBytes(const LinkDropMessage& /*m*/) {
+  return kDescriptorHeader + kAddress + 4;  // sender + ending epoch
+}
+
+size_t EstimateSizeBytes(const LinkProbeMessage& m) {
+  return kDescriptorHeader + AnnounceBytes(m.from);
+}
+
+size_t EstimateSizeBytes(const LinkAcceptMessage& m) {
+  return kDescriptorHeader + AnnounceBytes(m.from) + 4;  // + echoed epoch
+}
+
 }  // namespace locaware::overlay

@@ -1,10 +1,12 @@
 // Wire messages exchanged over overlay links.
 //
-// Four message families cover every protocol in the paper: keyword queries
+// Five message families cover every protocol in the paper: keyword queries
 // (flooded/routed forward), query responses (routed back hop-by-hop along the
 // query's reverse path, §3.1), Bloom-filter delta updates (Locaware §4.2),
-// and RTT probes (Locaware's provider-selection fallback, §5.1). Sizes are
-// estimated for the bandwidth-accounting metric.
+// RTT probes (Locaware's provider-selection fallback, §5.1), and the
+// link-repair handshake (LinkDrop / LinkProbe / LinkAccept) that carries
+// churn's overlay rewiring as ordinary messages so it composes with the
+// sharded engine. Sizes are estimated for the bandwidth-accounting metric.
 //
 // Messages carry interned ids (common/types.h), not strings; a real wire
 // encoding would carry the strings, so EstimateSizeBytes resolves each id's
@@ -13,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "bloom/bloom_filter.h"
 #include "common/types.h"
 #include "common/wire_names.h"
 
@@ -78,6 +82,11 @@ struct BloomUpdateMessage {
   PeerId sender = kInvalidPeer;
   uint32_t filter_bits = 0;
   std::vector<uint32_t> toggled_positions;
+  /// Full-state bootstrap: positions are the sender's complete advertised
+  /// filter (receiver replaces its copy instead of toggling). Sent once when
+  /// a repaired link completes, so the receiver's delta baseline starts
+  /// consistent no matter what gossip raced the handshake.
+  bool full_state = false;
 };
 
 /// RTT probe / reply used by provider selection ("it measures its RTT to the
@@ -85,6 +94,57 @@ struct BloomUpdateMessage {
 struct ProbeMessage {
   PeerId prober = kInvalidPeer;
   PeerId target = kInvalidPeer;
+};
+
+// --- link-repair handshake (churn) -----------------------------------------
+//
+// Session churn rewires the overlay through three messages instead of direct
+// cross-peer mutation, so each endpoint updates only its own adjacency when
+// the message's event executes on its shard:
+//
+//   departure:  p clears its own half-edges and sends LinkDrop(epoch) to each
+//               former neighbor; the neighbor removes its half-edge (iff the
+//               stamp is <= the named epoch), invalidates response-index
+//               entries naming p, and probes for a replacement if orphaned.
+//   rejoin:     p sends LinkProbe to candidate peers; an online candidate
+//               installs its half-edge, replies LinkAccept, and the prober
+//               installs its half on receipt. Both directions carry a
+//               LinkAnnounce (gid, degree hint, session epoch, and — for
+//               Locaware — the advertised Bloom filter), replacing the
+//               instantaneous full-filter exchange of the static setup path.
+
+/// The sender's self-description carried by LinkProbe/LinkAccept.
+struct LinkAnnounce {
+  PeerId peer = kInvalidPeer;
+  GroupId gid = 0;
+  /// Sender's session epoch; the receiver stamps its half-edge with this.
+  uint32_t epoch = 0;
+  /// Sender's degree at send time — the receiver's (stale-able) hint for
+  /// degree-ranked forwarding, since remote adjacency is unreadable under
+  /// partitioned ownership.
+  uint32_t degree = 0;
+  /// Locaware: snapshot of the sender's advertised keyword filter.
+  std::optional<bloom::BloomFilter> filter;
+};
+
+/// "I am leaving": sent by a departing peer to each of its neighbors.
+struct LinkDropMessage {
+  PeerId from = kInvalidPeer;
+  /// Epoch of the session that is ending; removes only links stamped <= it.
+  uint32_t epoch = 0;
+};
+
+/// Rejoin/repair link request.
+struct LinkProbeMessage {
+  LinkAnnounce from;
+};
+
+/// Positive reply to a LinkProbe.
+struct LinkAcceptMessage {
+  LinkAnnounce from;
+  /// Echo of the probe's epoch: the prober ignores accepts from probes it
+  /// sent in an earlier session.
+  uint32_t prober_epoch = 0;
 };
 
 /// Estimated wire sizes in bytes, for the bandwidth metric. The constants
@@ -95,5 +155,8 @@ size_t EstimateSizeBytes(const QueryMessage& m, const WireNames& names);
 size_t EstimateSizeBytes(const ResponseMessage& m, const WireNames& names);
 size_t EstimateSizeBytes(const BloomUpdateMessage& m);
 size_t EstimateSizeBytes(const ProbeMessage& m);
+size_t EstimateSizeBytes(const LinkDropMessage& m);
+size_t EstimateSizeBytes(const LinkProbeMessage& m);
+size_t EstimateSizeBytes(const LinkAcceptMessage& m);
 
 }  // namespace locaware::overlay

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "sim/sharded_simulator.h"
 
 namespace locaware::overlay {
 
@@ -16,8 +17,9 @@ Result<OverlayGraph> OverlayGraph::Generate(const OverlayConfig& config, Rng* rn
 
   OverlayGraph g;
   g.adjacency_.resize(config.num_peers);
+  g.link_epoch_.resize(config.num_peers);
+  g.session_epoch_.assign(config.num_peers, 0);
   g.alive_.assign(config.num_peers, 1);
-  g.num_alive_ = config.num_peers;
 
   const size_t n = config.num_peers;
   const size_t target_links = static_cast<size_t>(config.avg_degree * n / 2.0);
@@ -59,7 +61,6 @@ Result<OverlayGraph> OverlayGraph::Generate(const OverlayConfig& config, Rng* rn
   if (num_components > 1) {
     // Collect one representative per component; bridge them in a chain with
     // random anchors so no single peer becomes a hub.
-    std::vector<PeerId> representative(num_components, kInvalidPeer);
     std::vector<std::vector<PeerId>> members(num_components);
     for (PeerId p = 0; p < n; ++p) members[component[p]].push_back(p);
     for (int c = 1; c < num_components; ++c) {
@@ -74,18 +75,44 @@ Result<OverlayGraph> OverlayGraph::Generate(const OverlayConfig& config, Rng* rn
   return g;
 }
 
+void OverlayGraph::SetPartitionedOwnership(uint32_t num_shards) {
+  LOCAWARE_CHECK_GT(num_shards, 0u);
+  owner_shards_ = num_shards;
+}
+
+void OverlayGraph::AssertOwner(PeerId p) const {
+  if (owner_shards_ <= 1) return;
+  const sim::ShardId cur = sim::ShardedSimulator::current_shard();
+  if (cur == sim::kNoShard) return;  // controller phase, tests
+  LOCAWARE_CHECK_EQ(cur, static_cast<sim::ShardId>(p % owner_shards_))
+      << "cross-shard overlay access to peer " << p;
+}
+
+size_t OverlayGraph::num_alive() const {
+  return static_cast<size_t>(std::count(alive_.begin(), alive_.end(), 1));
+}
+
+size_t OverlayGraph::num_links() const {
+  size_t half_edges = 0;
+  for (const auto& adj : adjacency_) half_edges += adj.size();
+  return half_edges / 2;
+}
+
 double OverlayGraph::AverageDegree() const {
-  if (num_alive_ == 0) return 0.0;
-  return 2.0 * static_cast<double>(num_links_) / static_cast<double>(num_alive_);
+  const size_t alive = num_alive();
+  if (alive == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_links()) / static_cast<double>(alive);
 }
 
 bool OverlayGraph::IsAlive(PeerId p) const {
   LOCAWARE_CHECK_LT(p, alive_.size());
+  AssertOwner(p);
   return alive_[p] != 0;
 }
 
 const std::vector<PeerId>& OverlayGraph::Neighbors(PeerId p) const {
   LOCAWARE_CHECK_LT(p, adjacency_.size());
+  AssertOwner(p);
   return adjacency_[p];
 }
 
@@ -112,23 +139,33 @@ PeerId OverlayGraph::HighestDegreeNeighbor(PeerId p) const {
 bool OverlayGraph::AddLink(PeerId a, PeerId b) {
   LOCAWARE_CHECK_LT(a, adjacency_.size());
   LOCAWARE_CHECK_LT(b, adjacency_.size());
+  if (owner_shards_ > 1) {
+    LOCAWARE_CHECK(sim::ShardedSimulator::current_shard() == sim::kNoShard)
+        << "symmetric AddLink inside a partitioned run; use AddHalfLink";
+  }
   if (a == b || !alive_[a] || !alive_[b] || AreNeighbors(a, b)) return false;
   adjacency_[a].push_back(b);
+  link_epoch_[a].push_back(session_epoch_[b]);
   adjacency_[b].push_back(a);
-  ++num_links_;
+  link_epoch_[b].push_back(session_epoch_[a]);
   return true;
 }
 
 bool OverlayGraph::RemoveLink(PeerId a, PeerId b) {
   LOCAWARE_CHECK_LT(a, adjacency_.size());
   LOCAWARE_CHECK_LT(b, adjacency_.size());
+  if (owner_shards_ > 1) {
+    LOCAWARE_CHECK(sim::ShardedSimulator::current_shard() == sim::kNoShard)
+        << "symmetric RemoveLink inside a partitioned run; use RemoveHalfLink";
+  }
   auto ita = std::find(adjacency_[a].begin(), adjacency_[a].end(), b);
   if (ita == adjacency_[a].end()) return false;
+  link_epoch_[a].erase(link_epoch_[a].begin() + (ita - adjacency_[a].begin()));
   adjacency_[a].erase(ita);
   auto itb = std::find(adjacency_[b].begin(), adjacency_[b].end(), a);
   LOCAWARE_CHECK(itb != adjacency_[b].end()) << "asymmetric adjacency";
+  link_epoch_[b].erase(link_epoch_[b].begin() + (itb - adjacency_[b].begin()));
   adjacency_[b].erase(itb);
-  --num_links_;
   return true;
 }
 
@@ -138,7 +175,6 @@ std::vector<PeerId> OverlayGraph::Depart(PeerId p) {
   std::vector<PeerId> dropped = adjacency_[p];
   for (PeerId nb : dropped) RemoveLink(p, nb);
   alive_[p] = 0;
-  --num_alive_;
   return dropped;
 }
 
@@ -146,7 +182,7 @@ void OverlayGraph::Join(PeerId p) {
   LOCAWARE_CHECK_LT(p, adjacency_.size());
   LOCAWARE_CHECK(!alive_[p]) << "Join of online peer " << p;
   alive_[p] = 1;
-  ++num_alive_;
+  ++session_epoch_[p];
 }
 
 std::vector<PeerId> OverlayGraph::LinkToRandomPeers(PeerId p, size_t count, Rng* rng) {
@@ -162,10 +198,75 @@ std::vector<PeerId> OverlayGraph::LinkToRandomPeers(PeerId p, size_t count, Rng*
   return made;
 }
 
+std::vector<PeerId> OverlayGraph::GoOffline(PeerId p) {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  AssertOwner(p);
+  LOCAWARE_CHECK(alive_[p]) << "GoOffline of offline peer " << p;
+  alive_[p] = 0;
+  std::vector<PeerId> dropped = std::move(adjacency_[p]);
+  adjacency_[p].clear();
+  link_epoch_[p].clear();
+  return dropped;
+}
+
+void OverlayGraph::GoOnline(PeerId p) {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  AssertOwner(p);
+  LOCAWARE_CHECK(!alive_[p]) << "GoOnline of online peer " << p;
+  LOCAWARE_CHECK(adjacency_[p].empty());
+  alive_[p] = 1;
+  ++session_epoch_[p];
+}
+
+bool OverlayGraph::AddHalfLink(PeerId p, PeerId nb, uint32_t nb_epoch) {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  LOCAWARE_CHECK_LT(nb, adjacency_.size());
+  AssertOwner(p);
+  LOCAWARE_CHECK(alive_[p]) << "AddHalfLink at offline peer " << p;
+  if (nb == p) return false;
+  auto it = std::find(adjacency_[p].begin(), adjacency_[p].end(), nb);
+  if (it != adjacency_[p].end()) {
+    // Re-established within our view: keep the freshest epoch so a stale
+    // LinkDrop from the old session cannot remove the new link.
+    uint32_t& stamp = link_epoch_[p][it - adjacency_[p].begin()];
+    stamp = std::max(stamp, nb_epoch);
+    return false;
+  }
+  adjacency_[p].push_back(nb);
+  link_epoch_[p].push_back(nb_epoch);
+  return true;
+}
+
+bool OverlayGraph::RemoveHalfLink(PeerId p, PeerId nb, uint32_t max_epoch) {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  AssertOwner(p);
+  auto it = std::find(adjacency_[p].begin(), adjacency_[p].end(), nb);
+  if (it == adjacency_[p].end()) return false;
+  const size_t idx = static_cast<size_t>(it - adjacency_[p].begin());
+  if (link_epoch_[p][idx] > max_epoch) return false;  // newer session's link
+  adjacency_[p].erase(it);
+  link_epoch_[p].erase(link_epoch_[p].begin() + idx);
+  return true;
+}
+
+bool OverlayGraph::HasHalfLink(PeerId p, PeerId nb) const {
+  LOCAWARE_CHECK_LT(p, adjacency_.size());
+  AssertOwner(p);
+  return std::find(adjacency_[p].begin(), adjacency_[p].end(), nb) !=
+         adjacency_[p].end();
+}
+
+uint32_t OverlayGraph::session_epoch(PeerId p) const {
+  LOCAWARE_CHECK_LT(p, session_epoch_.size());
+  AssertOwner(p);
+  return session_epoch_[p];
+}
+
 bool OverlayGraph::IsConnected() const { return LargestComponentFraction() >= 1.0; }
 
 double OverlayGraph::LargestComponentFraction() const {
-  if (num_alive_ == 0) return 0.0;
+  const size_t alive = num_alive();
+  if (alive == 0) return 0.0;
   std::vector<char> visited(adjacency_.size(), 0);
   size_t largest = 0;
   for (PeerId seed = 0; seed < adjacency_.size(); ++seed) {
@@ -178,15 +279,16 @@ double OverlayGraph::LargestComponentFraction() const {
       frontier.pop_front();
       ++size;
       for (PeerId v : adjacency_[u]) {
-        if (!visited[v]) {
-          visited[v] = 1;
-          frontier.push_back(v);
-        }
+        // Half-edges may dangle toward departed peers; components only count
+        // (and traverse) alive members.
+        if (!alive_[v] || visited[v]) continue;
+        visited[v] = 1;
+        frontier.push_back(v);
       }
     }
     largest = std::max(largest, size);
   }
-  return static_cast<double>(largest) / static_cast<double>(num_alive_);
+  return static_cast<double>(largest) / static_cast<double>(alive);
 }
 
 }  // namespace locaware::overlay

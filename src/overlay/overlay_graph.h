@@ -3,6 +3,29 @@
 // underlying topology" (paper §3.1). Locality-obliviousness is deliberate —
 // it is exactly the mismatch between overlay and underlay that Locaware's
 // locIds compensate for.
+//
+// Two mutation models coexist:
+//
+//  * Symmetric ops (AddLink/RemoveLink/Depart/Join) touch both endpoints'
+//    adjacency at once. They serve generation, tests, and any single-threaded
+//    caller, and are forbidden inside a multi-shard event (they would write
+//    another shard's state).
+//  * Owner half-link ops (GoOffline/GoOnline/AddHalfLink/RemoveHalfLink)
+//    touch only peer p's own row. The sharded engine's churn path uses these:
+//    each endpoint learns of link changes through LinkDrop/LinkProbe/
+//    LinkAccept messages and updates its own view when the message event
+//    executes on its shard. The two endpoint views of a link may therefore
+//    disagree while a notification is in flight — exactly the staleness a
+//    real overlay exhibits.
+//
+// Half-edges are epoch-stamped: each entry remembers the *remote* peer's
+// session epoch at establishment, and a LinkDrop only removes edges from
+// sessions at or before the epoch it names — a drop from a past session can
+// never tear down a link formed after the peer rejoined.
+//
+// SetPartitionedOwnership(num_shards) extends the engine's node() ownership
+// assert to overlay state: with it enabled, any per-peer read or write from
+// an event executing on a foreign shard CHECK-fails.
 #pragma once
 
 #include <cstddef>
@@ -34,9 +57,11 @@ class OverlayGraph {
   static Result<OverlayGraph> Generate(const OverlayConfig& config, Rng* rng);
 
   size_t num_peers() const { return adjacency_.size(); }
-  /// Peers currently online.
-  size_t num_alive() const { return num_alive_; }
-  size_t num_links() const { return num_links_; }
+  /// Peers currently online (O(n) scan; reporting/test path).
+  size_t num_alive() const;
+  /// Half-edge count / 2. With in-flight link notifications the two endpoint
+  /// views can briefly disagree, so this is exact only at quiescence.
+  size_t num_links() const;
   double AverageDegree() const;
 
   bool IsAlive(PeerId p) const;
@@ -48,25 +73,58 @@ class OverlayGraph {
   /// forwarding target), or kInvalidPeer if `p` has no neighbors.
   PeerId HighestDegreeNeighbor(PeerId p) const;
 
+  // --- symmetric mutation (generation, tests, single-threaded callers) -----
+
   /// Adds an undirected link. No-op (returns false) if it already exists,
   /// would self-loop, or either endpoint is offline.
   bool AddLink(PeerId a, PeerId b);
   /// Removes an undirected link; returns whether it existed.
   bool RemoveLink(PeerId a, PeerId b);
 
-  /// Takes a peer offline, dropping all of its links. Returns the dropped
-  /// neighbor list so the caller can run link-down hooks and repair orphans
-  /// (see LinkToRandomPeers).
+  /// Takes a peer offline, dropping all of its links on both sides. Returns
+  /// the dropped neighbor list so the caller can run link-down hooks and
+  /// repair orphans (see LinkToRandomPeers).
   std::vector<PeerId> Depart(PeerId p);
 
-  /// Brings a peer back online with no links; callers follow up with
-  /// LinkToRandomPeers ("establishing logical links to randomly chosen
-  /// peers").
+  /// Brings a peer back online with no links and a fresh session epoch;
+  /// callers follow up with LinkToRandomPeers ("establishing logical links
+  /// to randomly chosen peers").
   void Join(PeerId p);
 
   /// Links `p` to up to `count` random alive non-neighbors; returns the
   /// neighbors actually linked (fewer when the network is too small).
   std::vector<PeerId> LinkToRandomPeers(PeerId p, size_t count, Rng* rng);
+
+  // --- owner-shard half-link mutation (message-routed churn) ---------------
+
+  /// Extends the shard-ownership assert to overlay state: after this, every
+  /// per-peer accessor CHECK-fails when called from an event executing on a
+  /// shard other than p % num_shards. No-op for num_shards <= 1.
+  void SetPartitionedOwnership(uint32_t num_shards);
+
+  /// Takes `p` offline and clears only p's own half-edges (the remote halves
+  /// dissolve when the peer's LinkDrop messages arrive). Returns the former
+  /// neighbors so the caller can notify them.
+  std::vector<PeerId> GoOffline(PeerId p);
+
+  /// Brings `p` back online with no links and a fresh session epoch.
+  void GoOnline(PeerId p);
+
+  /// Adds nb to p's own adjacency, stamped with nb's session epoch as
+  /// announced in the link handshake. Refreshes the stamp if the edge
+  /// already exists (returns false then, and on self-loops).
+  bool AddHalfLink(PeerId p, PeerId nb, uint32_t nb_epoch);
+
+  /// Removes nb from p's own adjacency iff the stored stamp is <= max_epoch
+  /// (a LinkDrop names the epoch of the session that ended; a newer link
+  /// survives). Returns whether an edge was removed.
+  bool RemoveHalfLink(PeerId p, PeerId nb, uint32_t max_epoch);
+
+  /// Does p's own view contain nb?
+  bool HasHalfLink(PeerId p, PeerId nb) const;
+
+  /// p's session epoch: 0 for the initial session, +1 per rejoin.
+  uint32_t session_epoch(PeerId p) const;
 
   /// True when every alive peer can reach every other alive peer.
   bool IsConnected() const;
@@ -76,10 +134,16 @@ class OverlayGraph {
  private:
   OverlayGraph() = default;
 
+  /// CHECK that the executing shard owns p (partitioned mode only).
+  void AssertOwner(PeerId p) const;
+
   std::vector<std::vector<PeerId>> adjacency_;
+  /// link_epoch_[p][i]: the session epoch of adjacency_[p][i] when the edge
+  /// was established (parallel arrays, kept in sync by every mutator).
+  std::vector<std::vector<uint32_t>> link_epoch_;
+  std::vector<uint32_t> session_epoch_;
   std::vector<char> alive_;
-  size_t num_alive_ = 0;
-  size_t num_links_ = 0;
+  uint32_t owner_shards_ = 1;
 };
 
 }  // namespace locaware::overlay

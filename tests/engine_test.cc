@@ -475,11 +475,13 @@ INSTANTIATE_TEST_SUITE_P(Kinds, ShardInvarianceTest,
                                       : ProtocolKindName(info.param);
                          });
 
-TEST(ShardConfigTest, CreateRejectsShardedChurn) {
+TEST(ShardConfigTest, CreateAcceptsShardedChurn) {
+  // PR 2 rejected this combination; churn now runs as owner-shard events with
+  // message-routed overlay repair, so it composes with any shard count.
   ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
   cfg.shards = 4;
   cfg.churn.enabled = true;
-  EXPECT_FALSE(Engine::Create(cfg).ok());
+  EXPECT_TRUE(Engine::Create(cfg).ok());
   cfg.shards = 1;
   EXPECT_TRUE(Engine::Create(cfg).ok());
 }
@@ -488,6 +490,135 @@ TEST(ShardConfigTest, CreateRejectsZeroShards) {
   ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
   cfg.shards = 0;
   EXPECT_FALSE(Engine::Create(cfg).ok());
+}
+
+// --- churn + sharding (the TSan CI job also runs *ShardInvariance*) --------
+
+/// TinyConfig plus brisk session churn: ~2 cycles per peer inside the
+/// ~140-simulated-second run, with entry expiry on so stale-index pruning
+/// paths execute too.
+ExperimentConfig TinyChurnConfig(ProtocolKind kind, uint64_t seed = 7) {
+  ExperimentConfig cfg = TinyConfig(kind, seed);
+  cfg.churn.enabled = true;
+  cfg.churn.mean_session_s = 60;
+  cfg.churn.mean_offline_s = 20;
+  cfg.params.ri.entry_ttl = 40 * sim::kSecond;
+  return cfg;
+}
+
+/// Runs TinyChurnConfig under `shards`; returns the merged collector's view.
+struct ChurnRunResult {
+  std::vector<metrics::QueryRecord> records;
+  uint64_t churn_events = 0;
+  uint64_t stale_failures = 0;
+  uint64_t stale_provider_hits = 0;
+  uint64_t repair_msgs = 0;
+  uint64_t repair_bytes = 0;
+  uint64_t bloom_update_bytes = 0;
+};
+
+ChurnRunResult RunChurnSharded(ProtocolKind kind, uint32_t shards,
+                               uint64_t seed = 7) {
+  ExperimentConfig cfg = TinyChurnConfig(kind, seed);
+  cfg.shards = shards;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  e->Run();
+  EXPECT_EQ(e->pending_query_count(), 0u);
+  EXPECT_EQ(e->tracked_query_count(), 0u);
+  ChurnRunResult r;
+  r.records = e->metrics().records();
+  r.churn_events = e->metrics().churn_events();
+  r.stale_failures = e->metrics().stale_failures();
+  r.stale_provider_hits = e->metrics().stale_provider_hits();
+  r.repair_msgs = e->metrics().repair_msgs();
+  r.repair_bytes = e->metrics().repair_bytes();
+  r.bloom_update_bytes = e->metrics().bloom_update_bytes();
+  return r;
+}
+
+class ChurnShardInvarianceTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ChurnShardInvarianceTest, FourShardsMatchSequentialPerQuery) {
+  // The PR's contract: churn-enabled results are identical for every shard
+  // count. Per-query fields AND the churn/repair counters must match — a
+  // racy mailbox or an interleaving-dependent draw would shift either.
+  const ChurnRunResult seq = RunChurnSharded(GetParam(), 1);
+  const ChurnRunResult par = RunChurnSharded(GetParam(), 4);
+  ASSERT_GT(seq.churn_events, 0u) << "config produced no churn at all";
+  EXPECT_EQ(seq.churn_events, par.churn_events);
+  EXPECT_EQ(seq.stale_failures, par.stale_failures);
+  EXPECT_EQ(seq.stale_provider_hits, par.stale_provider_hits);
+  EXPECT_EQ(seq.repair_msgs, par.repair_msgs);
+  EXPECT_EQ(seq.repair_bytes, par.repair_bytes);
+  EXPECT_EQ(seq.bloom_update_bytes, par.bloom_update_bytes);
+  ASSERT_EQ(seq.records.size(), par.records.size());
+  for (size_t i = 0; i < seq.records.size(); ++i) {
+    const metrics::QueryRecord& a = seq.records[i];
+    const metrics::QueryRecord& b = par.records[i];
+    EXPECT_EQ(a.success, b.success) << "slot " << i;
+    EXPECT_EQ(a.source, b.source) << "slot " << i;
+    EXPECT_EQ(a.query_msgs, b.query_msgs) << "slot " << i;
+    EXPECT_EQ(a.query_bytes, b.query_bytes) << "slot " << i;
+    EXPECT_EQ(a.response_msgs, b.response_msgs) << "slot " << i;
+    EXPECT_EQ(a.response_bytes, b.response_bytes) << "slot " << i;
+    EXPECT_EQ(a.responses_received, b.responses_received) << "slot " << i;
+    EXPECT_EQ(a.providers_offered, b.providers_offered) << "slot " << i;
+    EXPECT_EQ(a.first_response_at, b.first_response_at) << "slot " << i;
+    EXPECT_EQ(a.download_distance_ms, b.download_distance_ms) << "slot " << i;
+    EXPECT_EQ(a.provider_loc_match, b.provider_loc_match) << "slot " << i;
+  }
+}
+
+TEST_P(ChurnShardInvarianceTest, OddShardCountAlsoMatches) {
+  const ChurnRunResult seq = RunChurnSharded(GetParam(), 1, /*seed=*/21);
+  const ChurnRunResult par = RunChurnSharded(GetParam(), 3, /*seed=*/21);
+  EXPECT_EQ(seq.churn_events, par.churn_events);
+  EXPECT_EQ(seq.repair_msgs, par.repair_msgs);
+  EXPECT_EQ(seq.repair_bytes, par.repair_bytes);
+  ASSERT_EQ(seq.records.size(), par.records.size());
+  uint64_t seq_msgs = 0, par_msgs = 0, seq_bytes = 0, par_bytes = 0;
+  for (size_t i = 0; i < seq.records.size(); ++i) {
+    EXPECT_EQ(seq.records[i].success, par.records[i].success) << "slot " << i;
+    seq_msgs += seq.records[i].TotalSearchMessages();
+    par_msgs += par.records[i].TotalSearchMessages();
+    seq_bytes += seq.records[i].TotalSearchBytes();
+    par_bytes += par.records[i].TotalSearchBytes();
+  }
+  EXPECT_EQ(seq_msgs, par_msgs);
+  EXPECT_EQ(seq_bytes, par_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ChurnShardInvarianceTest,
+                         ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
+                                           ProtocolKind::kDicasKeys,
+                                           ProtocolKind::kLocaware),
+                         [](const auto& info) {
+                           return std::string(ProtocolKindName(info.param)) == "Dicas-Keys"
+                                      ? "DicasKeys"
+                                      : ProtocolKindName(info.param);
+                         });
+
+TEST(ChurnLifecycleTest, RepairTrafficIsAccountedUnderChurn) {
+  const ChurnRunResult r = RunChurnSharded(ProtocolKind::kLocaware, 1);
+  ASSERT_GT(r.churn_events, 0u);
+  // Every departure sends LinkDrops and every rejoin probes: with ~300 churn
+  // events the repair plane cannot be silent, and bytes include headers.
+  EXPECT_GT(r.repair_msgs, 0u);
+  EXPECT_GE(r.repair_bytes, r.repair_msgs * 23);
+}
+
+TEST(ChurnLifecycleTest, TimelineMatchesGraphAliveAtQuiescence) {
+  ExperimentConfig cfg = TinyChurnConfig(ProtocolKind::kDicas);
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  e->Run();
+  // After the run, the overlay's alive flags are exactly the timeline's
+  // answer at the final instant: the scheduled transitions and the pure
+  // schedule never diverge.
+  const sim::SimTime now = e->simulator().Now();
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    EXPECT_EQ(e->graph().IsAlive(p), e->churn_timeline().IsOnlineAt(p, now))
+        << "peer " << p;
+  }
 }
 
 }  // namespace

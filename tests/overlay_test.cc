@@ -1,5 +1,6 @@
 #include "overlay/overlay_graph.h"
 
+#include <algorithm>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -220,6 +221,95 @@ TEST(MessageTest, ProbeIsTiny) {
   EXPECT_LT(EstimateSizeBytes(ProbeMessage{}), 40u);
 }
 
+TEST(MessageTest, LinkHandshakeSizesChargeFilterOnlyWhenCarried) {
+  const LinkDropMessage drop{3, 1};
+  EXPECT_EQ(EstimateSizeBytes(drop), 23u + 6u + 4u);
+
+  LinkProbeMessage probe;
+  probe.from.peer = 3;
+  const size_t bare = EstimateSizeBytes(probe);
+  EXPECT_EQ(bare, 23u + 6u + 2u + 4u + 2u);  // header + addr + gid + epoch + degree
+  probe.from.filter = bloom::BloomFilter(1200, 4);
+  // Locaware's announce ships the whole 1200-bit filter: +4 shape + 150 bytes.
+  EXPECT_EQ(EstimateSizeBytes(probe), bare + 4u + 150u);
+
+  LinkAcceptMessage accept;
+  accept.from.peer = 4;
+  EXPECT_EQ(EstimateSizeBytes(accept), bare + 4u);  // + echoed prober epoch
+}
+
+// --- owner-partitioned half-links (message-routed churn) ---
+
+/// A fully-linked 6-peer graph for half-link surgery.
+OverlayGraph SmallGraph() {
+  Rng rng(11);
+  OverlayConfig cfg;
+  cfg.num_peers = 6;
+  cfg.avg_degree = 2.5;
+  return std::move(OverlayGraph::Generate(cfg, &rng)).ValueOrDie();
+}
+
+TEST(OverlayHalfLinkTest, GoOfflineClearsOnlyOwnSide) {
+  OverlayGraph g = SmallGraph();
+  const PeerId victim = 0;
+  ASSERT_GT(g.Degree(victim), 0u);
+  const std::vector<PeerId> dropped = g.GoOffline(victim);
+  EXPECT_FALSE(g.IsAlive(victim));
+  EXPECT_EQ(g.Degree(victim), 0u);
+  // Neighbors still hold their half until a LinkDrop-equivalent removes it.
+  for (PeerId nb : dropped) {
+    EXPECT_TRUE(g.HasHalfLink(nb, victim)) << nb;
+    EXPECT_TRUE(g.RemoveHalfLink(nb, victim, g.session_epoch(victim)));
+    EXPECT_FALSE(g.HasHalfLink(nb, victim));
+  }
+}
+
+TEST(OverlayHalfLinkTest, EpochGuardsStaleDrops) {
+  OverlayGraph g = SmallGraph();
+  const std::vector<PeerId> dropped = g.GoOffline(0);
+  ASSERT_FALSE(dropped.empty());
+  const PeerId nb = dropped.front();
+  g.GoOnline(0);  // epoch 1
+  // The new session re-establishes the link before the old drop arrives.
+  EXPECT_TRUE(g.RemoveHalfLink(nb, 0, /*max_epoch=*/0));  // old half dissolves
+  EXPECT_TRUE(g.AddHalfLink(nb, 0, g.session_epoch(0)));
+  // The stale LinkDrop (epoch 0) must NOT tear down the epoch-1 link...
+  EXPECT_FALSE(g.RemoveHalfLink(nb, 0, /*max_epoch=*/0));
+  EXPECT_TRUE(g.HasHalfLink(nb, 0));
+  // ...but a drop naming the current session does.
+  EXPECT_TRUE(g.RemoveHalfLink(nb, 0, /*max_epoch=*/1));
+}
+
+TEST(OverlayHalfLinkTest, AddHalfLinkRefreshesEpochForExistingEdge) {
+  OverlayGraph g = SmallGraph();
+  ASSERT_TRUE(g.AddHalfLink(1, 4, 0) || g.HasHalfLink(1, 4));
+  EXPECT_FALSE(g.AddHalfLink(1, 4, 3));  // exists: refresh, not duplicate
+  // After the refresh, an epoch-2 drop is stale.
+  EXPECT_FALSE(g.RemoveHalfLink(1, 4, 2));
+  EXPECT_TRUE(g.RemoveHalfLink(1, 4, 3));
+}
+
+TEST(OverlayHalfLinkTest, JoinAndGoOnlineAdvanceSessionEpoch) {
+  OverlayGraph g = SmallGraph();
+  EXPECT_EQ(g.session_epoch(2), 0u);
+  g.GoOffline(2);
+  g.GoOnline(2);
+  EXPECT_EQ(g.session_epoch(2), 1u);
+  g.Depart(2);
+  g.Join(2);
+  EXPECT_EQ(g.session_epoch(2), 2u);
+}
+
+TEST(OverlayHalfLinkTest, DanglingHalfEdgesStayOutOfComponents) {
+  OverlayGraph g = SmallGraph();
+  const std::vector<PeerId> dropped = g.GoOffline(0);
+  ASSERT_FALSE(dropped.empty());
+  // Neighbors' dangling half-edges toward the dead peer must not resurrect it
+  // in connectivity accounting.
+  EXPECT_EQ(g.num_alive(), 5u);
+  EXPECT_LE(g.LargestComponentFraction(), 1.0);
+}
+
 // --- churn model ---
 
 TEST(ChurnModelTest, DisabledByDefaultConstructible) {
@@ -238,6 +328,85 @@ TEST(ChurnModelTest, RejectsBadEnabledConfigs) {
   cfg.mean_offline_s = 10;
   cfg.rejoin_links = 0;
   EXPECT_FALSE(ChurnModel::Create(cfg).ok());
+}
+
+// --- churn timeline ---
+
+ChurnModel FastChurn() {
+  ChurnConfig cfg;
+  cfg.enabled = true;
+  cfg.mean_session_s = 50.0;
+  cfg.mean_offline_s = 20.0;
+  return std::move(ChurnModel::Create(cfg)).ValueOrDie();
+}
+
+TEST(ChurnTimelineTest, TransitionsAlternateFromOnline) {
+  const auto timeline =
+      ChurnTimeline::Build(FastChurn(), /*seed=*/9, /*num_peers=*/40,
+                           /*horizon=*/1000 * sim::kSecond);
+  for (PeerId p = 0; p < 40; ++p) {
+    const auto& trans = timeline.transitions(p);
+    ASSERT_FALSE(trans.empty()) << "peer " << p << " never churns in 1000 s";
+    EXPECT_TRUE(std::is_sorted(trans.begin(), trans.end()));
+    EXPECT_TRUE(timeline.IsOnlineAt(p, 0));
+    // Offline at exactly a departure instant, online at exactly a rejoin.
+    for (size_t i = 0; i < trans.size(); ++i) {
+      EXPECT_EQ(timeline.IsOnlineAt(p, trans[i]), i % 2 == 1) << p << "@" << i;
+    }
+  }
+}
+
+TEST(ChurnTimelineTest, SessionEpochCountsRejoins) {
+  const auto timeline =
+      ChurnTimeline::Build(FastChurn(), 9, 10, 1000 * sim::kSecond);
+  for (PeerId p = 0; p < 10; ++p) {
+    const auto& trans = timeline.transitions(p);
+    EXPECT_EQ(timeline.SessionEpochAt(p, 0), 0u);
+    for (size_t i = 0; i < trans.size(); ++i) {
+      // Epoch advances exactly at each rejoin (odd index) and mirrors what
+      // OverlayGraph::session_epoch tracks on the owner shard.
+      EXPECT_EQ(timeline.SessionEpochAt(p, trans[i]),
+                static_cast<uint32_t>((i + 1) / 2))
+          << "peer " << p << " transition " << i;
+    }
+  }
+}
+
+TEST(ChurnTimelineTest, PureFunctionOfSeed) {
+  const auto a = ChurnTimeline::Build(FastChurn(), 7, 20, 500 * sim::kSecond);
+  const auto b = ChurnTimeline::Build(FastChurn(), 7, 20, 500 * sim::kSecond);
+  const auto c = ChurnTimeline::Build(FastChurn(), 8, 20, 500 * sim::kSecond);
+  size_t diverged = 0;
+  for (PeerId p = 0; p < 20; ++p) {
+    EXPECT_EQ(a.transitions(p), b.transitions(p)) << "peer " << p;
+    diverged += (a.transitions(p) != c.transitions(p));
+  }
+  EXPECT_GT(diverged, 15u) << "seed barely perturbs the schedule";
+}
+
+TEST(ChurnTimelineTest, LongerHorizonExtendsNotRewrites) {
+  // Stable per-(peer, cycle) streams: generating further must keep the
+  // earlier transitions bit-identical (the property that lets any shard
+  // evaluate liveness without coordination).
+  const auto small = ChurnTimeline::Build(FastChurn(), 3, 10, 200 * sim::kSecond);
+  const auto large = ChurnTimeline::Build(FastChurn(), 3, 10, 2000 * sim::kSecond);
+  for (PeerId p = 0; p < 10; ++p) {
+    const auto& a = small.transitions(p);
+    const auto& b = large.transitions(p);
+    ASSERT_GE(b.size(), a.size());
+    for (size_t i = 0; i + 1 < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "peer " << p << " transition " << i;
+    }
+  }
+}
+
+TEST(ChurnTimelineTest, DisabledModelKeepsEveryoneOnline) {
+  const auto timeline =
+      ChurnTimeline::Build(ChurnModel(), 5, 8, 1000 * sim::kSecond);
+  for (PeerId p = 0; p < 8; ++p) {
+    EXPECT_TRUE(timeline.transitions(p).empty());
+    EXPECT_TRUE(timeline.IsOnlineAt(p, 999 * sim::kSecond));
+  }
 }
 
 TEST(ChurnModelTest, SampleMeansMatchConfig) {

@@ -30,7 +30,34 @@ const std::vector<KeywordId> kAdKws{kAlpha, kDelta};
 
 /// Files f1..f4 used by the eviction tests: each has a shared keyword 100
 /// and a unique keyword (200 + i).
-std::vector<KeywordId> FKws(KeywordId i) { return {100, static_cast<KeywordId>(200 + i)}; }
+std::vector<KeywordId> FKws(KeywordId i) {
+  return {100, static_cast<KeywordId>(200 + i)};
+}
+
+TEST(ResponseIndexTest, RemoveProviderInvalidatesDepartedPeer) {
+  ResponseIndex ri(SmallConfig());
+  ri.AddProvider(kAbc, kAbcKws, P(7), 0);
+  ri.AddProvider(kAbc, kAbcKws, P(8), 1);
+  ri.AddProvider(kAd, kAdKws, P(7), 2);
+
+  // Peer 7 departs: kAbc keeps provider 8; kAd loses its only provider and is
+  // reported with its keywords so derived structures (Locaware's counting
+  // Bloom filter) can delete them.
+  const auto removed = ri.RemoveProvider(7);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].file, kAd);
+  EXPECT_EQ(removed[0].keywords, kAdKws);
+  EXPECT_FALSE(ri.Contains(kAd));
+  auto hit = ri.LookupFile(kAbc, 3);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->providers.size(), 1u);
+  EXPECT_EQ(hit->providers[0].provider, 8u);
+  // A peer the index never knew is a clean no-op, and departure-driven drops
+  // are counted apart from age expiries.
+  EXPECT_TRUE(ri.RemoveProvider(99).empty());
+  EXPECT_EQ(ri.stats().invalidations, 2u);
+  EXPECT_EQ(ri.stats().expirations, 0u);
+}
 
 TEST(ResponseIndexTest, InsertAndExactLookup) {
   ResponseIndex ri(SmallConfig());

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "sim/shard.h"
@@ -166,6 +167,57 @@ TEST(SimParallelTest, ManyToOneBurstDrainsInTimestampSourceOrder) {
   // shard's mailbox the event traveled through.
   for (uint32_t s = 0; s < kSenders; ++s) EXPECT_EQ(arrivals[s], s);
   EXPECT_GT(sim.windows(), 0u);
+}
+
+// The engine's churn repair handshake is a three-message cross-shard chain
+// (LinkDrop -> orphan's LinkProbe -> LinkAccept), each hop landing exactly at
+// now + lookahead — so every hop crosses a conservative-window boundary. The
+// per-endpoint link state must come out identical whether the two peers share
+// one shard or live on different ones, and no hop may be lost at the bound.
+TEST(SimParallelTest, RepairHandshakeAcrossLookaheadWindowBoundary) {
+  struct Step {
+    SimTime time;
+    std::string what;
+    bool operator==(const Step&) const = default;
+  };
+  // peers: 0 departs; 1 is orphaned and re-probes 0's replacement (peer 2).
+  auto run = [&](uint32_t num_shards) {
+    ShardedSimulator sim(Config(num_shards, 3));
+    std::vector<std::vector<Step>> log(3);  // per-peer, owner-appended only
+    std::vector<bool> linked(3, false);
+    auto shard_of = [&](uint32_t p) { return p % num_shards; };
+
+    // t = kLook: peer 0 departs and notifies neighbor 1 (LinkDrop).
+    sim.ScheduleAt(shard_of(0), 0, kLook, [&, shard_of] {
+      log[0].push_back({sim.Now(), "depart"});
+      sim.ScheduleAt(shard_of(1), 0, sim.Now() + kLook, [&, shard_of] {
+        // Peer 1 processes the drop, is orphaned, probes peer 2.
+        log[1].push_back({sim.Now(), "drop"});
+        sim.ScheduleAt(shard_of(2), 1, sim.Now() + kLook, [&, shard_of] {
+          // Peer 2 accepts: installs its half-link, replies.
+          log[2].push_back({sim.Now(), "probe"});
+          linked[2] = true;
+          sim.ScheduleAt(shard_of(1), 2, sim.Now() + kLook, [&] {
+            log[1].push_back({sim.Now(), "accept"});
+            linked[1] = true;
+          });
+        });
+      });
+    });
+    sim.Run();
+    EXPECT_TRUE(linked[1]) << num_shards << " shards: prober half missing";
+    EXPECT_TRUE(linked[2]) << num_shards << " shards: acceptor half missing";
+    return log;
+  };
+
+  const auto baseline = run(1);
+  ASSERT_EQ(baseline[1].size(), 2u);  // drop then accept
+  for (uint32_t shards : {2u, 3u}) {
+    const auto sharded = run(shards);
+    for (size_t p = 0; p < baseline.size(); ++p) {
+      EXPECT_EQ(sharded[p], baseline[p]) << "peer " << p << " shards " << shards;
+    }
+  }
 }
 
 TEST(SimParallelTest, ExecutedAndPendingCountsAggregateShards) {
