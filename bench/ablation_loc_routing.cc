@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const uint64_t queries =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
 
-  std::printf("== Extension: location-aware query routing (Locaware, %llu queries) ==\n\n",
+  std::printf(
+      "== Extension: location-aware query routing (Locaware, %llu queries) ==\n\n",
               static_cast<unsigned long long>(queries));
 
   auto run = [queries](bool enabled, uint64_t seed) {

@@ -138,7 +138,8 @@ int main(int argc, char** argv) {
   }
   const double match_string_ops = Throughput([&](size_t i) {
     const Query& q = queries[i & 255];
-    g_sink = g_sink + ContainsAllKeywords(file_kw_strings[i % catalog.num_files()], q.strings);
+    g_sink = g_sink +
+             ContainsAllKeywords(file_kw_strings[i % catalog.num_files()], q.strings);
   });
   const double match_id_ops = Throughput([&](size_t i) {
     const Query& q = queries[i & 255];

@@ -41,7 +41,8 @@ Result<QueryWorkload> QueryWorkload::Generate(const WorkloadConfig& config,
   // Aggregate Poisson process: network-wide rate = per-peer rate * N, with a
   // uniformly random requester per arrival (equivalent to N independent
   // processes, cheaper to generate in one stream).
-  const double network_rate = config.query_rate_per_peer_s * static_cast<double>(num_peers);
+  const double network_rate =
+      config.query_rate_per_peer_s * static_cast<double>(num_peers);
   double now_s = 0.0;
   wl.queries_.reserve(config.num_queries);
   for (uint64_t i = 0; i < config.num_queries; ++i) {

@@ -256,7 +256,8 @@ Result<std::unique_ptr<GeometricUnderlay>> GeometricUnderlay::Build(
         double nearest = std::numeric_limits<double>::infinity();
         for (RouterId chosen : lm) {
           nearest = std::min(
-              nearest, Distance(underlay->router_pos_[cand], underlay->router_pos_[chosen]));
+              nearest,
+              Distance(underlay->router_pos_[cand], underlay->router_pos_[chosen]));
         }
         if (nearest > best_score) {
           best_score = nearest;
