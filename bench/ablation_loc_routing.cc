@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "== Extension: location-aware query routing (Locaware, %llu queries) ==\n\n",
-              static_cast<unsigned long long>(queries));
+      static_cast<unsigned long long>(queries));
 
   auto run = [queries](bool enabled, uint64_t seed) {
     return std::async(std::launch::async, [queries, enabled, seed] {

@@ -4,9 +4,8 @@
 
 namespace locaware::core {
 
-std::vector<PeerId> FloodingProtocol::ForwardTargets(Engine& engine, PeerId node,
-                                                     const overlay::QueryMessage& /*query*/,
-                                                     PeerId from) {
+std::vector<PeerId> FloodingProtocol::ForwardTargets(
+    Engine& engine, PeerId node, const overlay::QueryMessage& /*query*/, PeerId from) {
   std::vector<PeerId> targets;
   for (PeerId nb : engine.graph().Neighbors(node)) {
     if (nb != from) targets.push_back(nb);

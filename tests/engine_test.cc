@@ -397,9 +397,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, AllProtocolsTest,
                                            ProtocolKind::kDicasKeys,
                                            ProtocolKind::kLocaware),
                          [](const auto& info) {
-                           return std::string(ProtocolKindName(info.param)) == "Dicas-Keys"
-                                      ? "DicasKeys"
-                                      : ProtocolKindName(info.param);
+                           std::string name = ProtocolKindName(info.param);
+                           return name == "Dicas-Keys" ? "DicasKeys" : name;
                          });
 
 // --- sharded execution (the TSan CI job also runs ShardInvariance*) --------
@@ -470,9 +469,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, ShardInvarianceTest,
                                            ProtocolKind::kDicasKeys,
                                            ProtocolKind::kLocaware),
                          [](const auto& info) {
-                           return std::string(ProtocolKindName(info.param)) == "Dicas-Keys"
-                                      ? "DicasKeys"
-                                      : ProtocolKindName(info.param);
+                           std::string name = ProtocolKindName(info.param);
+                           return name == "Dicas-Keys" ? "DicasKeys" : name;
                          });
 
 TEST(ShardConfigTest, CreateAcceptsShardedChurn) {
@@ -593,9 +591,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, ChurnShardInvarianceTest,
                                            ProtocolKind::kDicasKeys,
                                            ProtocolKind::kLocaware),
                          [](const auto& info) {
-                           return std::string(ProtocolKindName(info.param)) == "Dicas-Keys"
-                                      ? "DicasKeys"
-                                      : ProtocolKindName(info.param);
+                           std::string name = ProtocolKindName(info.param);
+                           return name == "Dicas-Keys" ? "DicasKeys" : name;
                          });
 
 TEST(ChurnLifecycleTest, RepairTrafficIsAccountedUnderChurn) {
