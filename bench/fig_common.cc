@@ -22,6 +22,10 @@ FigOptions ParseArgs(int argc, char** argv) {
       options.buckets = std::strtoull(arg + 10, nullptr, 10);
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       options.shards = static_cast<uint32_t>(std::strtoul(arg + 9, nullptr, 10));
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      options.workers = static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--steal=", 8) == 0) {
+      options.steal = std::strtoul(arg + 8, nullptr, 10) != 0;
     } else if (std::strncmp(arg, "--svg=", 6) == 0) {
       options.svg_path = arg + 6;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -30,7 +34,7 @@ FigOptions ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
                    "usage: %s [--queries=N] [--seed=S] [--buckets=B] [--shards=K] "
-                   "[--svg=PATH] [--json=PATH]\n",
+                   "[--workers=W] [--steal=0|1] [--svg=PATH] [--json=PATH]\n",
                    arg, argv[0]);
       std::exit(2);
     }
@@ -53,6 +57,8 @@ std::vector<core::ExperimentResult> RunAllProtocols(
       core::ExperimentConfig config =
           core::MakePaperConfig(kind, options.num_queries, options.seed);
       config.shards = options.shards;
+      config.workers = options.workers;
+      config.work_stealing = options.steal;
       if (tweak) tweak(&config);
       auto result = core::RunExperiment(config, options.buckets);
       if (!result.ok()) {
@@ -128,6 +134,17 @@ void PrintSummaries(const std::vector<core::ExperimentResult>& results) {
                 r.summary.success_rate * 100.0, r.summary.msgs_per_query,
                 r.summary.avg_download_ms, r.summary.loc_match_rate * 100.0,
                 r.summary.cache_answer_share * 100.0);
+  }
+  // Scheduler shape, multi-shard runs only. Stays on stdout: windows/steals
+  // depend on shard/worker counts and idle on the wall clock, so none of it
+  // belongs in the byte-compared --json artifact.
+  for (const auto& r : results) {
+    if (r.summary.scheduler_windows == 0) continue;
+    std::printf("%-12s scheduler: windows=%llu steals=%llu idle=%.1fms\n",
+                r.label.c_str(),
+                static_cast<unsigned long long>(r.summary.scheduler_windows),
+                static_cast<unsigned long long>(r.summary.scheduler_steals),
+                static_cast<double>(r.summary.scheduler_idle_ns) / 1e6);
   }
 }
 

@@ -19,8 +19,14 @@ struct FigOptions {
   size_t buckets = 10;
   /// Simulation shards per experiment (ExperimentConfig::shards). Any value
   /// yields identical metrics for a fixed seed — CI's determinism gate diffs
-  /// the --json output of --shards=1 against --shards=4 to prove it.
+  /// the --json output of --shards=1 against --shards={4,8} to prove it.
   uint32_t shards = 1;
+  /// Worker threads per experiment (ExperimentConfig::workers; 0 = one per
+  /// shard). Wall-clock only, like shards.
+  uint32_t workers = 0;
+  /// Intra-window work stealing (ExperimentConfig::work_stealing). Results
+  /// are byte-identical on or off; the gate runs both.
+  bool steal = true;
   /// When non-empty, the bench also renders its figure to this SVG path.
   std::string svg_path;
   /// When non-empty, the figure benches dump every protocol's full result

@@ -8,6 +8,18 @@
 // machines will show the barrier overhead instead; the interesting number is
 // always the ratio between the /shards:1 and /shards:N rows on the same host.
 //
+// Two scenarios exercise the topology-aware scheduler:
+//  * BM_ShardedSimulatorClusteredLocality — shards hold latency clusters
+//    (cheap intra-shard traffic, 100 ms cross-shard links). The per-pair
+//    lookahead matrix lets every shard run ~100 ms windows where the scalar
+//    global-min bound forces ~2 ms ones: compare the `windows` counter (and
+//    events/s) between the /matrix:0 and /matrix:1 rows.
+//  * BM_ShardedSimulatorSkewedStorm — half the load lands on shard 0, eight
+//    shards over two workers. With stealing off, shard 0's home worker also
+//    owns three light shards while the other worker parks at the barrier;
+//    with stealing on the idle worker takes those shards over. Compare
+//    `idle_ns/window` (and steals/window) between /steal:0 and /steal:1.
+//
 // Determinism note: the engine rows also serve as a cheap invariance probe —
 // every shard count reports an identical `msgs` counter, because sharding
 // must never change results.
@@ -63,6 +75,121 @@ BENCHMARK(BM_ShardedSimulatorStorm)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Locality-clustered fleet: intra-shard chatter every 1 ms, cross-shard
+// links all >= 100 ms (the Locaware picture — tight groups, long inter-group
+// RTTs). The scalar row uses the 2 ms global-min bound such a network would
+// yield (its closest peer pair is intra-shard); the matrix row gives every
+// shard pair its true 100 ms bound. Identical event streams — only the
+// window schedule changes.
+void BM_ShardedSimulatorClusteredLocality(benchmark::State& state) {
+  const bool use_matrix = state.range(0) != 0;
+  constexpr uint32_t kShards = 4;
+  constexpr uint32_t kSourcesPerShard = 64;
+  constexpr sim::SimTime kIntraStep = sim::FromMs(1);
+  constexpr sim::SimTime kCrossRtt = sim::FromMs(100);
+  constexpr sim::SimTime kScalarLook = sim::FromMs(2);
+  constexpr int kRounds = 400;
+  uint64_t events = 0;
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    sim::ShardedSimulatorConfig cfg;
+    cfg.num_shards = kShards;
+    cfg.lookahead = kScalarLook;
+    if (use_matrix) {
+      cfg.lookahead_matrix.assign(kShards * kShards, kCrossRtt);
+    }
+    cfg.num_sources = kShards * kSourcesPerShard;
+    sim::ShardedSimulator sim(cfg);
+    // Every source ticks a local chain each ms and pings the next cluster
+    // once every 50 rounds, at the cross-link latency.
+    std::function<void(uint32_t, int)> tick = [&](uint32_t src, int round) {
+      if (round >= kRounds) return;
+      const uint32_t shard = src % kShards;
+      sim.ScheduleAt(shard, src, sim.Now() + kIntraStep,
+                     [&tick, src, round] { tick(src, round + 1); });
+      if (round % 50 == 49) {
+        const uint32_t peer = (src + 1) % (kShards * kSourcesPerShard);
+        sim.ScheduleAt(peer % kShards, src, sim.Now() + kCrossRtt, [] {});
+      }
+    };
+    for (uint32_t s = 0; s < kShards * kSourcesPerShard; ++s) {
+      sim.ScheduleAt(s % kShards, s, 0, [&tick, s] { tick(s, 0); });
+    }
+    sim.Run();
+    events += sim.executed_count();
+    windows += sim.windows();
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["windows"] = benchmark::Counter(
+      static_cast<double>(windows), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ShardedSimulatorClusteredLocality)
+    ->ArgName("matrix")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Skewed fleet: 8 shards, 2 workers, half the sources hash to shard 0. The
+// steal:0 row statically binds home blocks (worker 0 owns the hot shard plus
+// three light ones); the steal:1 row lets the other worker take the light
+// shards over once its own block drains. Event order — and therefore every
+// simulation result — is identical in both rows; only `idle_ns/window` and
+// `steals/window` move.
+void BM_ShardedSimulatorSkewedStorm(benchmark::State& state) {
+  const bool steal = state.range(0) != 0;
+  constexpr uint32_t kShards = 8;
+  constexpr uint32_t kWorkers = 2;
+  constexpr uint32_t kSources = 4096;
+  constexpr sim::SimTime kLook = sim::FromMs(5);
+  constexpr int kRounds = 30;
+  const auto shard_of = [](uint32_t src) -> uint32_t {
+    return (src % 16 < 8) ? 0 : (src % (kShards - 1)) + 1;
+  };
+  uint64_t events = 0;
+  uint64_t windows = 0;
+  uint64_t steals = 0;
+  uint64_t idle_ns = 0;
+  for (auto _ : state) {
+    sim::ShardedSimulatorConfig cfg;
+    cfg.num_shards = kShards;
+    cfg.num_workers = kWorkers;
+    cfg.work_stealing = steal;
+    cfg.lookahead = kLook;
+    cfg.num_sources = kSources;
+    sim::ShardedSimulator sim(cfg);
+    std::function<void(uint32_t, int)> hop = [&](uint32_t src, int round) {
+      if (round >= kRounds) return;
+      const uint32_t dst = (src * 2654435761u + 1) % kSources;
+      sim.ScheduleAt(shard_of(dst), src, sim.Now() + kLook,
+                     [&hop, dst, round] { hop(dst, round + 1); });
+    };
+    for (uint32_t s = 0; s < kSources; ++s) {
+      sim.ScheduleAt(shard_of(s), s, 0, [&hop, s] { hop(s, 0); });
+    }
+    sim.Run();
+    events += sim.executed_count();
+    const sim::SchedulerStats stats = sim.stats();
+    windows += stats.windows;
+    steals += stats.steals;
+    idle_ns += stats.idle_ns;
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["steals/window"] =
+      windows == 0 ? 0.0 : static_cast<double>(steals) / static_cast<double>(windows);
+  state.counters["idle_ns/window"] =
+      windows == 0 ? 0.0
+                   : static_cast<double>(idle_ns) / static_cast<double>(windows);
+}
+BENCHMARK(BM_ShardedSimulatorSkewedStorm)
+    ->ArgName("steal")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_EngineSharded(benchmark::State& state) {
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
   core::ExperimentConfig cfg =
@@ -78,15 +205,24 @@ void BM_EngineSharded(benchmark::State& state) {
   cfg.workload.query_rate_per_peer_s = 0.02;
   cfg.shards = shards;
   uint64_t msgs = 0;
+  uint64_t windows = 0;
+  uint64_t steals = 0;
   for (auto _ : state) {
     auto engine = std::move(core::Engine::Create(cfg)).ValueOrDie();
     engine->Run();
     msgs = 0;
     for (const auto& r : engine->metrics().records()) msgs += r.TotalSearchMessages();
     benchmark::DoNotOptimize(msgs);
+    windows = engine->metrics().scheduler_windows();
+    steals = engine->metrics().scheduler_steals();
   }
   // Identical for every shard count — the determinism contract in one number.
   state.counters["msgs"] = static_cast<double>(msgs);
+  // Window count is deterministic per shard count (a pure function of the
+  // event schedule and the lookahead matrix); steals are timing-dependent
+  // like the wall clock — read them as shape, not as a stable trajectory.
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["steals"] = static_cast<double>(steals);
 }
 BENCHMARK(BM_EngineSharded)
     ->ArgName("shards")

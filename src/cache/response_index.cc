@@ -25,12 +25,11 @@ ResponseIndex::ResponseIndex(const ResponseIndexConfig& config)
   LOCAWARE_CHECK_GT(config.max_providers_per_file, 0u);
 }
 
-void ResponseIndex::AddPostings(FileId file, const std::vector<KeywordId>& keywords) {
+void ResponseIndex::AddPostings(FileId file, std::span<const KeywordId> keywords) {
   for (KeywordId kw : keywords) inverted_[kw].push_back(file);
 }
 
-void ResponseIndex::RemovePostings(FileId file,
-                                   const std::vector<KeywordId>& keywords) {
+void ResponseIndex::RemovePostings(FileId file, std::span<const KeywordId> keywords) {
   for (KeywordId kw : keywords) {
     auto it = inverted_.find(kw);
     LOCAWARE_CHECK(it != inverted_.end());
@@ -42,7 +41,7 @@ void ResponseIndex::RemovePostings(FileId file,
 }
 
 ResponseIndex::UpdateOutcome ResponseIndex::AddProvider(
-    FileId file, const std::vector<KeywordId>& sorted_keywords,
+    FileId file, std::span<const KeywordId> sorted_keywords,
     const ProviderEntry& entry, sim::SimTime now) {
   // The id-plane contract (common/types.h): keyword sets travel sorted and
   // deduplicated. A violation would corrupt containment checks or double-
@@ -59,7 +58,7 @@ ResponseIndex::UpdateOutcome ResponseIndex::AddProvider(
     while (entries_.size() >= config_.max_filenames) EvictOne(&outcome.evicted);
     use_order_.push_back(file);
     Entry fresh;
-    fresh.keywords = sorted_keywords;
+    fresh.keywords.assign(sorted_keywords.begin(), sorted_keywords.end());
     fresh.use_pos = std::prev(use_order_.end());
     it = entries_.emplace(file, std::move(fresh)).first;
     AddPostings(file, it->second.keywords);
@@ -98,10 +97,9 @@ bool ResponseIndex::PruneStale(Entry* entry, sim::SimTime now) {
   return !entry->providers.empty();
 }
 
-std::vector<cache::ProviderEntry> ResponseIndex::LiveProviders(const Entry& entry,
-                                                               sim::SimTime now) const {
+ProviderVec ResponseIndex::LiveProviders(const Entry& entry, sim::SimTime now) const {
   if (config_.entry_ttl <= 0) return entry.providers;
-  std::vector<ProviderEntry> live;
+  ProviderVec live;
   for (const ProviderEntry& p : entry.providers) {
     if (now - p.added_at <= config_.entry_ttl) live.push_back(p);
   }
@@ -109,7 +107,7 @@ std::vector<cache::ProviderEntry> ResponseIndex::LiveProviders(const Entry& entr
 }
 
 std::vector<ResponseIndex::Hit> ResponseIndex::LookupByKeywords(
-    const std::vector<KeywordId>& sorted_query, sim::SimTime now) {
+    std::span<const KeywordId> sorted_query, sim::SimTime now) {
   LOCAWARE_CHECK(std::is_sorted(sorted_query.begin(), sorted_query.end()))
       << "LookupByKeywords query must be sorted ascending";
   ++stats_.lookups;
@@ -122,14 +120,14 @@ std::vector<ResponseIndex::Hit> ResponseIndex::LookupByKeywords(
     // An empty query is satisfied by every file (vacuous containment), same
     // as the string-era semantics.
     for (auto& [file, entry] : entries_) {
-      std::vector<ProviderEntry> live = LiveProviders(entry, now);
+      ProviderVec live = LiveProviders(entry, now);
       if (!live.empty()) hits.push_back(Hit{file, std::move(live)});
     }
   } else {
     // Seed from the rarest query keyword's posting list; any query keyword
     // with no posting means no entry can contain them all.
-    const std::vector<FileId>* seed =
-        SmallestPosting(sorted_query, [&](KeywordId kw) -> const std::vector<FileId>* {
+    const FilePostingVec* seed =
+        SmallestPosting(sorted_query, [&](KeywordId kw) -> const FilePostingVec* {
           auto it = inverted_.find(kw);
           return it == inverted_.end() ? nullptr : &it->second;
         });
@@ -138,7 +136,7 @@ std::vector<ResponseIndex::Hit> ResponseIndex::LookupByKeywords(
         auto it = entries_.find(file);
         LOCAWARE_CHECK(it != entries_.end());
         if (!ContainsAllIds(it->second.keywords, sorted_query)) continue;
-        std::vector<ProviderEntry> live = LiveProviders(it->second, now);
+        ProviderVec live = LiveProviders(it->second, now);
         if (live.empty()) continue;
         hits.push_back(Hit{file, std::move(live)});
       }
@@ -158,7 +156,7 @@ std::optional<ResponseIndex::Hit> ResponseIndex::LookupFile(FileId file,
   ++stats_.lookups;
   auto it = entries_.find(file);
   if (it == entries_.end()) return std::nullopt;
-  std::vector<ProviderEntry> live = LiveProviders(it->second, now);
+  ProviderVec live = LiveProviders(it->second, now);
   if (live.empty()) return std::nullopt;
   Touch(file, &it->second);
   ++stats_.hits;
@@ -183,7 +181,7 @@ std::vector<ResponseIndex::EvictedFile> ResponseIndex::RemoveProvider(
     PeerId provider) {
   std::vector<EvictedFile> removed;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    std::vector<ProviderEntry>& providers = it->second.providers;
+    ProviderVec& providers = it->second.providers;
     auto pos = std::find_if(providers.begin(), providers.end(),
                             [&](const ProviderEntry& p) {
                               return p.provider == provider;
@@ -211,7 +209,7 @@ std::unordered_map<FileId, ResponseIndex::Entry>::iterator ResponseIndex::EraseI
 
 std::unordered_map<FileId, ResponseIndex::Entry>::iterator ResponseIndex::EraseIt(
     std::unordered_map<FileId, Entry>::iterator it,
-    const std::vector<KeywordId>& keywords) {
+    std::span<const KeywordId> keywords) {
   RemovePostings(it->first, keywords);
   use_order_.erase(it->second.use_pos);
   return entries_.erase(it);
@@ -239,17 +237,17 @@ std::vector<FileId> ResponseIndex::Files() const {
   return out;
 }
 
-const std::vector<KeywordId>& ResponseIndex::KeywordsOf(FileId file) const {
+const KeywordVec& ResponseIndex::KeywordsOf(FileId file) const {
   auto it = entries_.find(file);
   LOCAWARE_CHECK(it != entries_.end()) << "KeywordsOf(" << file << ") absent";
   return it->second.keywords;
 }
 
-void ResponseIndex::Touch(FileId file, Entry* entry) {
+void ResponseIndex::Touch(FileId /*file*/, Entry* entry) {
   if (config_.eviction != EvictionPolicy::kLru) return;  // FIFO/random ignore use
-  use_order_.erase(entry->use_pos);
-  use_order_.push_back(file);
-  entry->use_pos = std::prev(use_order_.end());
+  // Splice relocates the existing node (no realloc, iterator stays valid) —
+  // the LRU refresh on every lookup and insert is allocation-free.
+  use_order_.splice(use_order_.end(), use_order_, entry->use_pos);
 }
 
 void ResponseIndex::EvictOne(std::vector<EvictedFile>* evicted) {

@@ -12,15 +12,20 @@
 // The index lives entirely on the id plane (common/types.h): entries are
 // keyed by FileId and carry sorted KeywordId sets — no strings. Keyword
 // search intersects per-keyword posting lists (KeywordId -> files) instead
-// of scanning every entry with string compares.
+// of scanning every entry with string compares. All three per-entry lists
+// (keywords, providers, postings) are SmallVectors with inline storage sized
+// for the common case, so steady-state insert/evict churn touches the heap
+// only for outlier entries (bench/micro_cache pins the win).
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/types.h"
 #include "sim/sim_time.h"
 
@@ -32,6 +37,13 @@ struct ProviderEntry {
   LocId loc_id = 0;
   sim::SimTime added_at = 0;
 };
+
+/// Inline-capacity lists sized for the steady state: the catalog generates 3
+/// keywords per file, posting lists stay short under a 50-file cap, and the
+/// provider cap defaults to 8 (Locaware's "several providers").
+using KeywordVec = SmallVector<KeywordId, 4>;
+using ProviderVec = SmallVector<ProviderEntry, 8>;
+using FilePostingVec = SmallVector<FileId, 4>;
 
 /// Which cached file to sacrifice when the index is full.
 enum class EvictionPolicy {
@@ -57,7 +69,8 @@ struct ResponseIndexConfig {
 
 /// \brief Bounded, keyword-searchable map FileId → provider list.
 ///
-/// Not thread-safe (the simulator is single-threaded).
+/// Not thread-safe; under the sharded engine each peer's index is owned by
+/// the peer's shard.
 class ResponseIndex {
  public:
   explicit ResponseIndex(const ResponseIndexConfig& config);
@@ -67,7 +80,7 @@ class ResponseIndex {
   /// (Locaware's counting Bloom filter).
   struct EvictedFile {
     FileId file = kInvalidFile;
-    std::vector<KeywordId> keywords;  ///< sorted ascending
+    KeywordVec keywords;  ///< sorted ascending
   };
 
   /// Outcome of AddProvider, reported so the owner can maintain derived
@@ -83,21 +96,20 @@ class ResponseIndex {
   /// provider already present is refreshed (timestamp + locId updated) and
   /// moved to most-recent; when the provider list is full the oldest provider
   /// is dropped. May evict whole files per the eviction policy.
-  UpdateOutcome AddProvider(FileId file,
-                            const std::vector<KeywordId>& sorted_keywords,
+  UpdateOutcome AddProvider(FileId file, std::span<const KeywordId> sorted_keywords,
                             const ProviderEntry& entry, sim::SimTime now);
 
   /// A matching cached file with its live providers (stale ones filtered).
   struct Hit {
     FileId file = kInvalidFile;
-    std::vector<ProviderEntry> providers;  ///< most recent first
+    ProviderVec providers;  ///< most recent first
   };
 
   /// All cached files whose keyword set contains every query keyword
   /// (`sorted_query` ascending). Counts as a "use" for LRU. Stale providers
   /// are filtered out of the result (but not erased — only AddProvider and
   /// ExpireStale remove state); files with no live provider do not match.
-  std::vector<Hit> LookupByKeywords(const std::vector<KeywordId>& sorted_query,
+  std::vector<Hit> LookupByKeywords(std::span<const KeywordId> sorted_query,
                                     sim::SimTime now);
 
   /// Exact-file variant of LookupByKeywords.
@@ -125,7 +137,7 @@ class ResponseIndex {
   /// Cached files in no particular order.
   std::vector<FileId> Files() const;
   /// Sorted keyword ids stored for a cached file. CHECK-fails if absent.
-  const std::vector<KeywordId>& KeywordsOf(FileId file) const;
+  const KeywordVec& KeywordsOf(FileId file) const;
 
   // --- lifetime counters (monotonic) ---
   struct Stats {
@@ -140,9 +152,9 @@ class ResponseIndex {
 
  private:
   struct Entry {
-    std::vector<KeywordId> keywords;       // sorted ascending
-    std::vector<ProviderEntry> providers;  // most recent first
-    std::list<FileId>::iterator use_pos;   // position in use_order_
+    KeywordVec keywords;                  // sorted ascending
+    ProviderVec providers;                // most recent first
+    std::list<FileId>::iterator use_pos;  // position in use_order_
   };
 
   /// Moves a file to the most-recently-used position.
@@ -152,10 +164,10 @@ class ResponseIndex {
   /// Drops stale providers of one entry; true if any provider survives.
   bool PruneStale(Entry* entry, sim::SimTime now);
   /// Non-mutating copy of an entry's live (non-stale) providers.
-  std::vector<ProviderEntry> LiveProviders(const Entry& entry, sim::SimTime now) const;
+  ProviderVec LiveProviders(const Entry& entry, sim::SimTime now) const;
   /// Inverted-index maintenance around entry insertion/removal.
-  void AddPostings(FileId file, const std::vector<KeywordId>& keywords);
-  void RemovePostings(FileId file, const std::vector<KeywordId>& keywords);
+  void AddPostings(FileId file, std::span<const KeywordId> keywords);
+  void RemovePostings(FileId file, std::span<const KeywordId> keywords);
   /// Removes the entry at `it` (postings + LRU slot + map entry) without a
   /// second map lookup; returns the iterator past the erased entry. The
   /// keyword-taking overload is for callers that moved the entry's keywords
@@ -164,13 +176,13 @@ class ResponseIndex {
       std::unordered_map<FileId, Entry>::iterator it);
   std::unordered_map<FileId, Entry>::iterator EraseIt(
       std::unordered_map<FileId, Entry>::iterator it,
-      const std::vector<KeywordId>& keywords);
+      std::span<const KeywordId> keywords);
 
   ResponseIndexConfig config_;
   std::unordered_map<FileId, Entry> entries_;
   /// KeywordId -> files carrying it (insertion order). Sized by residency
   /// (max ~3 keywords x max_filenames keys), not by vocabulary.
-  std::unordered_map<KeywordId, std::vector<FileId>> inverted_;
+  std::unordered_map<KeywordId, FilePostingVec> inverted_;
   /// LRU/FIFO order: front = next victim, back = most recent.
   std::list<FileId> use_order_;
   uint64_t eviction_rng_state_;

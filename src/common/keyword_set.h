@@ -1,10 +1,12 @@
 // Sorted keyword-id set operations — the id-plane replacement for the
 // string-era ContainsAllKeywords (see common/types.h for the contract:
-// keyword-id sets travel sorted ascending).
+// keyword-id sets travel sorted ascending). Parameters are spans so the
+// catalog's std::vector storage and the response index's SmallVector
+// storage share one implementation.
 #pragma once
 
 #include <cstddef>
-#include <vector>
+#include <span>
 
 #include "common/types.h"
 
@@ -13,8 +15,8 @@ namespace locaware {
 /// True iff every id of `sorted_query` appears in `sorted_keywords` (both
 /// ascending; duplicates in the query are tolerated). Linear merge over two
 /// ascending runs; an empty query is vacuously contained.
-inline bool ContainsAllIds(const std::vector<KeywordId>& sorted_keywords,
-                           const std::vector<KeywordId>& sorted_query) {
+inline bool ContainsAllIds(std::span<const KeywordId> sorted_keywords,
+                           std::span<const KeywordId> sorted_query) {
   size_t k = 0;
   for (size_t q = 0; q < sorted_query.size(); ++q) {
     if (q > 0 && sorted_query[q] == sorted_query[q - 1]) continue;
@@ -30,14 +32,15 @@ inline bool ContainsAllIds(const std::vector<KeywordId>& sorted_keywords,
 /// FindMatches and the response index's LookupByKeywords: the smallest
 /// posting list among the (deduplicated) query keywords, or nullptr when any
 /// keyword has no posting — in which case no entry can contain them all.
-/// `lookup` maps a KeywordId to its posting list, or nullptr when absent.
+/// `lookup` maps a KeywordId to a pointer to its posting list (any
+/// vector-like type), or nullptr when absent.
 template <typename PostingLookupFn>
-const std::vector<FileId>* SmallestPosting(const std::vector<KeywordId>& sorted_query,
-                                           PostingLookupFn&& lookup) {
-  const std::vector<FileId>* seed = nullptr;
+auto SmallestPosting(std::span<const KeywordId> sorted_query, PostingLookupFn&& lookup)
+    -> decltype(lookup(KeywordId{})) {
+  decltype(lookup(KeywordId{})) seed = nullptr;
   for (size_t q = 0; q < sorted_query.size(); ++q) {
     if (q > 0 && sorted_query[q] == sorted_query[q - 1]) continue;
-    const std::vector<FileId>* posting = lookup(sorted_query[q]);
+    const auto* posting = lookup(sorted_query[q]);
     if (posting == nullptr || posting->empty()) return nullptr;
     if (seed == nullptr || posting->size() < seed->size()) seed = posting;
   }

@@ -1,0 +1,202 @@
+// Inline small-capacity vector for the data plane's short lists.
+//
+// The response index stores thousands of tiny lists (a file's ~3 keyword
+// ids, its <= 8 providers, a keyword's posting list): std::vector puts every
+// one of them on the heap, so cache churn turns into allocator churn. A
+// SmallVector<T, N> keeps up to N elements inline inside the owner and only
+// spills to the heap past that, which removes the per-entry allocation on
+// the common path entirely (bench/micro_cache pins the win).
+//
+// Deliberately minimal: trivially copyable element types only (ids and POD
+// structs — a static_assert enforces it), which makes growth a memcpy and
+// the whole container relocatable without element-wise move machinery.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace locaware {
+
+/// \brief Contiguous vector with N inline slots, heap spill past N.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                "Grow() uses the default operator new; overaligned types "
+                "would get misaligned heap storage");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  template <typename It>
+  SmallVector(It first, It last) {
+    assign(first, last);
+  }
+
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(&other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { FreeHeap(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  /// True while the elements still live in the inline slots (tests, benches).
+  bool is_inline() const { return data_ == InlineSlots(); }
+
+  T& operator[](size_t i) {
+    LOCAWARE_CHECK_LT(i, size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    LOCAWARE_CHECK_LT(i, size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t want) {
+    if (want > capacity_) Grow(want);
+  }
+
+  void push_back(const T& value) {
+    // Copy first: `value` may alias an element of this vector, and Grow
+    // frees the old buffer (std::vector guarantees this pattern works).
+    const T copy = value;
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = copy;
+  }
+
+  void pop_back() {
+    LOCAWARE_CHECK_GT(size_, 0u);
+    --size_;
+  }
+
+  /// Inserts `value` before `pos`, shifting the tail up.
+  T* insert(T* pos, const T& value) {
+    LOCAWARE_CHECK(pos >= begin() && pos <= end());
+    const size_t at = static_cast<size_t>(pos - data_);
+    // Copy first: `value` may alias an element whose slot Grow frees or the
+    // tail shift overwrites (std::vector guarantees this pattern works).
+    const T copy = value;
+    if (size_ == capacity_) Grow(size_ + 1);  // invalidates pos; reindex below
+    std::memmove(data_ + at + 1, data_ + at, (size_ - at) * sizeof(T));
+    data_[at] = copy;
+    ++size_;
+    return data_ + at;
+  }
+
+  /// Removes the element at `pos`; returns the iterator past the removal.
+  T* erase(T* pos) { return erase(pos, pos + 1); }
+
+  /// Removes [first, last); returns the iterator past the removal.
+  T* erase(T* first, T* last) {
+    LOCAWARE_CHECK(begin() <= first && first <= last && last <= end());
+    std::memmove(first, last, static_cast<size_t>(end() - last) * sizeof(T));
+    size_ -= static_cast<size_t>(last - first);
+    return first;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  /// Copy out as a std::vector (edge formats and reports stay on std types).
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  /// std::vector comparison keeps call sites and tests type-agnostic.
+  friend bool operator==(const SmallVector& a, const std::vector<T>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const std::vector<T>& a, const SmallVector& b) {
+    return b == a;
+  }
+
+ private:
+  T* InlineSlots() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineSlots() const { return reinterpret_cast<const T*>(inline_storage_); }
+
+  void Grow(size_t want) {
+    size_t next = capacity_ * 2;
+    if (next < want) next = want;
+    T* heap = static_cast<T*>(::operator new(next * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    FreeHeap();
+    data_ = heap;
+    capacity_ = next;
+  }
+
+  void FreeHeap() {
+    if (!is_inline()) ::operator delete(data_);
+  }
+
+  /// Steals `other`'s heap buffer, or memcpys its inline payload; leaves
+  /// `other` empty and inline either way.
+  void MoveFrom(SmallVector* other) {
+    if (other->is_inline()) {
+      data_ = InlineSlots();
+      capacity_ = N;
+      size_ = other->size_;
+      std::memcpy(data_, other->data_, size_ * sizeof(T));
+    } else {
+      data_ = other->data_;
+      capacity_ = other->capacity_;
+      size_ = other->size_;
+      other->data_ = other->InlineSlots();
+      other->capacity_ = N;
+    }
+    other->size_ = 0;
+  }
+
+  T* data_ = InlineSlots();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+};
+
+}  // namespace locaware

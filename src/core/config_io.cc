@@ -100,6 +100,8 @@ std::string FormatConfig(const ExperimentConfig& c) {
   out << "protocol = " << ToLower(ProtocolKindName(c.protocol)) << "\n";
   out << "seed = " << c.seed << "\n";
   out << "shards = " << c.shards << "\n";
+  out << "workers = " << c.workers << "\n";
+  out << "work_stealing = " << (c.work_stealing ? "true" : "false") << "\n";
   out << "\n# network\n";
   out << "num_peers = " << c.num_peers << "\n";
   out << "avg_degree = " << FormatDouble(c.avg_degree) << "\n";
@@ -192,6 +194,10 @@ Result<ExperimentConfig> ParseConfig(const std::string& text) {
       LOCAWARE_ASSIGN(u64, c.seed, uint64_t)
     } else if (kv.key == "shards") {
       LOCAWARE_ASSIGN(u64, c.shards, uint32_t)
+    } else if (kv.key == "workers") {
+      LOCAWARE_ASSIGN(u64, c.workers, uint32_t)
+    } else if (kv.key == "work_stealing") {
+      LOCAWARE_ASSIGN(b, c.work_stealing, bool)
     } else if (kv.key == "num_peers") {
       LOCAWARE_ASSIGN(u64, c.num_peers, size_t)
     } else if (kv.key == "avg_degree") {

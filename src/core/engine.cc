@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -58,9 +60,12 @@ Status Engine::Setup() {
   }
   const std::vector<LocId> loc_ids = net::ComputeAllLocIds(*underlay_);
 
-  // 1b. The simulator. The conservative lookahead is half the underlay's
+  // 1b. The simulator. The scalar fallback lookahead is half the underlay's
   // minimum distinct-pair RTT: no cross-shard message can arrive sooner, so
   // every shard may safely run that far past the global minimum event time.
+  // On top of it, each shard *pair* gets a tighter bound from the underlay's
+  // locality structure (BuildLookaheadMatrix), so shards whose peers are all
+  // far apart synchronize far less often than the global min would force.
   const sim::SimTime lookahead = sim::FromMs(underlay_->MinPairRttMs() / 2.0);
   if (num_shards_ > 1) {
     if (lookahead <= 0) {
@@ -76,7 +81,20 @@ Status Engine::Setup() {
   }
   sim::ShardedSimulatorConfig sim_cfg;
   sim_cfg.num_shards = num_shards_;
+  sim_cfg.num_workers = config_.workers;
   sim_cfg.lookahead = lookahead;
+  sim_cfg.work_stealing = config_.work_stealing;
+  shard_locations_.resize(num_shards_);  // single-shard: empty digests
+  if (num_shards_ > 1) {
+    for (PeerId p = 0; p < config_.num_peers; ++p) {
+      shard_locations_[shard_of(p)].push_back(underlay_->LocationOf(p));
+    }
+    for (std::vector<size_t>& locs : shard_locations_) {
+      std::sort(locs.begin(), locs.end());
+      locs.erase(std::unique(locs.begin(), locs.end()), locs.end());
+    }
+    sim_cfg.lookahead_matrix = BuildLookaheadMatrix(lookahead);
+  }
   sim_cfg.num_sources = static_cast<sim::SourceId>(config_.num_peers) + 1;
   sim_ = std::make_unique<sim::ShardedSimulator>(sim_cfg);
   shards_.resize(num_shards_);
@@ -220,6 +238,42 @@ Status Engine::Setup() {
   return Status::OK();
 }
 
+const std::vector<size_t>& Engine::ShardLocations(sim::ShardId s) const {
+  LOCAWARE_CHECK_LT(s, shard_locations_.size());
+  return shard_locations_[s];
+}
+
+std::vector<sim::SimTime> Engine::BuildLookaheadMatrix(
+    sim::SimTime scalar_lookahead) const {
+  const uint32_t k = num_shards_;
+  std::vector<sim::SimTime> matrix(static_cast<size_t>(k) * k, 0);
+  for (sim::ShardId src = 0; src < k; ++src) {
+    for (sim::ShardId dst = 0; dst < k; ++dst) {
+      if (src == dst) continue;
+      // The tightest claim the underlay makes about this shard pair: the min
+      // of its pairwise bounds over every (src location, dst location)
+      // combination. Empty digests (a shard with no peers) cannot send, so
+      // any positive bound is valid; use the scalar.
+      double bound_ms = std::numeric_limits<double>::infinity();
+      for (size_t loc_a : shard_locations_[src]) {
+        for (size_t loc_b : shard_locations_[dst]) {
+          bound_ms = std::min(bound_ms, underlay_->PairRttLowerBoundMs(loc_a, loc_b));
+        }
+      }
+      sim::SimTime la = std::isfinite(bound_ms) ? sim::FromMs(bound_ms / 2.0)
+                                                : scalar_lookahead;
+      // Never looser than the scalar floor; never beyond the query deadline,
+      // so deadline-delayed cross-shard cleanup events always clear the
+      // destination's window. Clamping down only narrows windows — still a
+      // valid conservative bound.
+      la = std::max(la, scalar_lookahead);
+      la = std::min(la, config_.params.query_deadline);
+      matrix[static_cast<size_t>(src) * k + dst] = la;
+    }
+  }
+  return matrix;
+}
+
 NodeState& Engine::node(PeerId p) {
   LOCAWARE_CHECK_LT(p, nodes_.size());
   if (num_shards_ > 1) {
@@ -305,6 +359,12 @@ void Engine::Run() {
     origin_shard[i] = shard_of(queries[i].requester);
   }
   metrics_ = metrics::MetricsCollector::MergeShards(parts, origin_shard);
+
+  // Scheduler counters ride along for reporting (bench counters, summary
+  // tables) — they are shard/worker-dependent by nature and deliberately stay
+  // out of the byte-compared metric JSON.
+  const sim::SchedulerStats sched = sim_->stats();
+  metrics_.SetSchedulerStats(sched.windows, sched.steals, sched.idle_ns);
 }
 
 size_t Engine::SlotOf(sim::ShardId shard, QueryId qid) const {

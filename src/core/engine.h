@@ -8,9 +8,12 @@
 // (shard_of(p) = p % shards), each owning its peers' node state, pending
 // queries, and a private MetricsCollector (merged at Run() exit). All
 // cross-peer interaction travels as events through the ShardedSimulator's
-// conservative-lookahead windows, and all event-time randomness is derived
-// from stable identities (DecisionRng), so the run's metrics are identical
-// for every shard count — `--shards` is purely a wall-clock knob.
+// conservative windows, bounded per shard pair by a lookahead matrix the
+// engine mins from the underlay's locality structure (each shard's peer
+// locations digested against every other's — far-apart shards run deep
+// windows), and all event-time randomness is derived from stable identities
+// (DecisionRng), so the run's metrics are identical for every shard count,
+// worker count, and stealing mode — `--shards` is purely a wall-clock knob.
 //
 // Churn composes with sharding: the per-peer on/off schedule is a precomputed
 // immutable ChurnTimeline (stable per-(peer, cycle) streams), departures and
@@ -75,6 +78,11 @@ class Engine {
   sim::ShardId shard_of(PeerId p) const {
     return static_cast<sim::ShardId>(p % num_shards_);
   }
+
+  /// Sorted distinct underlay locations of shard `s`'s peers — the digest the
+  /// per-shard-pair lookahead matrix is derived from (empty when shards == 1,
+  /// which needs no matrix).
+  const std::vector<size_t>& ShardLocations(sim::ShardId s) const;
 
   const net::Underlay& underlay() const { return *underlay_; }
   overlay::OverlayGraph& graph() { return *graph_; }
@@ -158,6 +166,14 @@ class Engine {
   };
 
   Status Setup();
+
+  /// Digests the shard -> location assignment and mins the underlay's
+  /// pairwise RTT lower bounds over each location cross product: entry
+  /// [src * K + dst] is the one-way bound for events src's peers create for
+  /// dst's peers, clamped to [scalar lookahead, query_deadline] (the deadline
+  /// cap keeps cross-shard cleanup events schedulable; any clamp-down is
+  /// still a valid conservative bound).
+  std::vector<sim::SimTime> BuildLookaheadMatrix(sim::SimTime scalar_lookahead) const;
 
   /// Event source id of peer `p` (source 0 is the pre-run controller).
   sim::SourceId SourceOf(PeerId p) const { return static_cast<sim::SourceId>(p) + 1; }
@@ -244,6 +260,8 @@ class Engine {
 
   std::vector<NodeState> nodes_;
   std::vector<ShardState> shards_;
+  /// Per-shard sorted distinct underlay locations (see ShardLocations).
+  std::vector<std::vector<size_t>> shard_locations_;
 
   metrics::MetricsCollector metrics_;  ///< merged from shards at Run() exit
 };

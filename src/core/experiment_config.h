@@ -26,14 +26,27 @@ struct ExperimentConfig {
   size_t files_per_peer = 3;     ///< paper: 3 initial shared files
   size_t num_landmarks = 4;      ///< paper: 4 landmarks → 24 locIds
 
-  /// Simulation shards (worker threads). Peers are partitioned shard_of(p) =
-  /// p % shards; each shard owns its peers' events and synchronizes with the
-  /// others through conservative-lookahead windows. Any value, including 1,
-  /// produces identical metrics for the same seed (the determinism contract
-  /// CI enforces); > 1 trades barrier overhead for multi-core wall-clock.
-  /// Composes with churn: lifecycle transitions run as owner-shard events
-  /// and overlay repair travels as LinkDrop/LinkProbe/LinkAccept messages.
+  /// Simulation shards (event partitions). Peers are partitioned shard_of(p)
+  /// = p % shards; each shard owns its peers' events and synchronizes with
+  /// the others through conservative windows bounded by a per-shard-pair
+  /// lookahead matrix derived from the underlay's locality structure. Any
+  /// value, including 1, produces identical metrics for the same seed (the
+  /// determinism contract CI enforces); > 1 trades barrier overhead for
+  /// multi-core wall-clock. Composes with churn: lifecycle transitions run
+  /// as owner-shard events and overlay repair travels as
+  /// LinkDrop/LinkProbe/LinkAccept messages.
   uint32_t shards = 1;
+
+  /// Worker threads driving the shards (0 = one per shard). Fewer workers
+  /// than shards over-decomposes the run so work stealing can absorb skewed
+  /// shards. Pure wall-clock knob: results never depend on it.
+  uint32_t workers = 0;
+
+  /// Allow idle workers to steal whole remaining shard sub-queues inside a
+  /// window. Results are byte-identical on or off (stealing moves which
+  /// thread runs a shard, never event order); off pins every shard to its
+  /// static home worker.
+  bool work_stealing = true;
 
   /// Use the geometry-free control underlay (locality ablation) instead of
   /// the BRITE-inspired router plane.

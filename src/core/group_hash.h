@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,7 +50,7 @@ GroupId GroupOfKeywordFnv(uint64_t keyword_fnv, uint16_t num_groups);
 /// rather than the catalog itself, so this low-level hashing header stays
 /// free of catalog dependencies.
 template <typename KeywordFnvFn>
-std::vector<GroupId> KeywordGroupsOfIds(const std::vector<KeywordId>& kws,
+std::vector<GroupId> KeywordGroupsOfIds(std::span<const KeywordId> kws,
                                         KeywordFnvFn&& fnv_of,
                                         uint16_t num_groups) {
   std::vector<GroupId> groups;

@@ -84,7 +84,7 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
 }
 
 void LocawareProtocol::AddToIndex(Engine& engine, NodeState& state, FileId file,
-                                  const std::vector<KeywordId>& sorted_keywords,
+                                  std::span<const KeywordId> sorted_keywords,
                                   PeerId provider, LocId provider_loc) {
   LOCAWARE_CHECK(state.ri != nullptr);
   const auto outcome = state.ri->AddProvider(

@@ -14,6 +14,8 @@
 // with matching Gid, then to the highest-degree neighbor as a last resort.
 #pragma once
 
+#include <span>
+
 #include "core/node_state.h"
 #include "core/protocol.h"
 
@@ -61,7 +63,7 @@ class LocawareProtocol final : public Protocol {
   /// is the file's keyword-id set (ascending); Bloom updates use the
   /// catalog's precomputed per-keyword probe hashes.
   void AddToIndex(Engine& engine, NodeState& state, FileId file,
-                  const std::vector<KeywordId>& sorted_keywords, PeerId provider,
+                  std::span<const KeywordId> sorted_keywords, PeerId provider,
                   LocId provider_loc);
 };
 

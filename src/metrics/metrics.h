@@ -111,6 +111,20 @@ class MetricsCollector {
   uint64_t repair_msgs() const { return repair_msgs_; }
   uint64_t repair_bytes() const { return repair_bytes_; }
 
+  /// Parallel-scheduler counters the engine copies in after a run: windows
+  /// and steals are deterministic functions of (config, seed, shards,
+  /// workers); idle_ns is wall-clock. All are execution-shape diagnostics —
+  /// reported in summary tables and bench JSON, never in the byte-compared
+  /// metric JSON (a 1-shard run has no windows at all).
+  void SetSchedulerStats(uint64_t windows, uint64_t steals, uint64_t idle_ns) {
+    scheduler_windows_ = windows;
+    scheduler_steals_ = steals;
+    scheduler_idle_ns_ = idle_ns;
+  }
+  uint64_t scheduler_windows() const { return scheduler_windows_; }
+  uint64_t scheduler_steals() const { return scheduler_steals_; }
+  uint64_t scheduler_idle_ns() const { return scheduler_idle_ns_; }
+
  private:
   std::vector<QueryRecord> records_;
   uint64_t bloom_update_msgs_ = 0;
@@ -120,6 +134,9 @@ class MetricsCollector {
   uint64_t stale_provider_hits_ = 0;
   uint64_t repair_msgs_ = 0;
   uint64_t repair_bytes_ = 0;
+  uint64_t scheduler_windows_ = 0;
+  uint64_t scheduler_steals_ = 0;
+  uint64_t scheduler_idle_ns_ = 0;
 };
 
 }  // namespace locaware::metrics

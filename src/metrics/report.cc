@@ -114,6 +114,9 @@ Summary Summarize(const MetricsCollector& collector) {
   s.repair_msgs = collector.repair_msgs();
   s.repair_bytes = collector.repair_bytes();
   s.churn_events = collector.churn_events();
+  s.scheduler_windows = collector.scheduler_windows();
+  s.scheduler_steals = collector.scheduler_steals();
+  s.scheduler_idle_ns = collector.scheduler_idle_ns();
   return s;
 }
 

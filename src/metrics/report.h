@@ -50,6 +50,13 @@ struct Summary {
   double first_response_ms_p95 = 0.0;
   /// Overlay hops the first response traveled (how deep answers sit).
   double first_response_hops_mean = 0.0;
+
+  /// Parallel-scheduler shape (0 for single-shard runs). Deliberately NOT
+  /// part of the byte-compared metric JSON: windows/steals depend on the
+  /// shard and worker counts and idle_ns on the wall clock.
+  uint64_t scheduler_windows = 0;
+  uint64_t scheduler_steals = 0;
+  uint64_t scheduler_idle_ns = 0;
 };
 
 /// Splits `records` into `num_buckets` equal spans (the last may be larger)

@@ -239,9 +239,24 @@ Result<std::unique_ptr<GeometricUnderlay>> GeometricUnderlay::Build(
   underlay->min_pair_rtt_ms_ = 4.0 * access_lo;
   underlay->peer_router_.resize(config.num_peers);
   underlay->peer_access_ms_.resize(config.num_peers);
+  // Per-router access floor: the cheapest attached access link, falling back
+  // to the global floor for peer-less routers. PairRttLowerBoundMs builds on
+  // this — using a min (not the actual two peers involved) keeps it a valid
+  // lower bound even for two peers sharing one router.
+  underlay->router_min_access_ms_.assign(r, access_lo);
   for (size_t p = 0; p < config.num_peers; ++p) {
-    underlay->peer_router_[p] = static_cast<RouterId>(rng->UniformInt(0, r - 1));
-    underlay->peer_access_ms_[p] = rng->UniformDouble(access_lo, access_hi);
+    const RouterId router = static_cast<RouterId>(rng->UniformInt(0, r - 1));
+    const double access = rng->UniformDouble(access_lo, access_hi);
+    underlay->peer_router_[p] = router;
+    underlay->peer_access_ms_[p] = access;
+  }
+  std::vector<char> router_has_peer(r, 0);
+  for (size_t p = 0; p < config.num_peers; ++p) {
+    const RouterId router = underlay->peer_router_[p];
+    double& floor = underlay->router_min_access_ms_[router];
+    floor = router_has_peer[router] ? std::min(floor, underlay->peer_access_ms_[p])
+                                    : underlay->peer_access_ms_[p];
+    router_has_peer[router] = 1;
   }
 
   // 7. Landmarks: greedy max-min placement over routers, so the k landmarks
@@ -289,6 +304,22 @@ double GeometricUnderlay::LandmarkRttMs(PeerId peer, size_t landmark) const {
   const double one_way =
       peer_access_ms_[peer] +
       router_spath_ms_[peer_router_[peer] * r + landmark_router_[landmark]];
+  return 2.0 * one_way;
+}
+
+size_t GeometricUnderlay::LocationOf(PeerId peer) const {
+  LOCAWARE_CHECK_LT(peer, peer_router_.size());
+  return peer_router_[peer];
+}
+
+double GeometricUnderlay::PairRttLowerBoundMs(size_t loc_a, size_t loc_b) const {
+  LOCAWARE_CHECK_LT(loc_a, router_pos_.size());
+  LOCAWARE_CHECK_LT(loc_b, router_pos_.size());
+  // Any distinct pair (a on loc_a, b on loc_b) pays access_a + access_b +
+  // spath one-way; both access links are bounded below by their routers'
+  // floors (for loc_a == loc_b, by twice the shared floor).
+  const double one_way = router_min_access_ms_[loc_a] + router_min_access_ms_[loc_b] +
+                         router_spath_ms_[loc_a * router_pos_.size() + loc_b];
   return 2.0 * one_way;
 }
 

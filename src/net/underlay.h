@@ -42,12 +42,38 @@ class Underlay {
   virtual double LandmarkRttMs(PeerId peer, size_t landmark) const = 0;
 
   /// Lower bound (> 0) on RttMs(a, b) over all DISTINCT peer pairs, or 0 when
-  /// the implementation cannot bound it. The sharded engine derives its
-  /// conservative lookahead from this: every cross-shard delivery takes at
-  /// least MinPairRttMs()/2 one-way, so no shard ever needs to wait on a
-  /// remote event closer than that. Implementations may return any valid
-  /// lower bound; tighter bounds mean wider windows and fewer barriers.
+  /// the implementation cannot bound it. The sharded engine's scalar fallback
+  /// lookahead comes from this: every cross-shard delivery takes at least
+  /// MinPairRttMs()/2 one-way, so no shard ever needs to wait on a remote
+  /// event closer than that. Implementations may return any valid lower
+  /// bound; tighter bounds mean wider windows and fewer barriers.
   virtual double MinPairRttMs() const { return 0.0; }
+
+  // --- locality structure for per-shard-pair lookahead bounds ---------------
+  //
+  // The topology-aware scheduler wants a tighter statement than "some pair of
+  // peers is close": a lower bound on the RTT between peers of two specific
+  // *locations* (latency classes — routers for the geometric model). The
+  // engine digests each shard's peer set into its location set and takes the
+  // min of PairRttLowerBoundMs over the cross product, so two shards whose
+  // peers are all far apart get a deep lookahead even when the global
+  // MinPairRttMs is tiny. Implementations without locality keep the defaults
+  // (one location, global-min bound) and lose nothing.
+
+  /// Number of distinct latency locations ( > 0). Location ids are
+  /// [0, num_locations()).
+  virtual size_t num_locations() const { return 1; }
+
+  /// Latency location of a peer. Immutable over the underlay's lifetime.
+  virtual size_t LocationOf(PeerId /*peer*/) const { return 0; }
+
+  /// Lower bound (> 0 when MinPairRttMs() is) on RttMs(a, b) over all
+  /// DISTINCT peer pairs with LocationOf(a) == loc_a and LocationOf(b) ==
+  /// loc_b. Must never exceed the true minimum for any such pair; the global
+  /// min is always a valid (if loose) answer, and the default.
+  virtual double PairRttLowerBoundMs(size_t /*loc_a*/, size_t /*loc_b*/) const {
+    return MinPairRttMs();
+  }
 
   /// One-line description for reports.
   virtual std::string Describe() const = 0;
@@ -110,6 +136,11 @@ class GeometricUnderlay final : public Underlay {
   /// 4 x the minimum access latency: two peers (even on one router) cross two
   /// access links each way, and router paths only add to that.
   double MinPairRttMs() const override { return min_pair_rtt_ms_; }
+  /// Locations are routers: latency between two peers is bounded below by
+  /// their routers' shortest path plus each router's cheapest access link.
+  size_t num_locations() const override { return router_pos_.size(); }
+  size_t LocationOf(PeerId peer) const override;
+  double PairRttLowerBoundMs(size_t loc_a, size_t loc_b) const override;
   std::string Describe() const override;
 
   // --- introspection (tests, reports, visualization) ---
@@ -137,6 +168,9 @@ class GeometricUnderlay final : public Underlay {
   std::vector<double> peer_access_ms_;
   std::vector<RouterId> landmark_router_;
   std::vector<uint32_t> router_degree_;
+  /// Cheapest access link of any peer attached to each router (ms); the
+  /// access floor for peer-less routers, so bounds stay valid lower bounds.
+  std::vector<double> router_min_access_ms_;
   size_t num_edges_ = 0;
   RouterGraphModel model_ = RouterGraphModel::kWaxman;
   double min_pair_rtt_ms_ = 0.0;

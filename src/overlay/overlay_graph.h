@@ -28,6 +28,7 @@
 // an event executing on a foreign shard CHECK-fails.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -56,11 +57,22 @@ class OverlayGraph {
   /// config cannot make a connected graph (n = 0, degree too small).
   static Result<OverlayGraph> Generate(const OverlayConfig& config, Rng* rng);
 
+  // The liveness/link tallies are atomics (shard-owned rows mutate
+  // concurrently under the parallel engine), which forfeits the implicit
+  // copy/move special members; these restore them.
+  OverlayGraph(const OverlayGraph& other);
+  OverlayGraph& operator=(const OverlayGraph& other);
+  OverlayGraph(OverlayGraph&& other) noexcept;
+  OverlayGraph& operator=(OverlayGraph&& other) noexcept;
+
   size_t num_peers() const { return adjacency_.size(); }
-  /// Peers currently online (O(n) scan; reporting/test path).
+  /// Peers currently online. O(1): maintained incrementally by every
+  /// liveness mutation (debug builds cross-check against a full scan).
   size_t num_alive() const;
-  /// Half-edge count / 2. With in-flight link notifications the two endpoint
-  /// views can briefly disagree, so this is exact only at quiescence.
+  /// Half-edge count / 2. O(1): maintained incrementally by every link
+  /// mutation (debug builds cross-check against a full scan). With in-flight
+  /// link notifications the two endpoint views can briefly disagree, so this
+  /// is exact only at quiescence.
   size_t num_links() const;
   double AverageDegree() const;
 
@@ -144,6 +156,13 @@ class OverlayGraph {
   std::vector<uint32_t> session_epoch_;
   std::vector<char> alive_;
   uint32_t owner_shards_ = 1;
+  /// Incremental mirrors of the full scans (every mutator updates them;
+  /// num_alive/num_links assert agreement in debug builds). Counting
+  /// half-edges keeps dangling halves consistent with the scan semantics.
+  /// Relaxed atomics: owner-shard mutators bump them concurrently, readers
+  /// are controller-phase reporting at quiescence.
+  std::atomic<size_t> alive_count_{0};
+  std::atomic<size_t> half_edge_count_{0};
 };
 
 }  // namespace locaware::overlay

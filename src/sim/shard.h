@@ -3,10 +3,12 @@
 // barrier the window loop runs on.
 //
 // Sharding model (see sharded_simulator.h for the full contract): peers are
-// partitioned across K shards, each with its own event queue and worker
-// thread. Shards only exchange events through per-(src-shard, dst-shard)
-// mailboxes that are flushed at window barriers, so the hot path between
-// barriers is lock-free and allocation-contention is the only sharing.
+// partitioned across K shards, each with its own event queue, executed by a
+// pool of W <= K workers that claim shards per window (home block first,
+// then work stealing). Shards only exchange events through per-(src-shard,
+// dst-shard) mailboxes that are flushed at window barriers, so the hot path
+// between barriers is lock-free — the claim flags and stat counters are the
+// only shared atomics.
 #pragma once
 
 #include <condition_variable>

@@ -145,7 +145,7 @@ TEST(FileCatalogTest, MatchesImplementsContainment) {
   KeywordId foreign = kInvalidKeyword;
   for (FileId f = 1; f < cat.num_files() && foreign == kInvalidKeyword; ++f) {
     for (KeywordId kw : cat.sorted_keywords(f)) {
-      if (!ContainsAllIds(kws, {kw})) {
+      if (!ContainsAllIds(kws, std::span<const KeywordId>(&kw, 1))) {
         foreign = kw;
         break;
       }

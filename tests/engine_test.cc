@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -472,6 +475,114 @@ INSTANTIATE_TEST_SUITE_P(Kinds, ShardInvarianceTest,
                            std::string name = ProtocolKindName(info.param);
                            return name == "Dicas-Keys" ? "DicasKeys" : name;
                          });
+
+// --- skewed load + work stealing (TSan runs *ShardInvariance*) -------------
+
+/// Writes a trace whose every requester is remapped to a peer ≡ 0 (mod 8):
+/// at shards ∈ {2, 4, 8} the whole query load lands on shard 0 — the flash-
+/// crowd skew the stealing scheduler absorbs. Keywords are written as
+/// strings resolved through a catalog built exactly like the engine's (same
+/// seed split), so replay interns the same ids and queries really hit.
+std::string WriteSkewedTrace(const ExperimentConfig& cfg, const std::string& tag) {
+  Rng root(cfg.seed);
+  Rng catalog_rng = root.Split("catalog");
+  auto catalog =
+      std::move(catalog::FileCatalog::Generate(cfg.catalog, &catalog_rng)).ValueOrDie();
+  Rng workload_rng = root.Split("workload");
+  auto workload = std::move(catalog::QueryWorkload::Generate(
+                                cfg.workload, catalog, cfg.num_peers, &workload_rng))
+                      .ValueOrDie();
+  const std::string path = ::testing::TempDir() + "locaware_skew_" + tag + ".trace";
+  std::ofstream out(path);
+  out << "# locaware-trace-v1: id requester target submit_us keywords...\n";
+  for (const catalog::QueryEvent& q : workload.queries()) {
+    out << q.id << ' ' << (q.requester - q.requester % 8) << ' ' << q.target << ' '
+        << q.submit_time;
+    for (KeywordId kw : q.keywords) out << ' ' << catalog.keyword(kw);
+    out << '\n';
+  }
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+class SkewedShardInvarianceTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(SkewedShardInvarianceTest, StealingOnAndOffMatchSequentialPerQuery) {
+  // Byte-equality under the worst case for the scheduler: every query
+  // originates on shard 0 while 8 shards share 2 workers. Stealing (and its
+  // absence) may only move wall-clock, never a single per-query field.
+  ExperimentConfig base = TinyConfig(GetParam(), /*seed=*/11);
+  base.trace_path = WriteSkewedTrace(base, ProtocolKindName(GetParam()));
+  const auto run = [&](uint32_t shards, uint32_t workers, bool steal) {
+    ExperimentConfig cfg = base;
+    cfg.shards = shards;
+    cfg.workers = workers;
+    cfg.work_stealing = steal;
+    auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+    e->Run();
+    EXPECT_EQ(e->pending_query_count(), 0u);
+    EXPECT_EQ(e->tracked_query_count(), 0u);
+    return e->metrics().records();
+  };
+  const auto seq = run(1, 0, true);
+  ASSERT_EQ(seq.size(), 200u);
+  size_t successes = 0;
+  for (const auto& r : seq) successes += r.success ? 1 : 0;
+  ASSERT_GT(successes, 0u) << "skewed trace produced no hits at all";
+  for (uint32_t shards : {2u, 4u, 8u}) {
+    for (bool steal : {false, true}) {
+      const auto par = run(shards, /*workers=*/2, steal);
+      ASSERT_EQ(par.size(), seq.size());
+      for (size_t i = 0; i < seq.size(); ++i) {
+        const metrics::QueryRecord& a = seq[i];
+        const metrics::QueryRecord& b = par[i];
+        const std::string where = "slot " + std::to_string(i) + " shards " +
+                                  std::to_string(shards) +
+                                  (steal ? " steal" : " pinned");
+        EXPECT_EQ(a.success, b.success) << where;
+        EXPECT_EQ(a.source, b.source) << where;
+        EXPECT_EQ(a.query_msgs, b.query_msgs) << where;
+        EXPECT_EQ(a.query_bytes, b.query_bytes) << where;
+        EXPECT_EQ(a.response_msgs, b.response_msgs) << where;
+        EXPECT_EQ(a.response_bytes, b.response_bytes) << where;
+        EXPECT_EQ(a.responses_received, b.responses_received) << where;
+        EXPECT_EQ(a.providers_offered, b.providers_offered) << where;
+        EXPECT_EQ(a.first_response_at, b.first_response_at) << where;
+        EXPECT_EQ(a.download_distance_ms, b.download_distance_ms) << where;
+        EXPECT_EQ(a.provider_loc_match, b.provider_loc_match) << where;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SkewedShardInvarianceTest,
+                         ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
+                                           ProtocolKind::kDicasKeys,
+                                           ProtocolKind::kLocaware),
+                         [](const auto& info) {
+                           std::string name = ProtocolKindName(info.param);
+                           return name == "Dicas-Keys" ? "DicasKeys" : name;
+                         });
+
+TEST(ShardConfigTest, PairwiseLookaheadHonorsScalarFloorAndDeadlineCap) {
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
+  cfg.shards = 4;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  const sim::SimTime scalar = sim::FromMs(e->underlay().MinPairRttMs() / 2.0);
+  for (sim::ShardId s = 0; s < 4; ++s) {
+    // Digests cover every shard's peers, sorted and deduplicated.
+    const std::vector<size_t>& locs = e->ShardLocations(s);
+    ASSERT_FALSE(locs.empty());
+    EXPECT_TRUE(std::is_sorted(locs.begin(), locs.end()));
+    EXPECT_TRUE(std::adjacent_find(locs.begin(), locs.end()) == locs.end());
+    for (sim::ShardId d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      const sim::SimTime la = e->simulator().LookaheadBetween(s, d);
+      EXPECT_GE(la, scalar) << s << "->" << d;
+      EXPECT_LE(la, cfg.params.query_deadline) << s << "->" << d;
+    }
+  }
+}
 
 TEST(ShardConfigTest, CreateAcceptsShardedChurn) {
   // PR 2 rejected this combination; churn now runs as owner-shard events with

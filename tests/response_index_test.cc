@@ -20,6 +20,10 @@ ResponseIndexConfig SmallConfig() {
 
 ProviderEntry P(PeerId peer, LocId loc = 0) { return ProviderEntry{peer, loc, 0}; }
 
+/// Materializes a query list (LookupByKeywords takes a span; a braced list
+/// needs a home with a lifetime).
+std::vector<KeywordId> Q(std::initializer_list<KeywordId> ids) { return ids; }
+
 // A small id universe: keywords by number, files by number. Keyword-id sets
 // are sorted ascending per the id-plane contract.
 constexpr KeywordId kAlpha = 1, kBeta = 2, kGamma = 3, kDelta = 4;
@@ -77,17 +81,17 @@ TEST(ResponseIndexTest, InsertAndExactLookup) {
 TEST(ResponseIndexTest, KeywordLookupUsesContainment) {
   ResponseIndex ri(SmallConfig());
   ri.AddProvider(kAbc, kAbcKws, P(1), 0);
-  EXPECT_EQ(ri.LookupByKeywords({kBeta}, 1).size(), 1u);
-  EXPECT_EQ(ri.LookupByKeywords({kAlpha, kGamma}, 1).size(), 1u);
-  EXPECT_TRUE(ri.LookupByKeywords({kDelta}, 1).empty());
-  EXPECT_TRUE(ri.LookupByKeywords({kAlpha, kDelta}, 1).empty());
+  EXPECT_EQ(ri.LookupByKeywords(Q({kBeta}), 1).size(), 1u);
+  EXPECT_EQ(ri.LookupByKeywords(Q({kAlpha, kGamma}), 1).size(), 1u);
+  EXPECT_TRUE(ri.LookupByKeywords(Q({kDelta}), 1).empty());
+  EXPECT_TRUE(ri.LookupByKeywords(Q({kAlpha, kDelta}), 1).empty());
 }
 
 TEST(ResponseIndexTest, MultipleFilesCanMatchOneQuery) {
   ResponseIndex ri(SmallConfig());
   ri.AddProvider(kAbc, kAbcKws, P(1), 0);
   ri.AddProvider(kAd, kAdKws, P(2), 0);
-  EXPECT_EQ(ri.LookupByKeywords({kAlpha}, 1).size(), 2u);
+  EXPECT_EQ(ri.LookupByKeywords(Q({kAlpha}), 1).size(), 2u);
 }
 
 TEST(ResponseIndexTest, ProvidersAreMostRecentFirstAndBounded) {
@@ -217,7 +221,7 @@ TEST(ResponseIndexTest, EraseRemovesEntry) {
   EXPECT_FALSE(ri.Erase(kAbc));
   EXPECT_EQ(ri.num_filenames(), 0u);
   // The inverted index dropped the postings too: no keyword matches remain.
-  EXPECT_TRUE(ri.LookupByKeywords({kAlpha}, 1).empty());
+  EXPECT_TRUE(ri.LookupByKeywords(Q({kAlpha}), 1).empty());
 }
 
 TEST(ResponseIndexTest, TotalProviderCountTracksDuplication) {
@@ -241,8 +245,8 @@ TEST(ResponseIndexTest, FilesAndKeywordsAccessors) {
 TEST(ResponseIndexTest, StatsCountHitsAndMisses) {
   ResponseIndex ri(SmallConfig());
   ri.AddProvider(kAbc, kAbcKws, P(1), 0);
-  ri.LookupByKeywords({kAlpha}, 1);  // hit
-  ri.LookupByKeywords({kDelta}, 1);  // miss
+  ri.LookupByKeywords(Q({kAlpha}), 1);  // hit
+  ri.LookupByKeywords(Q({kDelta}), 1);  // miss
   ri.LookupFile(kAbc, 1);            // hit
   EXPECT_EQ(ri.stats().lookups, 3u);
   EXPECT_EQ(ri.stats().hits, 2u);

@@ -1,9 +1,11 @@
 // Tests for the sharded parallel simulator: conservative-window causality
 // (a cross-shard event landing exactly at the lookahead bound is never
-// missed), shard-count-invariant ordering (per-destination execution order is
-// identical for K = 1, 2, 4, 8), and the Run/horizon semantics the engine
-// relies on. The TSan CI job runs exactly this binary's SimParallel* suite
-// over the threaded paths.
+// missed — for the scalar bound and for every per-shard-pair matrix entry),
+// shard-count-invariant ordering (per-destination execution order is
+// identical for K = 1, 2, 4, 8, with and without work stealing, for any
+// worker count), and the Run/horizon semantics the engine relies on. The
+// TSan CI job runs exactly this binary's SimParallel* suite over the
+// threaded paths, stealing included.
 #include "sim/sharded_simulator.h"
 
 #include <gtest/gtest.h>
@@ -90,11 +92,100 @@ TEST(SimParallelTest, LookaheadBoundaryPingPongNeverMissesAnEvent) {
   }
 }
 
+// A cross-shard message at exactly now + its *pairwise* bound is the
+// tightest legal send under a lookahead matrix. Three shards, two latency
+// classes: 0 and 1 are near (5 ms), 2 is far from both (50 ms). Two
+// ping-pong chains run concurrently, each landing every hop exactly at its
+// own pair's horizon — a window-bound bug on either edge class (near bound
+// applied to the far pair, or vice versa) would CHECK-fail or lose a bounce.
+TEST(SimParallelTest, PairwiseBoundaryPingPongRunsBothLatencyClasses) {
+  constexpr SimTime kNear = FromMs(5);
+  constexpr SimTime kFar = FromMs(50);
+  constexpr int kNearBounces = 60;
+  constexpr int kFarBounces = 6;
+  ShardedSimulatorConfig config = Config(3, 4, kNear);
+  config.lookahead_matrix = {0,     kNear, kFar,   // 0 -> {1 near, 2 far}
+                             kNear, 0,     kFar,   // 1 -> {0 near, 2 far}
+                             kFar,  kFar,  0};     // 2 -> both far
+  ShardedSimulator sim(config);
+  EXPECT_EQ(sim.LookaheadBetween(0, 1), kNear);
+  EXPECT_EQ(sim.LookaheadBetween(2, 0), kFar);
+
+  int near_count = 0;
+  std::vector<SimTime> near_times;  // appended by shards 0/1 alternately,
+                                    // ordered by the bounce chain itself
+  std::function<void()> near_bounce = [&] {
+    near_times.push_back(sim.Now());
+    if (++near_count >= kNearBounces) return;
+    const ShardId here = ShardedSimulator::current_shard();
+    sim.ScheduleAt(1 - here, /*src=*/here, sim.Now() + kNear, near_bounce);
+  };
+  int far_count = 0;
+  std::vector<SimTime> far_times;
+  std::function<void()> far_bounce = [&] {
+    far_times.push_back(sim.Now());
+    if (++far_count >= kFarBounces) return;
+    const ShardId here = ShardedSimulator::current_shard();
+    const ShardId there = (here == 2) ? 0 : 2;
+    sim.ScheduleAt(there, /*src=*/here, sim.Now() + kFar, far_bounce);
+  };
+  sim.ScheduleAt(0, 0, 0, near_bounce);
+  sim.ScheduleAt(2, 2, 0, far_bounce);
+  EXPECT_EQ(sim.Run(), static_cast<uint64_t>(kNearBounces + kFarBounces));
+  for (int i = 0; i < kNearBounces; ++i) {
+    EXPECT_EQ(near_times[i], static_cast<SimTime>(i) * kNear) << "near " << i;
+  }
+  for (int i = 0; i < kFarBounces; ++i) {
+    EXPECT_EQ(far_times[i], static_cast<SimTime>(i) * kFar) << "far " << i;
+  }
+}
+
+// The deep-window payoff, pinned deterministically: the same two-cluster
+// workload under the scalar global-min bound vs the true pairwise matrix.
+// Window count is a pure function of (events, bounds), so the assertion is
+// exact — the matrix run must synchronize strictly less often.
+TEST(SimParallelTest, PairwiseMatrixDeepensWindows) {
+  static constexpr SimTime kIntra = FromMs(1);
+  static constexpr SimTime kCross = FromMs(50);
+  static constexpr int kTicks = 100;
+  const auto run = [&](bool use_matrix) {
+    ShardedSimulatorConfig config = Config(2, 2, kIntra);
+    if (use_matrix) config.lookahead_matrix = {0, kCross, kCross, 0};
+    ShardedSimulator sim(config);
+    // Each shard ticks a private 1 ms chain and fires one far message at the
+    // cross-link latency midway — cross traffic exists, but never closer
+    // than kCross. (The tick closures outlive the setup loop: events hold
+    // references into this vector for the whole run.)
+    std::vector<std::function<void(int)>> ticks(2);
+    for (ShardId s = 0; s < 2; ++s) {
+      ticks[s] = [&sim, &ticks, s](int round) {
+        if (round >= kTicks) return;
+        sim.ScheduleAt(s, s, sim.Now() + kIntra,
+                       [&ticks, s, round] { ticks[s](round + 1); });
+        if (round == kTicks / 2) {
+          sim.ScheduleAt(1 - s, s, sim.Now() + kCross, [] {});
+        }
+      };
+      sim.ScheduleAt(s, s, 0, [&ticks, s] { ticks[s](0); });
+    }
+    sim.Run();
+    // Per shard: ticks 0..kTicks (the last returns immediately) plus the one
+    // inbound cross event.
+    EXPECT_EQ(sim.executed_count(), static_cast<uint64_t>(2 * (kTicks + 2)));
+    return sim.windows();
+  };
+  const uint64_t scalar_windows = run(false);
+  const uint64_t matrix_windows = run(true);
+  EXPECT_LT(matrix_windows, scalar_windows);
+  EXPECT_LE(matrix_windows, 6u);  // ~100 ms of sim time in >= 50 ms windows
+}
+
 // The determinism contract: per-destination execution order is a pure
-// function of the simulation, not of the shard count. Each source floods a
-// deterministic cascade of messages (with deliberate time ties) at a fixed
-// set of destinations; the per-destination logs must be identical for every
-// partitioning of destinations over shards.
+// function of the simulation, not of the shard count, the worker count, or
+// the stealing mode. Each source floods a deterministic cascade of messages
+// (with deliberate time ties) at a fixed set of destinations; the
+// per-destination logs must be identical for every partitioning of
+// destinations over shards and every thread assignment.
 struct LogEntry {
   SimTime time;
   uint32_t src;
@@ -102,10 +193,15 @@ struct LogEntry {
   bool operator==(const LogEntry&) const = default;
 };
 
-std::vector<std::vector<LogEntry>> RunCascade(uint32_t num_shards) {
+std::vector<std::vector<LogEntry>> RunCascade(uint32_t num_shards,
+                                              uint32_t num_workers = 0,
+                                              bool work_stealing = true) {
   constexpr uint32_t kNodes = 12;
   constexpr int kDepth = 5;
-  ShardedSimulator sim(Config(num_shards, kNodes));
+  ShardedSimulatorConfig cascade_config = Config(num_shards, kNodes);
+  cascade_config.num_workers = num_workers;
+  cascade_config.work_stealing = work_stealing;
+  ShardedSimulator sim(cascade_config);
   // logs[d] is only ever appended by destination d's handler, which always
   // runs on shard d % num_shards — single-writer, no lock needed.
   std::vector<std::vector<LogEntry>> logs(kNodes);
@@ -145,6 +241,53 @@ TEST(SimParallelTest, PerDestinationOrderInvariantAcrossShardCounts) {
       EXPECT_EQ(sharded[d], baseline[d]) << "dst " << d << " shards " << shards;
     }
   }
+}
+
+// Stealing moves which thread runs a shard, never the order: the cascade
+// must replay byte-identically when 8 shards are over-decomposed onto 2 or
+// 3 workers, with stealing both allowed and pinned to the static home-block
+// binding.
+TEST(SimParallelTest, PerDestinationOrderInvariantUnderWorkStealing) {
+  const auto baseline = RunCascade(1);
+  for (uint32_t workers : {2u, 3u}) {
+    for (bool steal : {false, true}) {
+      const auto sharded = RunCascade(8, workers, steal);
+      ASSERT_EQ(sharded.size(), baseline.size());
+      for (size_t d = 0; d < baseline.size(); ++d) {
+        EXPECT_EQ(sharded[d], baseline[d])
+            << "dst " << d << " workers " << workers << " steal " << steal;
+      }
+    }
+  }
+}
+
+TEST(SimParallelTest, SchedulerStatsAccountWindowsAndOccupancy) {
+  const auto run = [](bool steal) {
+    ShardedSimulatorConfig config = Config(4, 4);
+    config.num_workers = 2;
+    config.work_stealing = steal;
+    ShardedSimulator sim(config);
+    // Shard 0 gets a dense chain, the rest one event each: occupancy is
+    // skewed and windows accumulate.
+    std::function<void(int)> chain = [&sim, &chain](int round) {
+      if (round >= 10) return;
+      sim.ScheduleAt(0, 0, sim.Now() + kLook, [&chain, round] { chain(round + 1); });
+    };
+    sim.ScheduleAt(0, 0, 0, [&chain] { chain(0); });
+    for (ShardId s = 1; s < 4; ++s) sim.ScheduleAt(s, s, kLook, [] {});
+    sim.Run();
+    return sim.stats();
+  };
+  const SchedulerStats pinned = run(false);
+  EXPECT_EQ(pinned.steals, 0u);  // home-block binding never crosses blocks
+  EXPECT_GT(pinned.windows, 0u);
+  uint64_t occupancy_total = 0;
+  for (uint64_t count : pinned.occupancy) occupancy_total += count;
+  EXPECT_EQ(occupancy_total, pinned.windows);
+  // Stealing mode executes the identical schedule (windows is a pure
+  // function of events + bounds); steals themselves are timing-dependent.
+  const SchedulerStats stealing = run(true);
+  EXPECT_EQ(stealing.windows, pinned.windows);
 }
 
 // Mailbox batching: cross-shard events created inside one window are all

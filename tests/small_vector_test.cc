@@ -1,0 +1,116 @@
+// SmallVector: the inline-until-N storage under the response index's
+// keyword/provider/posting lists. The interesting transitions are the
+// inline->heap spill (and that everything survives it) and move semantics
+// in both storage states.
+#include "common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace locaware {
+namespace {
+
+using Vec = SmallVector<uint32_t, 4>;
+
+TEST(SmallVectorTest, StaysInlineUpToCapacityThenSpills) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_inline());
+  for (uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);  // spill
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, InsertAtFrontAndBoundedPopModelProviderLists) {
+  // The response index's provider discipline: insert most-recent first, pop
+  // the oldest past the cap — all inside the inline slots.
+  Vec v;
+  for (uint32_t i = 0; i < 4; ++i) {
+    v.insert(v.begin(), i);
+    if (v.size() > 3) v.pop_back();
+  }
+  EXPECT_TRUE(v.is_inline());
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3u);
+  EXPECT_EQ(v[1], 2u);
+  EXPECT_EQ(v[2], 1u);
+}
+
+TEST(SmallVectorTest, InsertInMiddleAcrossSpillKeepsOrder) {
+  Vec v{0, 1, 3, 4};
+  v.insert(v.begin() + 2, 2);  // insertion is itself the spill trigger
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SmallVectorTest, SelfReferencingPushAndInsertAreSafe) {
+  // std::vector guarantees v.push_back(v[0]) works; so do we — the value is
+  // copied out before growth frees the buffer or the tail shift overwrites
+  // its slot.
+  Vec v{1, 2, 3, 4};  // full inline: the push below is the spill itself
+  v.push_back(v[0]);
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 2, 3, 4, 1}));
+  v.insert(v.begin(), v[2]);  // aliases a slot the memmove shifts
+  EXPECT_EQ(v, (std::vector<uint32_t>{3, 1, 2, 3, 4, 1}));
+  v.push_back(v.back());  // heap-state growth path
+  EXPECT_EQ(v.back(), 1u);
+}
+
+TEST(SmallVectorTest, EraseSingleAndRange) {
+  Vec v{1, 2, 3, 4};
+  auto it = v.erase(v.begin() + 1);
+  EXPECT_EQ(*it, 3u);
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 3, 4}));
+  v.erase(v.begin(), v.begin() + 2);
+  EXPECT_EQ(v, (std::vector<uint32_t>{4}));
+  v.erase(v.begin());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVectorTest, MoveStealsHeapAndCopiesInline) {
+  Vec inline_src{1, 2};
+  Vec from_inline = std::move(inline_src);
+  EXPECT_TRUE(from_inline.is_inline());
+  EXPECT_EQ(from_inline, (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(inline_src.empty());
+
+  Vec heap_src{1, 2, 3, 4, 5, 6};
+  ASSERT_FALSE(heap_src.is_inline());
+  const uint32_t* heap_data = heap_src.data();
+  Vec from_heap = std::move(heap_src);
+  EXPECT_EQ(from_heap.data(), heap_data);  // buffer stolen, not copied
+  EXPECT_EQ(from_heap, (std::vector<uint32_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(heap_src.empty());
+  EXPECT_TRUE(heap_src.is_inline());  // reusable after the steal
+  heap_src.push_back(9);
+  EXPECT_EQ(heap_src, (std::vector<uint32_t>{9}));
+}
+
+TEST(SmallVectorTest, CopyAndAssignAcrossStorageStates) {
+  Vec small{1, 2};
+  Vec big{1, 2, 3, 4, 5};
+  Vec copy = big;
+  EXPECT_EQ(copy, big);
+  copy = small;  // shrink a heap vector back to inline contents
+  EXPECT_EQ(copy, small);
+  Vec grown = small;
+  grown = big;
+  EXPECT_EQ(grown, big);
+}
+
+TEST(SmallVectorTest, ComparesAgainstStdVector) {
+  Vec v{1, 2, 3};
+  EXPECT_TRUE(v == (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE((std::vector<uint32_t>{1, 2, 3}) == v);
+  EXPECT_FALSE(v == (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(v.ToVector(), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace locaware

@@ -112,6 +112,42 @@ TEST(GeometricUnderlayTest, SameRouterPeersAreClose) {
   FAIL() << "no same-router pair found";
 }
 
+TEST(GeometricUnderlayTest, PairLowerBoundIsValidAndTighterThanGlobalMin) {
+  Rng rng(6);
+  auto built = GeometricUnderlay::Build(SmallConfig(), &rng);
+  ASSERT_TRUE(built.ok());
+  const auto& u = *built.ValueOrDie();
+  EXPECT_EQ(u.num_locations(), u.num_routers());
+  // The property the pairwise lookahead matrix rests on: for every distinct
+  // peer pair, the bound at their locations never exceeds the true RTT, and
+  // never undercuts the global floor.
+  bool some_pair_beats_global = false;
+  for (PeerId a = 0; a < 80; ++a) {
+    for (PeerId b = a + 1; b < 80; ++b) {
+      const double bound = u.PairRttLowerBoundMs(u.LocationOf(a), u.LocationOf(b));
+      EXPECT_LE(bound, u.RttMs(a, b) + 1e-9) << a << "," << b;
+      EXPECT_GE(bound, u.MinPairRttMs() - 1e-9) << a << "," << b;
+      if (bound > 2.0 * u.MinPairRttMs()) some_pair_beats_global = true;
+    }
+  }
+  // Locality is the point: far routers must yield far tighter bounds than
+  // the one global minimum.
+  EXPECT_TRUE(some_pair_beats_global);
+}
+
+TEST(UniformUnderlayTest, PairLowerBoundFallsBackToGlobalMin) {
+  Rng rng(6);
+  UniformUnderlayConfig cfg;
+  cfg.num_peers = 50;
+  auto built = UniformUnderlay::Build(cfg, &rng);
+  ASSERT_TRUE(built.ok());
+  const auto& u = *built.ValueOrDie();
+  // Geometry-free control model: one location, the global min everywhere.
+  EXPECT_EQ(u.num_locations(), 1u);
+  EXPECT_EQ(u.LocationOf(7), 0u);
+  EXPECT_EQ(u.PairRttLowerBoundMs(0, 0), u.MinPairRttMs());
+}
+
 TEST(GeometricUnderlayTest, DeterministicForSameSeed) {
   Rng rng1(7), rng2(7);
   auto u1 = std::move(GeometricUnderlay::Build(SmallConfig(), &rng1)).ValueOrDie();
