@@ -1,9 +1,12 @@
 #include "fig_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+
+#include "catalog/workload.h"
 
 #include "core/config_io.h"
 #include "metrics/svg_plot.h"
@@ -26,6 +29,10 @@ FigOptions ParseArgs(int argc, char** argv) {
       options.workers = static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
     } else if (std::strncmp(arg, "--steal=", 8) == 0) {
       options.steal = std::strtoul(arg + 8, nullptr, 10) != 0;
+    } else if (std::strncmp(arg, "--peers=", 8) == 0) {
+      options.peers = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      options.trace_path = arg + 8;
     } else if (std::strncmp(arg, "--svg=", 6) == 0) {
       options.svg_path = arg + 6;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -34,7 +41,8 @@ FigOptions ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
                    "usage: %s [--queries=N] [--seed=S] [--buckets=B] [--shards=K] "
-                   "[--workers=W] [--steal=0|1] [--svg=PATH] [--json=PATH]\n",
+                   "[--workers=W] [--steal=0|1] [--peers=N] [--trace=PATH] "
+                   "[--svg=PATH] [--json=PATH]\n",
                    arg, argv[0]);
       std::exit(2);
     }
@@ -51,6 +59,19 @@ std::vector<core::ExperimentResult> RunAllProtocols(
       core::ProtocolKind::kDicasKeys,
       core::ProtocolKind::kLocaware,
   };
+  // Peek the trace once so every protocol's run pre-reserves its per-shard
+  // event queues for the whole storm (zero heap growth at startup).
+  size_t event_hint = 0;
+  if (!options.trace_path.empty()) {
+    auto count = catalog::PeekTraceQueryCount(options.trace_path);
+    if (!count.ok()) {
+      std::fprintf(stderr, "trace %s: %s\n", options.trace_path.c_str(),
+                   count.status().ToString().c_str());
+      std::exit(1);
+    }
+    const uint32_t shards = options.shards == 0 ? 1 : options.shards;
+    event_hint = static_cast<size_t>(count.ValueOrDie()) / shards + 1024;
+  }
   std::vector<std::future<core::ExperimentResult>> futures;
   for (core::ProtocolKind kind : kinds) {
     futures.push_back(std::async(std::launch::async, [=] {
@@ -59,6 +80,18 @@ std::vector<core::ExperimentResult> RunAllProtocols(
       config.shards = options.shards;
       config.workers = options.workers;
       config.work_stealing = options.steal;
+      if (options.peers != 0) {
+        config.num_peers = options.peers;
+        // ~1 router per 25 peers keeps the locality structure meaningful;
+        // the 1000 cap bounds the O(r * E log V) all-pairs precompute.
+        config.underlay.num_routers =
+            std::min<size_t>(1000, std::max(config.underlay.num_routers,
+                                            options.peers / 25));
+      }
+      if (!options.trace_path.empty()) {
+        config.trace_path = options.trace_path;
+        config.event_reserve_hint = event_hint;
+      }
       if (tweak) tweak(&config);
       auto result = core::RunExperiment(config, options.buckets);
       if (!result.ok()) {
@@ -88,9 +121,13 @@ void PrintHeader(const std::string& figure, const FigOptions& options) {
   std::printf(
       "paper setup: 1000 peers, avg degree 3, TTL 7, 3000 files, 9000 keywords,\n"
       "             Zipf queries @0.00083 q/s/peer, 4 landmarks (24 locIds)\n");
-  std::printf("run: queries=%llu seed=%llu buckets=%zu\n\n",
+  std::printf("run: queries=%llu seed=%llu buckets=%zu",
               static_cast<unsigned long long>(options.num_queries),
               static_cast<unsigned long long>(options.seed), options.buckets);
+  if (options.peers != 0) std::printf(" peers=%zu", options.peers);
+  if (!options.trace_path.empty())
+    std::printf(" trace=%s", options.trace_path.c_str());
+  std::printf("\n\n");
 }
 
 void MaybeWriteSvg(const std::vector<metrics::LabeledSeries>& series,

@@ -27,6 +27,14 @@ struct FigOptions {
   /// Intra-window work stealing (ExperimentConfig::work_stealing). Results
   /// are byte-identical on or off; the gate runs both.
   bool steal = true;
+  /// When non-zero, overrides ExperimentConfig::num_peers and scales the
+  /// router plane with it (~1 router per 25 peers, capped at 1000 so the
+  /// all-pairs underlay precompute stays tractable at 100k-1M peers).
+  size_t peers = 0;
+  /// When non-empty, every experiment replays this trace file (text or
+  /// binary, sniffed) instead of generating its workload, and the per-shard
+  /// event queues are pre-reserved from the trace's query count.
+  std::string trace_path;
   /// When non-empty, the bench also renders its figure to this SVG path.
   std::string svg_path;
   /// When non-empty, the figure benches dump every protocol's full result
@@ -34,10 +42,11 @@ struct FigOptions {
   std::string json_path;
 };
 
-/// Parses --queries=N --seed=S --buckets=B --shards=K --svg=PATH --json=PATH
-/// (unknown flags are fatal, so a typo cannot silently run the default
-/// experiment). The ablation mains share this parser; the figure benches and
-/// ablation_churn (CI's churn determinism gate) write --json output.
+/// Parses --queries=N --seed=S --buckets=B --shards=K --peers=N --trace=PATH
+/// --svg=PATH --json=PATH (unknown flags are fatal, so a typo cannot
+/// silently run the default experiment). The ablation mains share this
+/// parser; the figure benches and ablation_churn (CI's churn determinism
+/// gate) write --json output.
 FigOptions ParseArgs(int argc, char** argv);
 
 /// Writes the figure as an SVG chart when options.svg_path is set.

@@ -23,11 +23,29 @@
 // Determinism note: the engine rows also serve as a cheap invariance probe —
 // every shard count reports an identical `msgs` counter, because sharding
 // must never change results.
+//
+// Million-peer data plane rows:
+//  * BM_EngineScale — the full engine at 100k peers (1000-router underlay,
+//    shard-local arenas, pre-reserved event queues), reporting events/s and
+//    rss_kb/peer (VmRSS delta across Create+Run). Set LOCAWARE_BENCH_1M=1 to
+//    also register the 1,000,000-peer row (minutes of wall clock — local
+//    runs only, never CI).
+//  * BM_TraceLoad — text vs binary trace parsing over the same 200k-query
+//    workload; the `speedup` counter is the headline binary-format number.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <string>
 
+#include "catalog/file_catalog.h"
+#include "catalog/workload.h"
+#include "common/rng.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "sim/sharded_simulator.h"
@@ -36,6 +54,20 @@
 namespace {
 
 using namespace locaware;
+
+// Resident set size in bytes from /proc/self/status, 0 where unavailable
+// (non-Linux). Deltas around Create+Run give per-scenario peak growth even
+// though the process-wide VmHWM accumulates across benchmarks.
+uint64_t CurrentRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
 
 void BM_ShardedSimulatorStorm(benchmark::State& state) {
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
@@ -49,6 +81,9 @@ void BM_ShardedSimulatorStorm(benchmark::State& state) {
     cfg.lookahead = kLook;
     cfg.num_sources = kSources;
     sim::ShardedSimulator sim(cfg);
+    // Each source keeps one event outstanding; reserving that up front makes
+    // storm startup allocation-free (the queues never regrow mid-run).
+    sim.ReserveEvents(kSources / shards + 1024);
     // Each source bounces a message to a pseudo-random partner every
     // lookahead: the worst case for window synchronization (every window
     // holds work for every shard, every hop may cross shards).
@@ -100,6 +135,8 @@ void BM_ShardedSimulatorClusteredLocality(benchmark::State& state) {
     }
     cfg.num_sources = kShards * kSourcesPerShard;
     sim::ShardedSimulator sim(cfg);
+    // Up to two outstanding events per source (tick chain + cross ping).
+    sim.ReserveEvents(2 * kSourcesPerShard + 1024);
     // Every source ticks a local chain each ms and pings the next cluster
     // once every 50 rounds, at the cross-link latency.
     std::function<void(uint32_t, int)> tick = [&](uint32_t src, int round) {
@@ -159,6 +196,8 @@ void BM_ShardedSimulatorSkewedStorm(benchmark::State& state) {
     cfg.lookahead = kLook;
     cfg.num_sources = kSources;
     sim::ShardedSimulator sim(cfg);
+    // Half the sources hash to shard 0, so size every queue for the hot one.
+    sim.ReserveEvents(kSources / 2 + 1024);
     std::function<void(uint32_t, int)> hop = [&](uint32_t src, int round) {
       if (round >= kRounds) return;
       const uint32_t dst = (src * 2654435761u + 1) % kSources;
@@ -231,5 +270,124 @@ BENCHMARK(BM_EngineSharded)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// The million-peer data plane target: full Dicas engine at scale. Routers
+// grow with the swarm (~1 per 25 peers) up to the 1000 cap that bounds the
+// all-pairs underlay precompute; catalog and query volume scale linearly so
+// per-peer load matches the 10k scenario. Counters:
+//  * events/s  — end-to-end simulator throughput, the headline number.
+//  * rss_kb/peer — VmRSS growth across Create+Run divided by peers (max
+//    over iterations: the first iteration faults the pages, later ones reuse
+//    the allocator's retained heap, so max == per-scenario peak).
+//  * msgs — determinism probe, identical for any shard/worker split.
+void BM_EngineScale(benchmark::State& state) {
+  const size_t peers = static_cast<size_t>(state.range(0));
+  core::ExperimentConfig cfg =
+      core::MakePaperConfig(core::ProtocolKind::kDicas,
+                            /*num_queries=*/peers / 20, /*seed=*/42);
+  cfg.num_peers = peers;
+  cfg.underlay.num_routers = std::min<size_t>(1000, peers / 25);
+  cfg.catalog.num_files = peers;
+  // The syllable word space caps the pool at 1M; 100k keeps the paper's 3x
+  // files ratio, 1M runs at 1 keyword per file's worth of pool instead.
+  cfg.catalog.keyword_pool_size = std::min<size_t>(1000000, 3 * peers);
+  cfg.workload.query_rate_per_peer_s = 0.02;
+  cfg.shards = 8;
+  uint64_t events = 0;
+  uint64_t msgs = 0;
+  uint64_t rss_delta = 0;
+  for (auto _ : state) {
+    const uint64_t rss_before = CurrentRssBytes();
+    auto engine = std::move(core::Engine::Create(cfg)).ValueOrDie();
+    engine->Run();
+    const uint64_t rss_after = CurrentRssBytes();
+    if (rss_after > rss_before) {
+      rss_delta = std::max(rss_delta, rss_after - rss_before);
+    }
+    events += engine->simulator().executed_count();
+    msgs = 0;
+    for (const auto& r : engine->metrics().records()) msgs += r.TotalSearchMessages();
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["rss_kb/peer"] =
+      static_cast<double>(rss_delta) / 1024.0 / static_cast<double>(peers);
+  state.counters["msgs"] = static_cast<double>(msgs);
+}
+BENCHMARK(BM_EngineScale)
+    ->ArgName("peers")
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The 1M-peer row takes minutes and several GB; register it only when asked.
+// (The installed benchmark library has no in-run skip-with-message that keeps
+// JSON artifacts clean, so gating registration beats skipping inside.)
+[[maybe_unused]] const bool kRegistered1M = [] {
+  if (std::getenv("LOCAWARE_BENCH_1M") == nullptr) return false;
+  benchmark::RegisterBenchmark("BM_EngineScale", BM_EngineScale)
+      ->ArgName("peers")
+      ->Arg(1000000)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime()
+      ->Iterations(1);
+  return true;
+}();
+
+// Text vs binary trace parsing over one 200k-query workload. Each iteration
+// loads both files into fresh scratch catalogs (every keyword interned from
+// scratch — the worst case for both formats); `speedup` is the per-iteration
+// text/binary wall-clock ratio the ISSUE's >= 5x acceptance bar reads.
+void BM_TraceLoad(benchmark::State& state) {
+  const std::string text_path = "/tmp/locaware_bench_trace.trace";
+  const std::string bin_path = "/tmp/locaware_bench_trace.bin";
+  {
+    catalog::CatalogConfig ccfg;
+    ccfg.num_files = 30000;
+    ccfg.keyword_pool_size = 90000;
+    Rng catalog_rng(42);
+    auto catalog = catalog::FileCatalog::Generate(ccfg, &catalog_rng).ValueOrDie();
+    catalog::WorkloadConfig wcfg;
+    wcfg.num_queries = 200000;
+    Rng workload_rng(43);
+    auto workload =
+        catalog::QueryWorkload::Generate(wcfg, catalog, /*num_peers=*/100000,
+                                         &workload_rng)
+            .ValueOrDie();
+    if (!workload.SaveTrace(text_path, catalog).ok() ||
+        !workload.SaveBinary(bin_path, catalog).ok()) {
+      std::fprintf(stderr, "BM_TraceLoad: cannot write /tmp fixtures\n");
+      std::exit(1);
+    }
+  }
+  using Clock = std::chrono::steady_clock;
+  double text_ns = 0;
+  double binary_ns = 0;
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    catalog::FileCatalog text_scratch;
+    const auto t0 = Clock::now();
+    auto from_text = catalog::QueryWorkload::LoadAuto(text_path, &text_scratch);
+    const auto t1 = Clock::now();
+    catalog::FileCatalog bin_scratch;
+    auto from_bin = catalog::QueryWorkload::LoadAuto(bin_path, &bin_scratch);
+    const auto t2 = Clock::now();
+    if (!from_text.ok() || !from_bin.ok()) {
+      std::fprintf(stderr, "BM_TraceLoad: load failed\n");
+      std::exit(1);
+    }
+    queries = from_bin.ValueOrDie().queries().size();
+    text_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    binary_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["text_load_ms"] = text_ns / 1e6 / iters;
+  state.counters["binary_load_ms"] = binary_ns / 1e6 / iters;
+  state.counters["speedup"] = binary_ns == 0 ? 0.0 : text_ns / binary_ns;
+  state.counters["queries"] = static_cast<double>(queries);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+BENCHMARK(BM_TraceLoad)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

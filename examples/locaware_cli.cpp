@@ -4,6 +4,8 @@
 //   locaware_cli --config=my_run.cfg --json
 //   locaware_cli --protocol=dicas --save-config=dicas.cfg --dry-run
 //   locaware_cli --protocol=locaware --set churn.enabled=true --set params.ttl=5
+//   locaware_cli --save-trace=storm.bin --dry-run
+//   locaware_cli convert storm.trace storm.bin
 //
 // Precedence: paper defaults < --config file < individual flags/--set pairs.
 // Output: human summary by default, --json for machine consumption,
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/workload.h"
 #include "core/config_io.h"
 #include "core/experiment.h"
 #include "metrics/svg_plot.h"
@@ -24,6 +27,7 @@ using namespace locaware;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [options]\n"
+               "       %s convert IN OUT\n"
                "  --protocol=NAME     flooding | dicas | dicas-keys | locaware\n"
                "  --queries=N         number of queries (default 5000)\n"
                "  --seed=S            RNG seed (default 42)\n"
@@ -31,22 +35,94 @@ int Usage(const char* argv0) {
                "  --config=FILE       load a config file (key = value)\n"
                "  --set KEY=VALUE     override any config key (repeatable)\n"
                "  --save-config=FILE  write the effective config and continue\n"
+               "  --save-trace=FILE   write the config's query trace and continue\n"
+               "                      (binary when FILE ends in .bin, else text)\n"
                "  --dry-run           stop after config handling, run nothing\n"
                "  --json              print the result as JSON\n"
-               "  --svg=PREFIX        write PREFIX-{success,traffic,distance}.svg\n",
-               argv0);
+               "  --svg=PREFIX        write PREFIX-{success,traffic,distance}.svg\n"
+               "\n"
+               "convert rewrites a trace between the text and binary formats\n"
+               "(direction chosen by OUT's extension: .bin selects binary).\n",
+               argv0, argv0);
   return 2;
+}
+
+bool EndsWithBin(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+}
+
+// `convert IN OUT`: re-encode a trace through a scratch catalog. LoadAuto
+// interns every keyword the trace mentions, which is all SaveTrace/SaveBinary
+// need to resolve them back to strings.
+int Convert(const char* argv0, int argc, char** argv) {
+  if (argc != 4) return Usage(argv0);
+  const std::string in = argv[2];
+  const std::string out = argv[3];
+  catalog::FileCatalog scratch;
+  auto loaded = catalog::QueryWorkload::LoadAuto(in, &scratch);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", in.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const catalog::QueryWorkload workload = std::move(loaded).ValueOrDie();
+  const Status st = EndsWithBin(out) ? workload.SaveBinary(out, scratch)
+                                     : workload.SaveTrace(out, scratch);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", out.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu queries to %s (%s)\n",
+               workload.queries().size(), out.c_str(),
+               EndsWithBin(out) ? "binary" : "text");
+  return 0;
+}
+
+// Regenerates the catalog and workload exactly as Engine::Setup would for
+// `config` (same name-keyed RNG splits) and saves the query trace, so a
+// later run with trace_path replays byte-identical metrics.
+int SaveTrace(const core::ExperimentConfig& config, const std::string& path) {
+  Rng root(config.seed);
+  Rng catalog_rng = root.Split("catalog");
+  auto catalog = catalog::FileCatalog::Generate(config.catalog, &catalog_rng);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "error: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  Rng workload_rng = root.Split("workload");
+  auto workload = catalog::QueryWorkload::Generate(
+      config.workload, catalog.ValueOrDie(), config.num_peers, &workload_rng);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "error: %s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  const Status st =
+      EndsWithBin(path)
+          ? workload.ValueOrDie().SaveBinary(path, catalog.ValueOrDie())
+          : workload.ValueOrDie().SaveTrace(path, catalog.ValueOrDie());
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote trace to %s (%s)\n", path.c_str(),
+               EndsWithBin(path) ? "binary" : "text");
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "convert") == 0) {
+    return Convert(argv[0], argc, argv);
+  }
+
   core::ExperimentConfig config =
       core::MakePaperConfig(core::ProtocolKind::kLocaware, 5000, 42);
   size_t buckets = 10;
   bool as_json = false;
   bool dry_run = false;
   std::string save_config_path;
+  std::string save_trace_path;
   std::string svg_prefix;
   std::vector<std::string> overrides;
 
@@ -85,6 +161,8 @@ int main(int argc, char** argv) {
       overrides.emplace_back(argv[++i]);
     } else if (std::strncmp(arg, "--save-config=", 14) == 0) {
       save_config_path = arg + 14;
+    } else if (std::strncmp(arg, "--save-trace=", 13) == 0) {
+      save_trace_path = arg + 13;
     } else if (std::strcmp(arg, "--dry-run") == 0) {
       dry_run = true;
     } else if (std::strcmp(arg, "--json") == 0) {
@@ -116,6 +194,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "wrote config to %s\n", save_config_path.c_str());
+  }
+  if (!save_trace_path.empty()) {
+    const int rc = SaveTrace(config, save_trace_path);
+    if (rc != 0) return rc;
   }
   if (dry_run) {
     std::fputs(core::FormatConfig(config).c_str(), stdout);

@@ -26,7 +26,11 @@ ResponseIndex::ResponseIndex(const ResponseIndexConfig& config)
 }
 
 void ResponseIndex::AddPostings(FileId file, std::span<const KeywordId> keywords) {
-  for (KeywordId kw : keywords) inverted_[kw].push_back(file);
+  for (KeywordId kw : keywords) {
+    auto [it, inserted] = inverted_.try_emplace(kw);
+    if (inserted) it->second.set_arena(config_.arena);
+    it->second.push_back(file);
+  }
 }
 
 void ResponseIndex::RemovePostings(FileId file, std::span<const KeywordId> keywords) {
@@ -58,6 +62,8 @@ ResponseIndex::UpdateOutcome ResponseIndex::AddProvider(
     while (entries_.size() >= config_.max_filenames) EvictOne(&outcome.evicted);
     use_order_.push_back(file);
     Entry fresh;
+    fresh.keywords.set_arena(config_.arena);
+    fresh.providers.set_arena(config_.arena);
     fresh.keywords.assign(sorted_keywords.begin(), sorted_keywords.end());
     fresh.use_pos = std::prev(use_order_.end());
     it = entries_.emplace(file, std::move(fresh)).first;

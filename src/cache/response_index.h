@@ -65,6 +65,11 @@ struct ResponseIndexConfig {
   EvictionPolicy eviction = EvictionPolicy::kLru;
   /// Seed for the kRandom eviction policy.
   uint64_t eviction_seed = 0x10caed5eedULL;
+  /// Spill source for the per-entry keyword/provider/posting lists (null =
+  /// global heap). The sharded engine passes the owning shard's arena; the
+  /// index must then only be touched from that shard (it already must be —
+  /// the class is not thread-safe).
+  common::Arena* arena = nullptr;
 };
 
 /// \brief Bounded, keyword-searchable map FileId → provider list.

@@ -1,0 +1,152 @@
+#include "catalog/binary_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LOCAWARE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace locaware::catalog::binio {
+
+Status WriteFile(const std::string& path, std::string_view magic,
+                 const std::string& payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(magic.data(), static_cast<std::streamsize>(magic.size()));
+  Writer version;
+  version.U32(kFormatVersion);
+  out.write(version.buffer().data(),
+            static_cast<std::streamsize>(version.buffer().size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+void InputFile::Swap(InputFile* other) {
+  std::swap(data_, other->data_);
+  std::swap(size_, other->size_);
+  std::swap(mapped_, other->mapped_);
+}
+
+void InputFile::Release() {
+  if (data_ == nullptr) return;
+#if LOCAWARE_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+    return;
+  }
+#endif
+  delete[] data_;
+  data_ = nullptr;
+  size_ = 0;
+}
+
+Result<InputFile> InputFile::Open(const std::string& path) {
+  InputFile file;
+#if LOCAWARE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const size_t size = static_cast<size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return file;  // empty file: valid view of zero bytes
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        file.data_ = static_cast<const uint8_t*>(map);
+        file.size_ = size;
+        file.mapped_ = true;
+        return file;
+      }
+      // fall through to the stream read below
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  if (size == 0) return file;
+  auto* buf = new uint8_t[static_cast<size_t>(size)];
+  in.read(reinterpret_cast<char*>(buf), size);
+  if (!in) {
+    delete[] buf;
+    return Status::IOError("short read from " + path);
+  }
+  file.data_ = buf;
+  file.size_ = static_cast<size_t>(size);
+  file.mapped_ = false;
+  return file;
+}
+
+Status Reader::ExpectHeader(std::string_view magic, uint32_t version) {
+  if (remaining() < magic.size() + sizeof(uint32_t)) {
+    return Status::InvalidArgument(path_ + ": truncated header");
+  }
+  if (std::memcmp(data_ + pos_, magic.data(), magic.size()) != 0) {
+    return Status::InvalidArgument(path_ + ": bad magic (not a " +
+                                   std::string(magic) + " file)");
+  }
+  pos_ += magic.size();
+  const uint32_t got = U32().ValueOrDie();  // size checked above
+  if (got != version) {
+    return Status::InvalidArgument(path_ + ": format version " + std::to_string(got) +
+                                   " unsupported (expected " +
+                                   std::to_string(version) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> Reader::U32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::U64() {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<const uint8_t*> Reader::View(size_t n) {
+  if (remaining() < n) return Truncated("section of " + std::to_string(n) + " bytes");
+  const uint8_t* out = data_ + pos_;
+  pos_ += n;
+  return out;
+}
+
+Status Reader::Truncated(std::string_view what) const {
+  return Status::InvalidArgument(path_ + ": truncated file (reading " +
+                                 std::string(what) +
+                                 " at offset " + std::to_string(pos_) + ")");
+}
+
+Result<bool> FileStartsWith(const std::string& path, std::string_view magic) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  char head[8] = {};
+  in.read(head, static_cast<std::streamsize>(magic.size()));
+  if (static_cast<size_t>(in.gcount()) < magic.size()) return false;
+  return std::memcmp(head, magic.data(), magic.size()) == 0;
+}
+
+}  // namespace locaware::catalog::binio

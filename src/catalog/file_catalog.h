@@ -55,6 +55,18 @@ class FileCatalog : public WireNames {
   /// unsatisfiable (e.g. more keywords per file than the pool holds).
   static Result<FileCatalog> Generate(const CatalogConfig& config, Rng* rng);
 
+  /// Serializes to the versioned binary catalog format (BINARY_FORMAT.md):
+  /// the keyword string table in id order plus fixed-width per-file
+  /// keyword-id rows. Filenames are not stored — they are the space-join of
+  /// the keywords by construction (Internal error if one is not).
+  Status SaveBinary(const std::string& path) const;
+
+  /// Loads a catalog written by SaveBinary, rebuilding every derived
+  /// constant (FNV/Bloom hashes, sorted sets, set hashes, postings, lookup
+  /// maps) exactly as Generate would. Corrupt/truncated/version-mismatched
+  /// files return Status, never crash.
+  static Result<FileCatalog> LoadBinary(const std::string& path);
+
   size_t num_files() const { return files_.size(); }
   size_t keywords_per_file() const { return keywords_per_file_; }
   size_t num_keywords() const { return keyword_table_.size(); }

@@ -124,6 +124,9 @@ std::string FormatConfig(const ExperimentConfig& c) {
   out << "workload.min_query_keywords = " << c.workload.min_query_keywords << "\n";
   out << "workload.max_query_keywords = " << c.workload.max_query_keywords << "\n";
   if (!c.trace_path.empty()) out << "trace_path = " << c.trace_path << "\n";
+  if (c.event_reserve_hint != 0) {
+    out << "event_reserve_hint = " << c.event_reserve_hint << "\n";
+  }
   out << "\n# churn\n";
   out << "churn.enabled = " << (c.churn.enabled ? "true" : "false") << "\n";
   out << "churn.mean_session_s = " << FormatDouble(c.churn.mean_session_s) << "\n";
@@ -241,6 +244,8 @@ Result<ExperimentConfig> ParseConfig(const std::string& text) {
       LOCAWARE_ASSIGN(u64, c.workload.max_query_keywords, size_t)
     } else if (kv.key == "trace_path") {
       c.trace_path = kv.value;
+    } else if (kv.key == "event_reserve_hint") {
+      LOCAWARE_ASSIGN(u64, c.event_reserve_hint, size_t)
     } else if (kv.key == "churn.enabled") {
       LOCAWARE_ASSIGN(b, c.churn.enabled, bool)
     } else if (kv.key == "churn.mean_session_s") {

@@ -99,6 +99,20 @@ Status Engine::Setup() {
   sim_ = std::make_unique<sim::ShardedSimulator>(sim_cfg);
   shards_.resize(num_shards_);
 
+  // 1c. Shard-local arenas, reserved from the peer -> shard map. Every
+  // arena-aware container a shard's peers own (overlay adjacency rows, file
+  // stores, response-index keyword/provider/posting lists) spills into its
+  // shard's arena, so allocation locality matches execution locality and
+  // mid-run growth never takes the global allocator's lock.
+  constexpr size_t kArenaBytesPerPeer = 64;
+  std::vector<size_t> shard_peers(num_shards_, 0);
+  for (PeerId p = 0; p < config_.num_peers; ++p) ++shard_peers[shard_of(p)];
+  arenas_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    arenas_.push_back(std::make_unique<common::Arena>());
+    arenas_[s]->Reserve(shard_peers[s] * kArenaBytesPerPeer);
+  }
+
   // 2. Overlay.
   Rng overlay_rng = root_rng_.Split("overlay");
   overlay::OverlayConfig ocfg;
@@ -107,6 +121,7 @@ Status Engine::Setup() {
   auto built_graph = overlay::OverlayGraph::Generate(ocfg, &overlay_rng);
   if (!built_graph.ok()) return built_graph.status();
   graph_ = std::make_unique<overlay::OverlayGraph>(std::move(built_graph).ValueOrDie());
+  graph_->BindArenas([this](PeerId p) { return arenas_[shard_of(p)].get(); });
 
   // 3. Catalog + workload + initial placement.
   Rng catalog_rng = root_rng_.Split("catalog");
@@ -115,7 +130,8 @@ Status Engine::Setup() {
   catalog_ = std::move(built_catalog).ValueOrDie();
 
   if (!config_.trace_path.empty()) {
-    auto loaded = catalog::QueryWorkload::LoadTrace(config_.trace_path, &catalog_);
+    // Either trace format (text or binary), sniffed by magic.
+    auto loaded = catalog::QueryWorkload::LoadAuto(config_.trace_path, &catalog_);
     if (!loaded.ok()) return loaded.status();
     workload_ = std::move(loaded).ValueOrDie();
     // A trace written against a different universe must not index out of
@@ -153,10 +169,12 @@ Status Engine::Setup() {
     n.id = p;
     n.loc_id = loc_ids[p];
     n.gid = static_cast<GroupId>(gid_rng.UniformInt(0, config_.params.num_groups - 1));
-    n.file_store = placement[p];
+    n.file_store.set_arena(arenas_[shard_of(p)].get());
+    n.file_store.assign(placement[p].begin(), placement[p].end());
     if (caches) {
       cache::ResponseIndexConfig ri_cfg = config_.params.ri;
       ri_cfg.eviction_seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1));
+      ri_cfg.arena = arenas_[shard_of(p)].get();
       n.ri = std::make_unique<cache::ResponseIndex>(ri_cfg);
     }
     if (is_locaware) {
@@ -333,7 +351,16 @@ void Engine::Run() {
   // workload index everywhere, so per-shard counter contributions line up at
   // merge time; per-shard slot maps are erased by that query's cleanup event,
   // which is what stops post-deadline stragglers from charging traffic.
-  for (ShardState& shard : shards_) {
+  // Per-shard submission counts: the basis for the pending-map and event-heap
+  // reserves below (known sizes, so the storm path does zero rehash/regrow).
+  std::vector<size_t> submissions(num_shards_, 0);
+  for (const catalog::QueryEvent& ev : queries) ++submissions[shard_of(ev.requester)];
+
+  for (sim::ShardId s = 0; s < num_shards_; ++s) {
+    ShardState& shard = shards_[s];
+    shard.slot_of.reserve(queries.size());
+    shard.touched.reserve(queries.size());
+    shard.pending.reserve(submissions[s]);
     for (const catalog::QueryEvent& ev : queries) {
       const size_t slot = shard.metrics.BeginQuery(ev.id, ev.requester, ev.submit_time);
       shard.metrics.Record(slot)->target_rank = workload_.RankOfFile(ev.target);
@@ -342,8 +369,14 @@ void Engine::Run() {
   }
 
   // Pre-size the event heaps: one submission event per query up front, plus
-  // headroom for the per-query message churn that replaces it.
-  sim_->ReserveEvents(queries.size() / num_shards_ + 1024);
+  // headroom for the per-query message churn that replaces it. Callers who
+  // know the workload shape (fig_common derives it from the trace size) can
+  // override via the config hint.
+  size_t event_hint = config_.event_reserve_hint;
+  if (event_hint == 0) {
+    event_hint = *std::max_element(submissions.begin(), submissions.end()) + 1024;
+  }
+  sim_->ReserveEvents(event_hint);
   for (const catalog::QueryEvent& ev : queries) {
     sim_->ScheduleAt(shard_of(ev.requester), /*src=*/0, ev.submit_time,
                      [this, &ev] { SubmitQuery(ev); });

@@ -30,6 +30,7 @@
 
 #include "catalog/file_catalog.h"
 #include "catalog/workload.h"
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -137,6 +138,14 @@ class Engine {
 
   /// The immutable per-peer on/off schedule (empty unless churn is enabled).
   const overlay::ChurnTimeline& churn_timeline() const { return churn_timeline_; }
+
+  /// Shard `s`'s arena — the spill source for every arena-aware container
+  /// its peers own (overlay rows, file stores, response-index lists).
+  /// Exposed for bench counters and tests.
+  const common::Arena& shard_arena(sim::ShardId s) const {
+    LOCAWARE_CHECK_LT(s, arenas_.size());
+    return *arenas_[s];
+  }
 
  private:
   explicit Engine(const ExperimentConfig& config);
@@ -248,6 +257,11 @@ class Engine {
   Rng root_rng_;
   uint64_t decision_seed_ = 0;
   uint64_t churn_seed_ = 0;
+
+  /// One arena per shard. Declared before every arena-backed structure
+  /// (graph_, nodes_) so it is destroyed last: their destructors return
+  /// spill buffers into these arenas.
+  std::vector<std::unique_ptr<common::Arena>> arenas_;
 
   std::unique_ptr<sim::ShardedSimulator> sim_;
   std::unique_ptr<net::Underlay> underlay_;

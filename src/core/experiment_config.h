@@ -58,10 +58,17 @@ struct ExperimentConfig {
   overlay::ChurnConfig churn;          ///< disabled in the paper's headline runs
 
   /// When non-empty, the query workload is replayed from this trace file
-  /// (written by QueryWorkload::SaveTrace) instead of being generated; the
-  /// `workload` block is then ignored. The trace must reference peers and
-  /// files that exist under the catalog/num_peers settings.
+  /// (written by QueryWorkload::SaveTrace or SaveBinary; the format is
+  /// sniffed) instead of being generated; the `workload` block is then
+  /// ignored. The trace must reference peers and files that exist under the
+  /// catalog/num_peers settings.
   std::string trace_path;
+
+  /// Per-shard event-queue capacity to pre-reserve before the run. 0 derives
+  /// it from the workload's per-shard submission counts; fig_common sets it
+  /// from the trace size so storm startup does zero heap growth. Pure
+  /// capacity knob: results never depend on it.
+  size_t event_reserve_hint = 0;
 
   ProtocolKind protocol = ProtocolKind::kLocaware;
   ProtocolParams params;

@@ -10,6 +10,7 @@
 #include "bloom/bloom_filter.h"
 #include "bloom/counting_bloom.h"
 #include "cache/response_index.h"
+#include "common/small_vector.h"
 #include "common/types.h"
 
 namespace locaware::core {
@@ -22,8 +23,10 @@ struct NodeState {
   GroupId gid = 0;    ///< Dicas group id, uniform in [0, M) (§3.2)
 
   /// Files this peer shares: the initial 3 plus everything it downloads
-  /// ("the requesting peer ... becomes a provider pf", §3.1).
-  std::vector<FileId> file_store;
+  /// ("the requesting peer ... becomes a provider pf", §3.1). Inline for the
+  /// initial placement; downloads spill into the owner shard's arena (the
+  /// engine binds it at setup).
+  SmallVector<FileId, 4> file_store;
 
   /// The response index RI_n. Null for Flooding (which never caches).
   std::unique_ptr<cache::ResponseIndex> ri;

@@ -168,7 +168,14 @@ bool OverlayGraph::IsAlive(PeerId p) const {
   return alive_[p] != 0;
 }
 
-const std::vector<PeerId>& OverlayGraph::Neighbors(PeerId p) const {
+void OverlayGraph::BindArenas(const std::function<common::Arena*(PeerId)>& arena_of) {
+  for (PeerId p = 0; p < adjacency_.size(); ++p) {
+    adjacency_[p].set_arena(arena_of(p));
+    link_epoch_[p].set_arena(arena_of(p));
+  }
+}
+
+const OverlayGraph::NeighborList& OverlayGraph::Neighbors(PeerId p) const {
   LOCAWARE_CHECK_LT(p, adjacency_.size());
   AssertOwner(p);
   return adjacency_[p];
@@ -232,7 +239,7 @@ bool OverlayGraph::RemoveLink(PeerId a, PeerId b) {
 std::vector<PeerId> OverlayGraph::Depart(PeerId p) {
   LOCAWARE_CHECK_LT(p, adjacency_.size());
   LOCAWARE_CHECK(alive_[p]) << "Depart of offline peer " << p;
-  std::vector<PeerId> dropped = adjacency_[p];
+  std::vector<PeerId> dropped = adjacency_[p].ToVector();
   for (PeerId nb : dropped) RemoveLink(p, nb);
   alive_[p] = 0;
   alive_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -266,7 +273,9 @@ std::vector<PeerId> OverlayGraph::GoOffline(PeerId p) {
   LOCAWARE_CHECK(alive_[p]) << "GoOffline of offline peer " << p;
   alive_[p] = 0;
   alive_count_.fetch_sub(1, std::memory_order_relaxed);
-  std::vector<PeerId> dropped = std::move(adjacency_[p]);
+  // ToVector + clear rather than a move: the row keeps its (arena-owned)
+  // capacity for the links the peer re-establishes when it rejoins.
+  std::vector<PeerId> dropped = adjacency_[p].ToVector();
   adjacency_[p].clear();
   link_epoch_[p].clear();
   half_edge_count_.fetch_sub(dropped.size(), std::memory_order_relaxed);

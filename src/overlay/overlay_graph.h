@@ -30,9 +30,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -53,6 +56,12 @@ struct OverlayConfig {
 /// which beats hash sets at these sizes.
 class OverlayGraph {
  public:
+  /// One peer's adjacency row. Inline 8 covers essentially every peer of a
+  /// degree-3 overlay without touching the heap; high-degree outliers spill
+  /// into the bound arena (BindArenas) or the global heap.
+  using NeighborList = SmallVector<PeerId, 8>;
+  using EpochList = SmallVector<uint32_t, 8>;
+
   /// Generates a connected overlay. Fails with InvalidArgument when the
   /// config cannot make a connected graph (n = 0, degree too small).
   static Result<OverlayGraph> Generate(const OverlayConfig& config, Rng* rng);
@@ -77,7 +86,7 @@ class OverlayGraph {
   double AverageDegree() const;
 
   bool IsAlive(PeerId p) const;
-  const std::vector<PeerId>& Neighbors(PeerId p) const;
+  const NeighborList& Neighbors(PeerId p) const;
   size_t Degree(PeerId p) const;
   bool AreNeighbors(PeerId a, PeerId b) const;
 
@@ -114,6 +123,11 @@ class OverlayGraph {
   /// shard other than p % num_shards. No-op for num_shards <= 1.
   void SetPartitionedOwnership(uint32_t num_shards);
 
+  /// Routes each peer's adjacency spill storage through `arena_of(p)` (the
+  /// engine passes the owning shard's arena). Call from the controller
+  /// phase; already-spilled rows are migrated.
+  void BindArenas(const std::function<common::Arena*(PeerId)>& arena_of);
+
   /// Takes `p` offline and clears only p's own half-edges (the remote halves
   /// dissolve when the peer's LinkDrop messages arrive). Returns the former
   /// neighbors so the caller can notify them.
@@ -149,10 +163,10 @@ class OverlayGraph {
   /// CHECK that the executing shard owns p (partitioned mode only).
   void AssertOwner(PeerId p) const;
 
-  std::vector<std::vector<PeerId>> adjacency_;
+  std::vector<NeighborList> adjacency_;
   /// link_epoch_[p][i]: the session epoch of adjacency_[p][i] when the edge
   /// was established (parallel arrays, kept in sync by every mutator).
-  std::vector<std::vector<uint32_t>> link_epoch_;
+  std::vector<EpochList> link_epoch_;
   std::vector<uint32_t> session_epoch_;
   std::vector<char> alive_;
   uint32_t owner_shards_ = 1;
