@@ -50,7 +50,10 @@ int main(int argc, char** argv) {
     futures.push_back(std::async(std::launch::async, [cell, queries, &options] {
       core::ExperimentConfig cfg =
           core::MakePaperConfig(cell.kind, queries, options.seed);
-      cfg.shards = options.shards;
+      cfg.scheduler.shards = options.shards;
+      cfg.scheduler.workers = options.workers;
+      cfg.scheduler.work_stealing = options.steal;
+      cfg.scheduler.placement = options.placement;
       cfg.churn.enabled = cell.churn;
       cfg.churn.mean_session_s = 1800;
       cfg.churn.mean_offline_s = 600;

@@ -29,6 +29,13 @@ FigOptions ParseArgs(int argc, char** argv) {
       options.workers = static_cast<uint32_t>(std::strtoul(arg + 10, nullptr, 10));
     } else if (std::strncmp(arg, "--steal=", 8) == 0) {
       options.steal = std::strtoul(arg + 8, nullptr, 10) != 0;
+    } else if (std::strncmp(arg, "--placement=", 12) == 0) {
+      auto parsed = core::ParsePlacementStrategy(arg + 12);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        std::exit(2);
+      }
+      options.placement = parsed.ValueOrDie();
     } else if (std::strncmp(arg, "--peers=", 8) == 0) {
       options.peers = std::strtoull(arg + 8, nullptr, 10);
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
@@ -41,8 +48,8 @@ FigOptions ParseArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
                    "usage: %s [--queries=N] [--seed=S] [--buckets=B] [--shards=K] "
-                   "[--workers=W] [--steal=0|1] [--peers=N] [--trace=PATH] "
-                   "[--svg=PATH] [--json=PATH]\n",
+                   "[--workers=W] [--steal=0|1] [--placement=modulo|clustered] "
+                   "[--peers=N] [--trace=PATH] [--svg=PATH] [--json=PATH]\n",
                    arg, argv[0]);
       std::exit(2);
     }
@@ -77,9 +84,10 @@ std::vector<core::ExperimentResult> RunAllProtocols(
     futures.push_back(std::async(std::launch::async, [=] {
       core::ExperimentConfig config =
           core::MakePaperConfig(kind, options.num_queries, options.seed);
-      config.shards = options.shards;
-      config.workers = options.workers;
-      config.work_stealing = options.steal;
+      config.scheduler.shards = options.shards;
+      config.scheduler.workers = options.workers;
+      config.scheduler.work_stealing = options.steal;
+      config.scheduler.placement = options.placement;
       if (options.peers != 0) {
         config.num_peers = options.peers;
         // ~1 router per 25 peers keeps the locality structure meaningful;
@@ -90,7 +98,7 @@ std::vector<core::ExperimentResult> RunAllProtocols(
       }
       if (!options.trace_path.empty()) {
         config.trace_path = options.trace_path;
-        config.event_reserve_hint = event_hint;
+        config.scheduler.event_reserve_hint = event_hint;
       }
       if (tweak) tweak(&config);
       auto result = core::RunExperiment(config, options.buckets);

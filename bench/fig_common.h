@@ -17,16 +17,20 @@ struct FigOptions {
   uint64_t num_queries = 5000;
   uint64_t seed = 42;
   size_t buckets = 10;
-  /// Simulation shards per experiment (ExperimentConfig::shards). Any value
+  /// Simulation shards per experiment (SchedulerConfig::shards). Any value
   /// yields identical metrics for a fixed seed — CI's determinism gate diffs
   /// the --json output of --shards=1 against --shards={4,8} to prove it.
   uint32_t shards = 1;
-  /// Worker threads per experiment (ExperimentConfig::workers; 0 = one per
+  /// Worker threads per experiment (SchedulerConfig::workers; 0 = one per
   /// shard). Wall-clock only, like shards.
   uint32_t workers = 0;
-  /// Intra-window work stealing (ExperimentConfig::work_stealing). Results
+  /// Intra-window work stealing (SchedulerConfig::work_stealing). Results
   /// are byte-identical on or off; the gate runs both.
   bool steal = true;
+  /// Peer → shard placement strategy (SchedulerConfig::placement). Like the
+  /// rest of the scheduler block it never changes results — the gate diffs
+  /// --placement=clustered JSON against the modulo baseline byte-for-byte.
+  sim::PlacementStrategy placement = sim::PlacementStrategy::kModulo;
   /// When non-zero, overrides ExperimentConfig::num_peers and scales the
   /// router plane with it (~1 router per 25 peers, capped at 1000 so the
   /// all-pairs underlay precompute stays tractable at 100k-1M peers).

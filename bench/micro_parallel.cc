@@ -19,6 +19,10 @@
 //    owns three light shards while the other worker parks at the barrier;
 //    with stealing on the idle worker takes those shards over. Compare
 //    `idle_ns/window` (and steals/window) between /steal:0 and /steal:1.
+//  * BM_EngineSharded/shards:8 — the same comparison end-to-end: the
+//    /clustered:1 row swaps the modulo peer → shard map for the
+//    locality-clustered ShardPlacement; compare `windows`, `events/s` and
+//    `idle_ns/window` against /clustered:0 at equal `msgs`.
 //
 // Determinism note: the engine rows also serve as a cheap invariance probe —
 // every shard count reports an identical `msgs` counter, because sharding
@@ -229,8 +233,16 @@ BENCHMARK(BM_ShardedSimulatorSkewedStorm)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The /clustered:1 rows swap the peer → shard map from the modulo partition
+// to the locality-clustered placement over the same geometric underlay — the
+// real shard_of, no synthetic trace remap. Modulo spreads all 400 routers
+// across every shard, collapsing the lookahead matrix to the scalar floor;
+// clustering hands each shard a spatially tight router set, so the acceptance
+// comparison is the shards:8 pair: clustered must run strictly fewer windows
+// and more events/s than modulo while reporting the identical `msgs`.
 void BM_EngineSharded(benchmark::State& state) {
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const bool clustered = state.range(1) != 0;
   core::ExperimentConfig cfg =
       core::MakePaperConfig(core::ProtocolKind::kDicas, /*num_queries=*/1500,
                             /*seed=*/42);
@@ -242,32 +254,50 @@ void BM_EngineSharded(benchmark::State& state) {
   // conservative window dense with work, which is what multi-core shards can
   // actually cash in on (sparse windows degenerate to barrier overhead).
   cfg.workload.query_rate_per_peer_s = 0.02;
-  cfg.shards = shards;
+  cfg.scheduler.shards = shards;
+  cfg.scheduler.placement = clustered ? sim::PlacementStrategy::kClustered
+                                      : sim::PlacementStrategy::kModulo;
+  uint64_t events = 0;
   uint64_t msgs = 0;
   uint64_t windows = 0;
   uint64_t steals = 0;
+  uint64_t idle_ns = 0;
   for (auto _ : state) {
     auto engine = std::move(core::Engine::Create(cfg)).ValueOrDie();
     engine->Run();
     msgs = 0;
     for (const auto& r : engine->metrics().records()) msgs += r.TotalSearchMessages();
     benchmark::DoNotOptimize(msgs);
+    events += engine->simulator().executed_count();
     windows = engine->metrics().scheduler_windows();
     steals = engine->metrics().scheduler_steals();
+    idle_ns += engine->metrics().scheduler_idle_ns();
   }
-  // Identical for every shard count — the determinism contract in one number.
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  // Identical for every shard count and placement — the determinism contract
+  // in one number.
   state.counters["msgs"] = static_cast<double>(msgs);
-  // Window count is deterministic per shard count (a pure function of the
-  // event schedule and the lookahead matrix); steals are timing-dependent
-  // like the wall clock — read them as shape, not as a stable trajectory.
+  // Window count is deterministic per (shard count, placement) — a pure
+  // function of the event schedule and the lookahead matrix; steals and idle
+  // are timing-dependent like the wall clock — read them as shape, not as a
+  // stable trajectory.
   state.counters["windows"] = static_cast<double>(windows);
   state.counters["steals"] = static_cast<double>(steals);
+  const uint64_t total_windows =
+      windows * std::max<uint64_t>(1, state.iterations());
+  state.counters["idle_ns/window"] =
+      windows == 0 ? 0.0
+                   : static_cast<double>(idle_ns) /
+                         static_cast<double>(total_windows);
 }
 BENCHMARK(BM_EngineSharded)
-    ->ArgName("shards")
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->ArgNames({"shards", "clustered"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -292,7 +322,7 @@ void BM_EngineScale(benchmark::State& state) {
   // files ratio, 1M runs at 1 keyword per file's worth of pool instead.
   cfg.catalog.keyword_pool_size = std::min<size_t>(1000000, 3 * peers);
   cfg.workload.query_rate_per_peer_s = 0.02;
-  cfg.shards = 8;
+  cfg.scheduler.shards = 8;
   uint64_t events = 0;
   uint64_t msgs = 0;
   uint64_t rss_delta = 0;

@@ -33,7 +33,8 @@ int Usage(const char* argv0) {
                "  --seed=S            RNG seed (default 42)\n"
                "  --buckets=B         series resolution (default 10)\n"
                "  --config=FILE       load a config file (key = value)\n"
-               "  --set KEY=VALUE     override any config key (repeatable)\n"
+               "  --set KEY=VALUE     override any config key (repeatable), e.g.\n"
+               "                      scheduler.shards=8 scheduler.placement=clustered\n"
                "  --save-config=FILE  write the effective config and continue\n"
                "  --save-trace=FILE   write the config's query trace and continue\n"
                "                      (binary when FILE ends in .bin, else text)\n"

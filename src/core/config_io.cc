@@ -91,6 +91,13 @@ Result<SelectionStrategy> ParseSelectionStrategy(const std::string& name) {
   return Status::InvalidArgument("unknown selection strategy '" + name + "'");
 }
 
+Result<sim::PlacementStrategy> ParsePlacementStrategy(const std::string& name) {
+  const std::string v = ToLower(name);
+  if (v == "modulo") return sim::PlacementStrategy::kModulo;
+  if (v == "clustered") return sim::PlacementStrategy::kClustered;
+  return Status::InvalidArgument("unknown placement strategy '" + name + "'");
+}
+
 std::string FormatConfig(const ExperimentConfig& c) {
   std::ostringstream out;
   out << "# locaware experiment configuration (key = value)\n";
@@ -99,9 +106,17 @@ std::string FormatConfig(const ExperimentConfig& c) {
       << "\n";
   out << "protocol = " << ToLower(ProtocolKindName(c.protocol)) << "\n";
   out << "seed = " << c.seed << "\n";
-  out << "shards = " << c.shards << "\n";
-  out << "workers = " << c.workers << "\n";
-  out << "work_stealing = " << (c.work_stealing ? "true" : "false") << "\n";
+  out << "\n# parallel scheduler (wall-clock only: results never depend on it)\n";
+  out << "scheduler.shards = " << c.scheduler.shards << "\n";
+  out << "scheduler.workers = " << c.scheduler.workers << "\n";
+  out << "scheduler.work_stealing = "
+      << (c.scheduler.work_stealing ? "true" : "false") << "\n";
+  out << "scheduler.placement = "
+      << sim::PlacementStrategyName(c.scheduler.placement) << "\n";
+  if (c.scheduler.event_reserve_hint != 0) {
+    out << "scheduler.event_reserve_hint = " << c.scheduler.event_reserve_hint
+        << "\n";
+  }
   out << "\n# network\n";
   out << "num_peers = " << c.num_peers << "\n";
   out << "avg_degree = " << FormatDouble(c.avg_degree) << "\n";
@@ -124,9 +139,6 @@ std::string FormatConfig(const ExperimentConfig& c) {
   out << "workload.min_query_keywords = " << c.workload.min_query_keywords << "\n";
   out << "workload.max_query_keywords = " << c.workload.max_query_keywords << "\n";
   if (!c.trace_path.empty()) out << "trace_path = " << c.trace_path << "\n";
-  if (c.event_reserve_hint != 0) {
-    out << "event_reserve_hint = " << c.event_reserve_hint << "\n";
-  }
   out << "\n# churn\n";
   out << "churn.enabled = " << (c.churn.enabled ? "true" : "false") << "\n";
   out << "churn.mean_session_s = " << FormatDouble(c.churn.mean_session_s) << "\n";
@@ -187,6 +199,15 @@ Result<ExperimentConfig> ParseConfig(const std::string& text) {
     target = static_cast<cast>(v.ValueOrDie());                 \
   }
 
+    // The pre-SchedulerConfig flat spellings still parse (existing config
+    // files and `locaware_cli --set` scripts keep working) but warn: they
+    // are one consolidation away from removal.
+    auto deprecated = [&](const char* new_key) {
+      std::fprintf(stderr,
+                   "config: key '%s' is deprecated, use '%s' (line %zu)\n",
+                   kv.key.c_str(), new_key, lineno);
+    };
+
     if (kv.key == "label") {
       c.label = kv.value;
     } else if (kv.key == "protocol") {
@@ -195,12 +216,27 @@ Result<ExperimentConfig> ParseConfig(const std::string& text) {
       c.protocol = v.ValueOrDie();
     } else if (kv.key == "seed") {
       LOCAWARE_ASSIGN(u64, c.seed, uint64_t)
+    } else if (kv.key == "scheduler.shards") {
+      LOCAWARE_ASSIGN(u64, c.scheduler.shards, uint32_t)
+    } else if (kv.key == "scheduler.workers") {
+      LOCAWARE_ASSIGN(u64, c.scheduler.workers, uint32_t)
+    } else if (kv.key == "scheduler.work_stealing") {
+      LOCAWARE_ASSIGN(b, c.scheduler.work_stealing, bool)
+    } else if (kv.key == "scheduler.placement") {
+      auto v = ParsePlacementStrategy(kv.value);
+      if (!v.ok()) return v.status();
+      c.scheduler.placement = v.ValueOrDie();
+    } else if (kv.key == "scheduler.event_reserve_hint") {
+      LOCAWARE_ASSIGN(u64, c.scheduler.event_reserve_hint, size_t)
     } else if (kv.key == "shards") {
-      LOCAWARE_ASSIGN(u64, c.shards, uint32_t)
+      deprecated("scheduler.shards");
+      LOCAWARE_ASSIGN(u64, c.scheduler.shards, uint32_t)
     } else if (kv.key == "workers") {
-      LOCAWARE_ASSIGN(u64, c.workers, uint32_t)
+      deprecated("scheduler.workers");
+      LOCAWARE_ASSIGN(u64, c.scheduler.workers, uint32_t)
     } else if (kv.key == "work_stealing") {
-      LOCAWARE_ASSIGN(b, c.work_stealing, bool)
+      deprecated("scheduler.work_stealing");
+      LOCAWARE_ASSIGN(b, c.scheduler.work_stealing, bool)
     } else if (kv.key == "num_peers") {
       LOCAWARE_ASSIGN(u64, c.num_peers, size_t)
     } else if (kv.key == "avg_degree") {
@@ -245,7 +281,8 @@ Result<ExperimentConfig> ParseConfig(const std::string& text) {
     } else if (kv.key == "trace_path") {
       c.trace_path = kv.value;
     } else if (kv.key == "event_reserve_hint") {
-      LOCAWARE_ASSIGN(u64, c.event_reserve_hint, size_t)
+      deprecated("scheduler.event_reserve_hint");
+      LOCAWARE_ASSIGN(u64, c.scheduler.event_reserve_hint, size_t)
     } else if (kv.key == "churn.enabled") {
       LOCAWARE_ASSIGN(b, c.churn.enabled, bool)
     } else if (kv.key == "churn.mean_session_s") {

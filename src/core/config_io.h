@@ -36,4 +36,8 @@ Result<ProtocolKind> ParseProtocolKind(const std::string& name);
 /// Parses a selection strategy name (see SelectionStrategyName).
 Result<SelectionStrategy> ParseSelectionStrategy(const std::string& name);
 
+/// Parses a shard-placement strategy name ("modulo", "clustered",
+/// case-insensitive — see sim::PlacementStrategyName).
+Result<sim::PlacementStrategy> ParsePlacementStrategy(const std::string& name);
+
 }  // namespace locaware::core

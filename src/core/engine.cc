@@ -14,7 +14,7 @@
 namespace locaware::core {
 
 Engine::Engine(const ExperimentConfig& config)
-    : config_(config), num_shards_(config.shards), root_rng_(config.seed) {
+    : config_(config), num_shards_(config.scheduler.shards), root_rng_(config.seed) {
   Rng decisions = root_rng_.Split("decisions");
   decision_seed_ = decisions.NextU64();
   Rng churn = root_rng_.Split("churn");
@@ -28,8 +28,8 @@ Result<std::unique_ptr<Engine>> Engine::Create(const ExperimentConfig& config) {
   cfg.underlay.num_peers = cfg.num_peers;
   cfg.underlay.num_landmarks = cfg.num_landmarks;
 
-  if (cfg.shards == 0) {
-    return Status::InvalidArgument("shards must be > 0");
+  if (cfg.scheduler.shards == 0) {
+    return Status::InvalidArgument("scheduler.shards must be > 0");
   }
 
   auto engine = std::unique_ptr<Engine>(new Engine(cfg));
@@ -60,70 +60,10 @@ Status Engine::Setup() {
   }
   const std::vector<LocId> loc_ids = net::ComputeAllLocIds(*underlay_);
 
-  // 1b. The simulator. The scalar fallback lookahead is half the underlay's
-  // minimum distinct-pair RTT: no cross-shard message can arrive sooner, so
-  // every shard may safely run that far past the global minimum event time.
-  // On top of it, each shard *pair* gets a tighter bound from the underlay's
-  // locality structure (BuildLookaheadMatrix), so shards whose peers are all
-  // far apart synchronize far less often than the global min would force.
-  const sim::SimTime lookahead = sim::FromMs(underlay_->MinPairRttMs() / 2.0);
-  if (num_shards_ > 1) {
-    if (lookahead <= 0) {
-      return Status::InvalidArgument(
-          "underlay cannot bound its minimum link latency; shards > 1 needs a "
-          "positive conservative lookahead");
-    }
-    if (config_.params.query_deadline < lookahead) {
-      return Status::InvalidArgument(
-          "query_deadline below the cross-shard lookahead; cleanup events "
-          "would violate the conservative window");
-    }
-  }
-  sim::ShardedSimulatorConfig sim_cfg;
-  sim_cfg.num_shards = num_shards_;
-  sim_cfg.num_workers = config_.workers;
-  sim_cfg.lookahead = lookahead;
-  sim_cfg.work_stealing = config_.work_stealing;
-  shard_locations_.resize(num_shards_);  // single-shard: empty digests
-  if (num_shards_ > 1) {
-    for (PeerId p = 0; p < config_.num_peers; ++p) {
-      shard_locations_[shard_of(p)].push_back(underlay_->LocationOf(p));
-    }
-    for (std::vector<size_t>& locs : shard_locations_) {
-      std::sort(locs.begin(), locs.end());
-      locs.erase(std::unique(locs.begin(), locs.end()), locs.end());
-    }
-    sim_cfg.lookahead_matrix = BuildLookaheadMatrix(lookahead);
-  }
-  sim_cfg.num_sources = static_cast<sim::SourceId>(config_.num_peers) + 1;
-  sim_ = std::make_unique<sim::ShardedSimulator>(sim_cfg);
-  shards_.resize(num_shards_);
-
-  // 1c. Shard-local arenas, reserved from the peer -> shard map. Every
-  // arena-aware container a shard's peers own (overlay adjacency rows, file
-  // stores, response-index keyword/provider/posting lists) spills into its
-  // shard's arena, so allocation locality matches execution locality and
-  // mid-run growth never takes the global allocator's lock.
-  constexpr size_t kArenaBytesPerPeer = 64;
-  std::vector<size_t> shard_peers(num_shards_, 0);
-  for (PeerId p = 0; p < config_.num_peers; ++p) ++shard_peers[shard_of(p)];
-  arenas_.reserve(num_shards_);
-  for (uint32_t s = 0; s < num_shards_; ++s) {
-    arenas_.push_back(std::make_unique<common::Arena>());
-    arenas_[s]->Reserve(shard_peers[s] * kArenaBytesPerPeer);
-  }
-
-  // 2. Overlay.
-  Rng overlay_rng = root_rng_.Split("overlay");
-  overlay::OverlayConfig ocfg;
-  ocfg.num_peers = config_.num_peers;
-  ocfg.avg_degree = config_.avg_degree;
-  auto built_graph = overlay::OverlayGraph::Generate(ocfg, &overlay_rng);
-  if (!built_graph.ok()) return built_graph.status();
-  graph_ = std::make_unique<overlay::OverlayGraph>(std::move(built_graph).ValueOrDie());
-  graph_->BindArenas([this](PeerId p) { return arenas_[shard_of(p)].get(); });
-
-  // 3. Catalog + workload + initial placement.
+  // 2. Catalog + workload + initial shared files. Before the shard placement
+  // on purpose: the clustered strategy weighs peers by the workload's
+  // requester histogram. RNG splits are name-keyed and leave the root
+  // untouched, so this reordering changes no stream.
   Rng catalog_rng = root_rng_.Split("catalog");
   auto built_catalog = catalog::FileCatalog::Generate(config_.catalog, &catalog_rng);
   if (!built_catalog.ok()) return built_catalog.status();
@@ -153,8 +93,87 @@ Status Engine::Setup() {
   }
 
   Rng placement_rng = root_rng_.Split("placement");
-  const auto placement = catalog::AssignInitialFiles(
+  const auto initial_files = catalog::AssignInitialFiles(
       config_.num_peers, config_.files_per_peer, catalog_, &placement_rng);
+
+  // 3. Peer → shard placement: the immutable map every shard_of consumer
+  // (ownership asserts, arena binding, event scheduling, slot/touched maps,
+  // churn owner events, metrics merge) reads for the rest of the run.
+  {
+    std::vector<size_t> peer_location(config_.num_peers);
+    for (PeerId p = 0; p < config_.num_peers; ++p) {
+      peer_location[p] = underlay_->LocationOf(p);
+    }
+    if (config_.scheduler.placement == sim::PlacementStrategy::kClustered) {
+      // Expected per-peer load: 1 (baseline liveness/maintenance) + the
+      // peer's query count — deterministic integer weights.
+      std::vector<uint64_t> peer_weight(config_.num_peers, 1);
+      for (const catalog::QueryEvent& ev : workload_.queries()) {
+        ++peer_weight[ev.requester];
+      }
+      placement_ = sim::ShardPlacement::Clustered(
+          num_shards_, peer_location, peer_weight, [this](size_t a, size_t b) {
+            return underlay_->PairRttLowerBoundMs(a, b);
+          });
+    } else {
+      placement_ = sim::ShardPlacement::Modulo(num_shards_, peer_location);
+    }
+  }
+
+  // 3b. The simulator. The scalar fallback lookahead is half the underlay's
+  // minimum distinct-pair RTT: no cross-shard message can arrive sooner, so
+  // every shard may safely run that far past the global minimum event time.
+  // On top of it, each shard *pair* gets a tighter bound from the underlay's
+  // locality structure (BuildLookaheadMatrix over the placement's location
+  // digests), so shards whose peers are all far apart synchronize far less
+  // often than the global min would force.
+  const sim::SimTime lookahead = sim::FromMs(underlay_->MinPairRttMs() / 2.0);
+  if (num_shards_ > 1) {
+    if (lookahead <= 0) {
+      return Status::InvalidArgument(
+          "underlay cannot bound its minimum link latency; shards > 1 needs a "
+          "positive conservative lookahead");
+    }
+    if (config_.params.query_deadline < lookahead) {
+      return Status::InvalidArgument(
+          "query_deadline below the cross-shard lookahead; cleanup events "
+          "would violate the conservative window");
+    }
+  }
+  sim::ShardedSimulatorConfig sim_cfg;
+  sim_cfg.num_shards = num_shards_;
+  sim_cfg.num_workers = config_.scheduler.workers;
+  sim_cfg.lookahead = lookahead;
+  sim_cfg.work_stealing = config_.scheduler.work_stealing;
+  if (num_shards_ > 1) {
+    sim_cfg.lookahead_matrix = BuildLookaheadMatrix(lookahead);
+  }
+  sim_cfg.num_sources = static_cast<sim::SourceId>(config_.num_peers) + 1;
+  sim_ = std::make_unique<sim::ShardedSimulator>(sim_cfg);
+  shards_.resize(num_shards_);
+
+  // 3c. Shard-local arenas, reserved from the placement's peer counts. Every
+  // arena-aware container a shard's peers own (overlay adjacency rows, file
+  // stores, response-index keyword/provider/posting lists) spills into its
+  // shard's arena, so allocation locality matches execution locality and
+  // mid-run growth never takes the global allocator's lock.
+  constexpr size_t kArenaBytesPerPeer = 64;
+  const std::vector<size_t>& shard_peers = placement_.shard_peer_counts();
+  arenas_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    arenas_.push_back(std::make_unique<common::Arena>());
+    arenas_[s]->Reserve(shard_peers[s] * kArenaBytesPerPeer);
+  }
+
+  // 3d. Overlay.
+  Rng overlay_rng = root_rng_.Split("overlay");
+  overlay::OverlayConfig ocfg;
+  ocfg.num_peers = config_.num_peers;
+  ocfg.avg_degree = config_.avg_degree;
+  auto built_graph = overlay::OverlayGraph::Generate(ocfg, &overlay_rng);
+  if (!built_graph.ok()) return built_graph.status();
+  graph_ = std::make_unique<overlay::OverlayGraph>(std::move(built_graph).ValueOrDie());
+  graph_->BindArenas([this](PeerId p) { return arenas_[shard_of(p)].get(); });
 
   // 4. Nodes.
   if (config_.params.num_groups == 0) {
@@ -170,7 +189,7 @@ Status Engine::Setup() {
     n.loc_id = loc_ids[p];
     n.gid = static_cast<GroupId>(gid_rng.UniformInt(0, config_.params.num_groups - 1));
     n.file_store.set_arena(arenas_[shard_of(p)].get());
-    n.file_store.assign(placement[p].begin(), placement[p].end());
+    n.file_store.assign(initial_files[p].begin(), initial_files[p].end());
     if (caches) {
       cache::ResponseIndexConfig ri_cfg = config_.params.ri;
       ri_cfg.eviction_seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1));
@@ -202,7 +221,7 @@ Status Engine::Setup() {
   if (!churn.ok()) return churn.status();
   churn_model_ = std::move(churn).ValueOrDie();
   if (config_.churn.enabled) {
-    graph_->SetPartitionedOwnership(num_shards_);
+    graph_->SetPartitionedOwnership(num_shards_, placement_.owner_map());
     churn_timeline_ = overlay::ChurnTimeline::Build(churn_model_, churn_seed_,
                                                     config_.num_peers, RunHorizon());
     // Seed the degree hints the initial handshakes would have announced; the
@@ -256,11 +275,6 @@ Status Engine::Setup() {
   return Status::OK();
 }
 
-const std::vector<size_t>& Engine::ShardLocations(sim::ShardId s) const {
-  LOCAWARE_CHECK_LT(s, shard_locations_.size());
-  return shard_locations_[s];
-}
-
 std::vector<sim::SimTime> Engine::BuildLookaheadMatrix(
     sim::SimTime scalar_lookahead) const {
   const uint32_t k = num_shards_;
@@ -273,8 +287,8 @@ std::vector<sim::SimTime> Engine::BuildLookaheadMatrix(
       // combination. Empty digests (a shard with no peers) cannot send, so
       // any positive bound is valid; use the scalar.
       double bound_ms = std::numeric_limits<double>::infinity();
-      for (size_t loc_a : shard_locations_[src]) {
-        for (size_t loc_b : shard_locations_[dst]) {
+      for (size_t loc_a : placement_.ShardLocations(src)) {
+        for (size_t loc_b : placement_.ShardLocations(dst)) {
           bound_ms = std::min(bound_ms, underlay_->PairRttLowerBoundMs(loc_a, loc_b));
         }
       }
@@ -372,7 +386,7 @@ void Engine::Run() {
   // headroom for the per-query message churn that replaces it. Callers who
   // know the workload shape (fig_common derives it from the trace size) can
   // override via the config hint.
-  size_t event_hint = config_.event_reserve_hint;
+  size_t event_hint = config_.scheduler.event_reserve_hint;
   if (event_hint == 0) {
     event_hint = *std::max_element(submissions.begin(), submissions.end()) + 1024;
   }

@@ -4,16 +4,19 @@
 // duplicate suppression, reverse-path response routing (paper §3.1), query
 // finalization with provider selection, churn, and periodic maintenance.
 //
-// Sharded execution: peers are partitioned across config.shards shards
-// (shard_of(p) = p % shards), each owning its peers' node state, pending
-// queries, and a private MetricsCollector (merged at Run() exit). All
+// Sharded execution: peers are partitioned across config.scheduler.shards
+// shards by a placement-defined partition (sim::ShardPlacement — modulo or
+// locality-clustered, built once at Create), each owning its peers' node
+// state, pending queries, and a private MetricsCollector (merged at Run()
+// exit). All
 // cross-peer interaction travels as events through the ShardedSimulator's
 // conservative windows, bounded per shard pair by a lookahead matrix the
 // engine mins from the underlay's locality structure (each shard's peer
 // locations digested against every other's — far-apart shards run deep
 // windows), and all event-time randomness is derived from stable identities
 // (DecisionRng), so the run's metrics are identical for every shard count,
-// worker count, and stealing mode — `--shards` is purely a wall-clock knob.
+// worker count, stealing mode, and placement strategy — the whole scheduler
+// block is purely a wall-clock knob.
 //
 // Churn composes with sharding: the per-peer on/off schedule is a precomputed
 // immutable ChurnTimeline (stable per-(peer, cycle) streams), departures and
@@ -42,6 +45,7 @@
 #include "overlay/churn.h"
 #include "overlay/message.h"
 #include "overlay/overlay_graph.h"
+#include "sim/shard_placement.h"
 #include "sim/sharded_simulator.h"
 
 namespace locaware::core {
@@ -76,14 +80,13 @@ class Engine {
   GroupId gid_of(PeerId p) const;
 
   uint32_t num_shards() const { return num_shards_; }
-  sim::ShardId shard_of(PeerId p) const {
-    return static_cast<sim::ShardId>(p % num_shards_);
-  }
+  /// The peer → shard map. Delegates to the run's immutable ShardPlacement
+  /// (built once at Create from config.scheduler.placement).
+  sim::ShardId shard_of(PeerId p) const { return placement_.shard_of(p); }
 
-  /// Sorted distinct underlay locations of shard `s`'s peers — the digest the
-  /// per-shard-pair lookahead matrix is derived from (empty when shards == 1,
-  /// which needs no matrix).
-  const std::vector<size_t>& ShardLocations(sim::ShardId s) const;
+  /// The run's immutable placement: the owner map, per-shard peer counts,
+  /// and the per-shard location digests the lookahead matrix reads.
+  const sim::ShardPlacement& placement() const { return placement_; }
 
   const net::Underlay& underlay() const { return *underlay_; }
   overlay::OverlayGraph& graph() { return *graph_; }
@@ -254,6 +257,9 @@ class Engine {
 
   ExperimentConfig config_;
   uint32_t num_shards_ = 1;
+  /// Immutable peer → shard map; built in Setup before anything consults
+  /// shard_of (default-constructed it maps everything to shard 0).
+  sim::ShardPlacement placement_;
   Rng root_rng_;
   uint64_t decision_seed_ = 0;
   uint64_t churn_seed_ = 0;
@@ -274,8 +280,6 @@ class Engine {
 
   std::vector<NodeState> nodes_;
   std::vector<ShardState> shards_;
-  /// Per-shard sorted distinct underlay locations (see ShardLocations).
-  std::vector<std::vector<size_t>> shard_locations_;
 
   metrics::MetricsCollector metrics_;  ///< merged from shards at Run() exit
 };

@@ -11,8 +11,47 @@
 #include "net/underlay.h"
 #include "overlay/churn.h"
 #include "overlay/overlay_graph.h"
+#include "sim/shard_placement.h"
 
 namespace locaware::core {
+
+/// How the parallel scheduler decomposes and drives the run. One contract
+/// covers the whole block: every knob here is wall-clock-only — any shard
+/// count, worker count, stealing mode, placement strategy, or reserve hint
+/// produces byte-identical metrics for the same seed (the determinism
+/// contract CI enforces). Peers are partitioned across `shards` simulation
+/// shards by a placement-defined partition (sim::ShardPlacement, built once
+/// at Engine::Create); each shard owns its peers' events and synchronizes
+/// with the others through conservative windows bounded by a per-shard-pair
+/// lookahead matrix derived from the underlay's locality structure. Composes
+/// with churn: lifecycle transitions run as owner-shard events and overlay
+/// repair travels as LinkDrop/LinkProbe/LinkAccept messages.
+struct SchedulerConfig {
+  /// Simulation shards (event partitions). 1 runs inline with no windows;
+  /// > 1 trades barrier overhead for multi-core wall-clock.
+  uint32_t shards = 1;
+
+  /// Worker threads driving the shards (0 = one per shard). Fewer workers
+  /// than shards over-decomposes the run so work stealing can absorb skewed
+  /// shards.
+  uint32_t workers = 0;
+
+  /// Allow idle workers to steal whole remaining shard sub-queues inside a
+  /// window (stealing moves which thread runs a shard, never event order);
+  /// off pins every shard to its static home worker.
+  bool work_stealing = true;
+
+  /// Peer → shard mapping strategy. kModulo is the historical p % shards;
+  /// kClustered groups peers by underlay location (weighted by the
+  /// workload's requester histogram) so the per-shard-pair lookahead matrix
+  /// sees spatially tight shards and runs deeper windows.
+  sim::PlacementStrategy placement = sim::PlacementStrategy::kModulo;
+
+  /// Per-shard event-queue capacity to pre-reserve before the run. 0 derives
+  /// it from the workload's per-shard submission counts; fig_common sets it
+  /// from the trace size so storm startup does zero heap growth.
+  size_t event_reserve_hint = 0;
+};
 
 /// Everything RunExperiment needs. All nested sizes (peers, landmarks) are
 /// normalized from the top-level fields by Engine::Create, so callers only
@@ -26,27 +65,9 @@ struct ExperimentConfig {
   size_t files_per_peer = 3;     ///< paper: 3 initial shared files
   size_t num_landmarks = 4;      ///< paper: 4 landmarks → 24 locIds
 
-  /// Simulation shards (event partitions). Peers are partitioned shard_of(p)
-  /// = p % shards; each shard owns its peers' events and synchronizes with
-  /// the others through conservative windows bounded by a per-shard-pair
-  /// lookahead matrix derived from the underlay's locality structure. Any
-  /// value, including 1, produces identical metrics for the same seed (the
-  /// determinism contract CI enforces); > 1 trades barrier overhead for
-  /// multi-core wall-clock. Composes with churn: lifecycle transitions run
-  /// as owner-shard events and overlay repair travels as
-  /// LinkDrop/LinkProbe/LinkAccept messages.
-  uint32_t shards = 1;
-
-  /// Worker threads driving the shards (0 = one per shard). Fewer workers
-  /// than shards over-decomposes the run so work stealing can absorb skewed
-  /// shards. Pure wall-clock knob: results never depend on it.
-  uint32_t workers = 0;
-
-  /// Allow idle workers to steal whole remaining shard sub-queues inside a
-  /// window. Results are byte-identical on or off (stealing moves which
-  /// thread runs a shard, never event order); off pins every shard to its
-  /// static home worker.
-  bool work_stealing = true;
+  /// Parallel-scheduler decomposition (shards, workers, stealing, placement,
+  /// reserve hint). See SchedulerConfig for the shared determinism contract.
+  SchedulerConfig scheduler;
 
   /// Use the geometry-free control underlay (locality ablation) instead of
   /// the BRITE-inspired router plane.
@@ -63,12 +84,6 @@ struct ExperimentConfig {
   /// ignored. The trace must reference peers and files that exist under the
   /// catalog/num_peers settings.
   std::string trace_path;
-
-  /// Per-shard event-queue capacity to pre-reserve before the run. 0 derives
-  /// it from the workload's per-shard submission counts; fig_common sets it
-  /// from the trace size so storm startup does zero heap growth. Pure
-  /// capacity knob: results never depend on it.
-  size_t event_reserve_hint = 0;
 
   ProtocolKind protocol = ProtocolKind::kLocaware;
   ProtocolParams params;

@@ -82,6 +82,7 @@ OverlayGraph::OverlayGraph(const OverlayGraph& other)
       session_epoch_(other.session_epoch_),
       alive_(other.alive_),
       owner_shards_(other.owner_shards_),
+      owner_of_(other.owner_of_),
       alive_count_(other.alive_count_.load(std::memory_order_relaxed)),
       half_edge_count_(other.half_edge_count_.load(std::memory_order_relaxed)) {}
 
@@ -92,6 +93,7 @@ OverlayGraph& OverlayGraph::operator=(const OverlayGraph& other) {
   session_epoch_ = other.session_epoch_;
   alive_ = other.alive_;
   owner_shards_ = other.owner_shards_;
+  owner_of_ = other.owner_of_;
   alive_count_.store(other.alive_count_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   half_edge_count_.store(other.half_edge_count_.load(std::memory_order_relaxed),
@@ -105,6 +107,7 @@ OverlayGraph::OverlayGraph(OverlayGraph&& other) noexcept
       session_epoch_(std::move(other.session_epoch_)),
       alive_(std::move(other.alive_)),
       owner_shards_(other.owner_shards_),
+      owner_of_(std::move(other.owner_of_)),
       alive_count_(other.alive_count_.load(std::memory_order_relaxed)),
       half_edge_count_(other.half_edge_count_.load(std::memory_order_relaxed)) {}
 
@@ -115,6 +118,7 @@ OverlayGraph& OverlayGraph::operator=(OverlayGraph&& other) noexcept {
   session_epoch_ = std::move(other.session_epoch_);
   alive_ = std::move(other.alive_);
   owner_shards_ = other.owner_shards_;
+  owner_of_ = std::move(other.owner_of_);
   alive_count_.store(other.alive_count_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   half_edge_count_.store(other.half_edge_count_.load(std::memory_order_relaxed),
@@ -122,17 +126,24 @@ OverlayGraph& OverlayGraph::operator=(OverlayGraph&& other) noexcept {
   return *this;
 }
 
-void OverlayGraph::SetPartitionedOwnership(uint32_t num_shards) {
+void OverlayGraph::SetPartitionedOwnership(uint32_t num_shards,
+                                           std::vector<uint32_t> owner_of) {
   LOCAWARE_CHECK_GT(num_shards, 0u);
+  if (!owner_of.empty()) {
+    LOCAWARE_CHECK_EQ(owner_of.size(), adjacency_.size());
+  }
   owner_shards_ = num_shards;
+  owner_of_ = std::move(owner_of);
 }
 
 void OverlayGraph::AssertOwner(PeerId p) const {
   if (owner_shards_ <= 1) return;
   const sim::ShardId cur = sim::ShardedSimulator::current_shard();
   if (cur == sim::kNoShard) return;  // controller phase, tests
-  LOCAWARE_CHECK_EQ(cur, static_cast<sim::ShardId>(p % owner_shards_))
-      << "cross-shard overlay access to peer " << p;
+  const sim::ShardId owner = owner_of_.empty()
+                                 ? static_cast<sim::ShardId>(p % owner_shards_)
+                                 : static_cast<sim::ShardId>(owner_of_[p]);
+  LOCAWARE_CHECK_EQ(cur, owner) << "cross-shard overlay access to peer " << p;
 }
 
 size_t OverlayGraph::num_alive() const {

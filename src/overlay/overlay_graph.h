@@ -23,9 +23,11 @@
 // sessions at or before the epoch it names — a drop from a past session can
 // never tear down a link formed after the peer rejoined.
 //
-// SetPartitionedOwnership(num_shards) extends the engine's node() ownership
-// assert to overlay state: with it enabled, any per-peer read or write from
-// an event executing on a foreign shard CHECK-fails.
+// SetPartitionedOwnership(num_shards, owner_of) extends the engine's node()
+// ownership assert to overlay state: with it enabled, any per-peer read or
+// write from an event executing on a foreign shard CHECK-fails. The owner of
+// a peer is placement-defined (the engine passes its ShardPlacement's owner
+// map); an empty map means the modulo partition.
 #pragma once
 
 #include <atomic>
@@ -120,8 +122,11 @@ class OverlayGraph {
 
   /// Extends the shard-ownership assert to overlay state: after this, every
   /// per-peer accessor CHECK-fails when called from an event executing on a
-  /// shard other than p % num_shards. No-op for num_shards <= 1.
-  void SetPartitionedOwnership(uint32_t num_shards);
+  /// shard other than p's owner — owner_of[p] when the map is non-empty
+  /// (the engine passes ShardPlacement::owner_map()), else p % num_shards.
+  /// No-op for num_shards <= 1.
+  void SetPartitionedOwnership(uint32_t num_shards,
+                               std::vector<uint32_t> owner_of = {});
 
   /// Routes each peer's adjacency spill storage through `arena_of(p)` (the
   /// engine passes the owning shard's arena). Call from the controller
@@ -170,6 +175,8 @@ class OverlayGraph {
   std::vector<uint32_t> session_epoch_;
   std::vector<char> alive_;
   uint32_t owner_shards_ = 1;
+  /// Placement-defined owner shard per peer; empty = modulo partition.
+  std::vector<uint32_t> owner_of_;
   /// Incremental mirrors of the full scans (every mutator updates them;
   /// num_alive/num_links assert agreement in debug builds). Counting
   /// half-edges keeps dangling halves consistent with the scan semantics.

@@ -32,6 +32,16 @@
 //    Over-decomposition (K > W) is what gives the thief something to take:
 //    a skewed shard keeps one worker busy while the others drain the rest.
 //
+// How much the matrix beats the scalar bound is decided upstream, by the
+// peer → shard map (sim::ShardPlacement, built once at Engine::Create). The
+// historical modulo partition spreads every underlay location across every
+// shard, so each LA[s][d] mins over near-identical location sets and the
+// matrix collapses toward the scalar floor; the locality-clustered placement
+// gives each shard a spatially tight location set, which is what makes the
+// off-diagonal bounds — and the window depths they permit — actually large.
+// Either way the placement is a wall-clock knob only: results are identical
+// for every placement strategy (see the determinism contract below).
+//
 // Cross-shard sends are appended to per-(src-shard, dst-shard) mailboxes; at
 // the window barrier every incoming edge of a shard is drained into its
 // queue, which is sound because anything edge (s, d) carried was created at

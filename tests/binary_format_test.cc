@@ -280,7 +280,7 @@ TEST(BinaryFormatExperimentTest, MetricJsonIsByteIdenticalAcrossTraceFormats) {
   ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
 
   cfg.trace_path = bin;
-  cfg.shards = 4;
+  cfg.scheduler.shards = 4;
   auto from_bin = core::RunExperiment(cfg, /*buckets=*/5);
   ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
 

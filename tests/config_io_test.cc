@@ -61,6 +61,11 @@ TEST(ConfigIoTest, RoundTripNonDefaultEverything) {
   original.params.ri.max_providers_per_file = 3;
   original.params.ri.entry_ttl = 77 * sim::kSecond;
   original.params.ri.eviction = cache::EvictionPolicy::kRandom;
+  original.scheduler.shards = 6;
+  original.scheduler.workers = 3;
+  original.scheduler.work_stealing = false;
+  original.scheduler.placement = sim::PlacementStrategy::kClustered;
+  original.scheduler.event_reserve_hint = 4096;
 
   auto parsed = ParseConfig(FormatConfig(original));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -93,6 +98,41 @@ TEST(ConfigIoTest, RoundTripNonDefaultEverything) {
   EXPECT_EQ(c.params.ri.max_filenames, 99u);
   EXPECT_EQ(c.params.ri.entry_ttl, 77 * sim::kSecond);
   EXPECT_EQ(c.params.ri.eviction, cache::EvictionPolicy::kRandom);
+  EXPECT_EQ(c.scheduler.shards, 6u);
+  EXPECT_EQ(c.scheduler.workers, 3u);
+  EXPECT_FALSE(c.scheduler.work_stealing);
+  EXPECT_EQ(c.scheduler.placement, sim::PlacementStrategy::kClustered);
+  EXPECT_EQ(c.scheduler.event_reserve_hint, 4096u);
+}
+
+TEST(ConfigIoTest, DeprecatedFlatSchedulerKeysStillParse) {
+  // Pre-SchedulerConfig configs used flat keys; they must keep working (with
+  // a stderr warning) so existing config files and --set scripts survive.
+  auto parsed = ParseConfig(
+      "shards = 4\n"
+      "workers = 2\n"
+      "work_stealing = false\n"
+      "event_reserve_hint = 512\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ExperimentConfig& c = parsed.ValueOrDie();
+  EXPECT_EQ(c.scheduler.shards, 4u);
+  EXPECT_EQ(c.scheduler.workers, 2u);
+  EXPECT_FALSE(c.scheduler.work_stealing);
+  EXPECT_EQ(c.scheduler.event_reserve_hint, 512u);
+}
+
+TEST(ConfigIoTest, RejectsUnknownPlacement) {
+  EXPECT_FALSE(ParseConfig("scheduler.placement = random\n").ok());
+}
+
+TEST(ParsePlacementStrategyTest, AllNamesAndCases) {
+  EXPECT_EQ(ParsePlacementStrategy("modulo").ValueOrDie(),
+            sim::PlacementStrategy::kModulo);
+  EXPECT_EQ(ParsePlacementStrategy("Clustered").ValueOrDie(),
+            sim::PlacementStrategy::kClustered);
+  EXPECT_EQ(ParsePlacementStrategy("CLUSTERED").ValueOrDie(),
+            sim::PlacementStrategy::kClustered);
+  EXPECT_FALSE(ParsePlacementStrategy("spectral").ok());
 }
 
 TEST(ConfigIoTest, TracePathRoundTrips) {

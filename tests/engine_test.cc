@@ -407,10 +407,14 @@ INSTANTIATE_TEST_SUITE_P(Kinds, AllProtocolsTest,
 // --- sharded execution (the TSan CI job also runs ShardInvariance*) --------
 
 /// Runs TinyConfig under `shards` and returns the merged per-query records.
-std::vector<metrics::QueryRecord> RunSharded(ProtocolKind kind, uint32_t shards,
-                                             uint64_t seed = 7) {
+std::vector<metrics::QueryRecord> RunSharded(
+    ProtocolKind kind, uint32_t shards, uint64_t seed = 7,
+    sim::PlacementStrategy placement = sim::PlacementStrategy::kModulo,
+    bool steal = true) {
   ExperimentConfig cfg = TinyConfig(kind, seed);
-  cfg.shards = shards;
+  cfg.scheduler.shards = shards;
+  cfg.scheduler.placement = placement;
+  cfg.scheduler.work_stealing = steal;
   auto e = std::move(Engine::Create(cfg)).ValueOrDie();
   e->Run();
   EXPECT_EQ(e->pending_query_count(), 0u);
@@ -515,9 +519,9 @@ TEST_P(SkewedShardInvarianceTest, StealingOnAndOffMatchSequentialPerQuery) {
   base.trace_path = WriteSkewedTrace(base, ProtocolKindName(GetParam()));
   const auto run = [&](uint32_t shards, uint32_t workers, bool steal) {
     ExperimentConfig cfg = base;
-    cfg.shards = shards;
-    cfg.workers = workers;
-    cfg.work_stealing = steal;
+    cfg.scheduler.shards = shards;
+    cfg.scheduler.workers = workers;
+    cfg.scheduler.work_stealing = steal;
     auto e = std::move(Engine::Create(cfg)).ValueOrDie();
     e->Run();
     EXPECT_EQ(e->pending_query_count(), 0u);
@@ -566,12 +570,12 @@ INSTANTIATE_TEST_SUITE_P(Kinds, SkewedShardInvarianceTest,
 
 TEST(ShardConfigTest, PairwiseLookaheadHonorsScalarFloorAndDeadlineCap) {
   ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
-  cfg.shards = 4;
+  cfg.scheduler.shards = 4;
   auto e = std::move(Engine::Create(cfg)).ValueOrDie();
   const sim::SimTime scalar = sim::FromMs(e->underlay().MinPairRttMs() / 2.0);
   for (sim::ShardId s = 0; s < 4; ++s) {
     // Digests cover every shard's peers, sorted and deduplicated.
-    const std::vector<size_t>& locs = e->ShardLocations(s);
+    const std::vector<size_t>& locs = e->placement().ShardLocations(s);
     ASSERT_FALSE(locs.empty());
     EXPECT_TRUE(std::is_sorted(locs.begin(), locs.end()));
     EXPECT_TRUE(std::adjacent_find(locs.begin(), locs.end()) == locs.end());
@@ -588,17 +592,97 @@ TEST(ShardConfigTest, CreateAcceptsShardedChurn) {
   // PR 2 rejected this combination; churn now runs as owner-shard events with
   // message-routed overlay repair, so it composes with any shard count.
   ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
-  cfg.shards = 4;
+  cfg.scheduler.shards = 4;
   cfg.churn.enabled = true;
   EXPECT_TRUE(Engine::Create(cfg).ok());
-  cfg.shards = 1;
+  cfg.scheduler.shards = 1;
   EXPECT_TRUE(Engine::Create(cfg).ok());
 }
 
 TEST(ShardConfigTest, CreateRejectsZeroShards) {
   ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
-  cfg.shards = 0;
+  cfg.scheduler.shards = 0;
   EXPECT_FALSE(Engine::Create(cfg).ok());
+}
+
+// --- placement invariance (the TSan CI job also runs *ShardInvariance*) ----
+
+class PlacementShardInvarianceTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(PlacementShardInvarianceTest, ClusteredMatchesSequentialModuloPerQuery) {
+  // Placement joins shards/workers/stealing in the wall-clock-only club: the
+  // locality-clustered peer → shard map may only change window depth, never a
+  // per-query field. The baseline is the sequential *modulo* run, so this
+  // also proves the two strategies agree with each other at every shard
+  // count, with and without stealing.
+  const auto seq = RunSharded(GetParam(), 1);
+  ASSERT_EQ(seq.size(), 200u);
+  for (uint32_t shards : {4u, 8u}) {
+    for (bool steal : {false, true}) {
+      const auto par = RunSharded(GetParam(), shards, /*seed=*/7,
+                                  sim::PlacementStrategy::kClustered, steal);
+      ASSERT_EQ(par.size(), seq.size());
+      for (size_t i = 0; i < seq.size(); ++i) {
+        const metrics::QueryRecord& a = seq[i];
+        const metrics::QueryRecord& b = par[i];
+        const std::string where = "slot " + std::to_string(i) + " shards " +
+                                  std::to_string(shards) +
+                                  (steal ? " steal" : " pinned");
+        EXPECT_EQ(a.qid, b.qid) << where;
+        EXPECT_EQ(a.success, b.success) << where;
+        EXPECT_EQ(a.source, b.source) << where;
+        EXPECT_EQ(a.query_msgs, b.query_msgs) << where;
+        EXPECT_EQ(a.query_bytes, b.query_bytes) << where;
+        EXPECT_EQ(a.response_msgs, b.response_msgs) << where;
+        EXPECT_EQ(a.response_bytes, b.response_bytes) << where;
+        EXPECT_EQ(a.probe_msgs, b.probe_msgs) << where;
+        EXPECT_EQ(a.responses_received, b.responses_received) << where;
+        EXPECT_EQ(a.providers_offered, b.providers_offered) << where;
+        EXPECT_EQ(a.first_response_at, b.first_response_at) << where;
+        EXPECT_EQ(a.first_response_hops, b.first_response_hops) << where;
+        EXPECT_EQ(a.download_distance_ms, b.download_distance_ms) << where;
+        EXPECT_EQ(a.provider_loc_match, b.provider_loc_match) << where;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PlacementShardInvarianceTest,
+                         ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
+                                           ProtocolKind::kDicasKeys,
+                                           ProtocolKind::kLocaware),
+                         [](const auto& info) {
+                           std::string name = ProtocolKindName(info.param);
+                           return name == "Dicas-Keys" ? "DicasKeys" : name;
+                         });
+
+TEST(PlacementConfigTest, ClusteredPartitionIsCompleteAndLocationTight) {
+  // Structural checks on the engine-built clustered placement: every peer
+  // owned exactly once, counts per shard sum to num_peers, and each shard's
+  // location digest is no wider than the modulo one (clustering may only
+  // concentrate, never scatter).
+  ExperimentConfig cfg = TinyConfig(ProtocolKind::kDicas);
+  cfg.scheduler.shards = 4;
+  cfg.scheduler.placement = sim::PlacementStrategy::kClustered;
+  auto e = std::move(Engine::Create(cfg)).ValueOrDie();
+  const sim::ShardPlacement& placement = e->placement();
+  EXPECT_EQ(placement.strategy(), sim::PlacementStrategy::kClustered);
+  ASSERT_EQ(placement.num_peers(), e->num_peers());
+  size_t total = 0;
+  for (sim::ShardId s = 0; s < 4; ++s) total += placement.shard_peer_counts()[s];
+  EXPECT_EQ(total, e->num_peers());
+  for (PeerId p = 0; p < e->num_peers(); ++p) {
+    EXPECT_LT(e->shard_of(p), 4u) << "peer " << p;
+    EXPECT_EQ(e->shard_of(p), placement.owner_map()[p]) << "peer " << p;
+  }
+  // With 40 routers over 4 shards, a locality-tight shard sees far fewer
+  // distinct locations than the modulo scatter (which sees nearly all 40).
+  for (sim::ShardId s = 0; s < 4; ++s) {
+    const auto& locs = placement.ShardLocations(s);
+    ASSERT_FALSE(locs.empty());
+    EXPECT_TRUE(std::is_sorted(locs.begin(), locs.end()));
+    EXPECT_LT(locs.size(), 40u) << "shard " << s;
+  }
 }
 
 // --- churn + sharding (the TSan CI job also runs *ShardInvariance*) --------
@@ -629,7 +713,7 @@ struct ChurnRunResult {
 ChurnRunResult RunChurnSharded(ProtocolKind kind, uint32_t shards,
                                uint64_t seed = 7) {
   ExperimentConfig cfg = TinyChurnConfig(kind, seed);
-  cfg.shards = shards;
+  cfg.scheduler.shards = shards;
   auto e = std::move(Engine::Create(cfg)).ValueOrDie();
   e->Run();
   EXPECT_EQ(e->pending_query_count(), 0u);
