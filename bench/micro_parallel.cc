@@ -39,12 +39,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <new>
 #include <string>
 
 #include "catalog/file_catalog.h"
@@ -54,6 +56,23 @@
 #include "core/experiment.h"
 #include "sim/sharded_simulator.h"
 #include "sim/sim_time.h"
+
+// --- allocation accounting ---------------------------------------------------
+// Bench-binary-wide operator new/delete overrides (micro_cache idiom), but
+// with an atomic counter: the sharded engine's worker threads allocate too,
+// and the engine rows report allocs per *event* across the whole process.
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -262,9 +281,12 @@ void BM_EngineSharded(benchmark::State& state) {
   uint64_t windows = 0;
   uint64_t steals = 0;
   uint64_t idle_ns = 0;
+  uint64_t run_allocs = 0;
   for (auto _ : state) {
     auto engine = std::move(core::Engine::Create(cfg)).ValueOrDie();
+    const uint64_t allocs_before = g_alloc_count.load();
     engine->Run();
+    run_allocs += g_alloc_count.load() - allocs_before;
     msgs = 0;
     for (const auto& r : engine->metrics().records()) msgs += r.TotalSearchMessages();
     benchmark::DoNotOptimize(msgs);
@@ -275,6 +297,12 @@ void BM_EngineSharded(benchmark::State& state) {
   }
   state.counters["events/s"] =
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  // Heap traffic on the event hot path (the inline-closure + SmallVector
+  // payload lever's acceptance number at engine scale): allocations during
+  // Run() per executed event, steady-state bookkeeping included.
+  state.counters["allocs/event"] =
+      events == 0 ? 0.0
+                  : static_cast<double>(run_allocs) / static_cast<double>(events);
   // Identical for every shard count and placement — the determinism contract
   // in one number.
   state.counters["msgs"] = static_cast<double>(msgs);
@@ -326,10 +354,13 @@ void BM_EngineScale(benchmark::State& state) {
   uint64_t events = 0;
   uint64_t msgs = 0;
   uint64_t rss_delta = 0;
+  uint64_t run_allocs = 0;
   for (auto _ : state) {
     const uint64_t rss_before = CurrentRssBytes();
     auto engine = std::move(core::Engine::Create(cfg)).ValueOrDie();
+    const uint64_t allocs_before = g_alloc_count.load();
     engine->Run();
+    run_allocs += g_alloc_count.load() - allocs_before;
     const uint64_t rss_after = CurrentRssBytes();
     if (rss_after > rss_before) {
       rss_delta = std::max(rss_delta, rss_after - rss_before);
@@ -340,6 +371,9 @@ void BM_EngineScale(benchmark::State& state) {
   }
   state.counters["events/s"] =
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["allocs/event"] =
+      events == 0 ? 0.0
+                  : static_cast<double>(run_allocs) / static_cast<double>(events);
   state.counters["rss_kb/peer"] =
       static_cast<double>(rss_delta) / 1024.0 / static_cast<double>(peers);
   state.counters["msgs"] = static_cast<double>(msgs);

@@ -14,15 +14,20 @@ BloomDelta ComputeDelta(const BloomFilter& before, const BloomFilter& after) {
 }
 
 Status ApplyDelta(const BloomDelta& delta, BloomFilter* filter) {
-  if (delta.filter_bits != filter->num_bits()) {
+  return ApplyDelta(delta.filter_bits, delta.positions, filter);
+}
+
+Status ApplyDelta(uint32_t filter_bits, std::span<const uint32_t> positions,
+                  BloomFilter* filter) {
+  if (filter_bits != filter->num_bits()) {
     return Status::InvalidArgument("delta filter width mismatch");
   }
-  for (uint32_t pos : delta.positions) {
+  for (uint32_t pos : positions) {
     if (pos >= filter->num_bits()) {
       return Status::InvalidArgument("delta position out of range");
     }
   }
-  for (uint32_t pos : delta.positions) filter->ToggleBit(pos);
+  for (uint32_t pos : positions) filter->ToggleBit(pos);
   return Status::OK();
 }
 
@@ -32,7 +37,11 @@ size_t PositionBits(size_t filter_bits) {
 }
 
 size_t WireSizeBits(const BloomDelta& delta) {
-  return 16 + delta.positions.size() * PositionBits(delta.filter_bits);
+  return WireSizeBits(delta.filter_bits, delta.positions.size());
+}
+
+size_t WireSizeBits(size_t filter_bits, size_t num_positions) {
+  return 16 + num_positions * PositionBits(filter_bits);
 }
 
 std::vector<uint8_t> EncodeDelta(const BloomDelta& delta) {

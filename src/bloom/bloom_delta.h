@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bloom/bloom_filter.h"
@@ -33,12 +34,22 @@ BloomDelta ComputeDelta(const BloomFilter& before, const BloomFilter& after);
 /// must not crash a peer).
 Status ApplyDelta(const BloomDelta& delta, BloomFilter* filter);
 
+/// Span form of ApplyDelta, for callers whose positions arrive in a
+/// message-owned container (BloomUpdateMessage::toggled_positions) — same
+/// semantics, no intermediate BloomDelta copy.
+Status ApplyDelta(uint32_t filter_bits, std::span<const uint32_t> positions,
+                  BloomFilter* filter);
+
 /// Bits needed to encode one position for an m-bit filter: ceil(log2(m)).
 size_t PositionBits(size_t filter_bits);
 
 /// Wire size of a delta in bits: 16-bit count header + count * PositionBits.
 /// This is the quantity charged to the bandwidth metric.
 size_t WireSizeBits(const BloomDelta& delta);
+
+/// Count form of WireSizeBits, for callers that have the position count but
+/// no BloomDelta in hand (message size accounting).
+size_t WireSizeBits(size_t filter_bits, size_t num_positions);
 
 /// Packs a delta into bytes (count:uint16 LE, then bit-packed positions).
 std::vector<uint8_t> EncodeDelta(const BloomDelta& delta);

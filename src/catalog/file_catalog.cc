@@ -274,12 +274,12 @@ uint64_t FileCatalog::FileSetFnv(FileId f) const {
 }
 
 bool FileCatalog::MatchesSorted(FileId f,
-                                const std::vector<KeywordId>& sorted_query) const {
+                                std::span<const KeywordId> sorted_query) const {
   LOCAWARE_CHECK_LT(f, files_.size());
   return ContainsAllIds(files_[f].sorted_keywords, sorted_query);
 }
 
-bool FileCatalog::Matches(FileId f, const std::vector<KeywordId>& sorted_query) const {
+bool FileCatalog::Matches(FileId f, std::span<const KeywordId> sorted_query) const {
   // Unsorted queries would produce silent false negatives in the linear
   // merge; the check is two compares for the common 1..3-keyword query.
   LOCAWARE_CHECK(std::is_sorted(sorted_query.begin(), sorted_query.end()))
@@ -288,7 +288,7 @@ bool FileCatalog::Matches(FileId f, const std::vector<KeywordId>& sorted_query) 
 }
 
 std::vector<FileId> FileCatalog::FindMatches(
-    const std::vector<KeywordId>& sorted_query) const {
+    std::span<const KeywordId> sorted_query) const {
   LOCAWARE_CHECK(std::is_sorted(sorted_query.begin(), sorted_query.end()))
       << "FindMatches query must be sorted ascending";
   if (sorted_query.empty()) return {};
@@ -343,7 +343,7 @@ Result<std::vector<KeywordId>> FileCatalog::InternQueryKeywords(
   return ids;
 }
 
-uint64_t FileCatalog::CanonicalSetFnv(const std::vector<KeywordId>& kws) const {
+uint64_t FileCatalog::CanonicalSetFnv(std::span<const KeywordId> kws) const {
   // The canonical preimage is the lexicographically sorted keywords joined
   // by ' ' (what the string era hashed), folded incrementally so the joined
   // string is never materialized. Runs at the edges (query submit, file

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <deque>
 #include <string>
 #include <string_view>
@@ -107,17 +108,27 @@ class FileCatalog : public WireNames {
 
   /// True iff `f`'s keyword set contains every id of `sorted_query` (ids
   /// sorted ascending; duplicates tolerated). Validates the sort order.
-  bool Matches(FileId f, const std::vector<KeywordId>& sorted_query) const;
+  bool Matches(FileId f, std::span<const KeywordId> sorted_query) const;
+  /// Braced-list convenience (C++20 spans take no initializer_list).
+  bool Matches(FileId f, std::initializer_list<KeywordId> sorted_query) const {
+    return Matches(f, std::span<const KeywordId>(sorted_query.begin(),
+                                                 sorted_query.size()));
+  }
 
   /// Matches without the is_sorted validation — for loops that check the
   /// same query repeatedly and validated it once at entry (FindMatches, the
   /// engine's per-file-store scans).
-  bool MatchesSorted(FileId f, const std::vector<KeywordId>& sorted_query) const;
+  bool MatchesSorted(FileId f, std::span<const KeywordId> sorted_query) const;
 
   /// All files matching the query, via the inverted index (posting-list
   /// intersection seeded from the rarest keyword). Empty when the query is
   /// empty. `sorted_query` ids must be sorted ascending.
-  std::vector<FileId> FindMatches(const std::vector<KeywordId>& sorted_query) const;
+  std::vector<FileId> FindMatches(std::span<const KeywordId> sorted_query) const;
+  /// Braced-list convenience (C++20 spans take no initializer_list).
+  std::vector<FileId> FindMatches(std::initializer_list<KeywordId> sorted_query) const {
+    return FindMatches(std::span<const KeywordId>(sorted_query.begin(),
+                                                  sorted_query.size()));
+  }
 
   /// FileId of an exact filename, or kInvalidFile when absent.
   static constexpr FileId kInvalidFile = locaware::kInvalidFile;
@@ -140,7 +151,7 @@ class FileCatalog : public WireNames {
   /// Canonical keyword-set hash of an arbitrary id set: FNV-1a over the
   /// lexicographically sorted keyword strings joined by ' '. Equals
   /// FileSetFnv(f) when `kws` is f's full keyword set.
-  uint64_t CanonicalSetFnv(const std::vector<KeywordId>& kws) const;
+  uint64_t CanonicalSetFnv(std::span<const KeywordId> kws) const;
 
   /// Joins ids back into a display string ("kw1 kw2"), for reports/traces.
   std::string KeywordsToString(const std::vector<KeywordId>& kws) const;

@@ -1,0 +1,129 @@
+// Move-only callable with inline-only storage — the event hot path's
+// std::function replacement.
+//
+// Every simulated event is a closure pushed into an EventQueue, sifted
+// through a binary heap, and popped for execution. std::function spills any
+// capture past ~2 pointers to the heap, so at scale each event costs a
+// malloc on push and a free on pop. InlineFunction<Sig, N> stores the
+// callable inside the object, full stop: there is no heap fallback, so a
+// capture that does not fit N bytes is a *compile error* at the construction
+// site (the "capture-too-big diagnostic" — the compiler's candidate note
+// names the offending lambda and this constraint).
+//
+// Requirements on the wrapped callable F (enforced by the constructor's
+// requires-clause, so std::is_constructible_v<InlineFunction, F> is false —
+// and statically testable — when any of them fails):
+//   * sizeof(F)  <= N                      — fits the inline buffer
+//   * alignof(F) <= alignof(max_align_t)   — the buffer's alignment
+//   * std::is_nothrow_move_constructible_v<F>
+//     — heap sift operations relocate entries with no strong-exception
+//       machinery; a throwing move would corrupt the queue.
+//
+// The per-type dispatch is a static ops table (invoke / relocate / destroy)
+// referenced through one pointer, so an InlineFunction is exactly
+// N + sizeof(void*) bytes, trivially relocatable by its own move ops, and
+// nothrow-movable by construction (static_asserted where used).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace locaware::common {
+
+template <typename Sig, size_t N>
+class InlineFunction;  // primary template intentionally undefined
+
+/// \brief Move-only callable of signature R(Args...) stored in N inline bytes.
+template <typename R, typename... Args, size_t N>
+class InlineFunction<R(Args...), N> {
+  /// Per-callable-type dispatch: one static table per wrapped F.
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move-constructs dst from src's callable, then destroys src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static constexpr Ops kOpsFor{
+      [](void* storage, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<F*>(storage)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        F* from = std::launder(reinterpret_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* storage) noexcept {
+        std::launder(reinterpret_cast<F*>(storage))->~F();
+      },
+  };
+
+ public:
+  /// Inline capacity in bytes; closures up to this size fit.
+  static constexpr size_t kCapacity = N;
+
+  InlineFunction() = default;
+
+  /// Wraps any callable that fits inline and moves without throwing. The
+  /// requires-clause makes oversized / overaligned / throwing-move captures
+  /// a constraint failure (std::is_constructible_v is false), so the
+  /// compiler diagnostic points at the capture rather than at a heap spill
+  /// happening silently.
+  template <typename F,
+            typename D = std::decay_t<F>>
+    requires(!std::is_same_v<D, InlineFunction> &&
+             std::is_invocable_r_v<R, D&, Args...> &&
+             sizeof(D) <= N && alignof(D) <= alignof(std::max_align_t) &&
+             std::is_nothrow_move_constructible_v<D>)
+  InlineFunction(F&& f) : ops_(&kOpsFor<D>) {  // NOLINT(runtime/explicit)
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      if (ops_ != nullptr) ops_->destroy(storage_);
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+  }
+
+  /// True when a callable is held (moved-from and default-constructed
+  /// instances are empty).
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invokes the wrapped callable. CHECK-fails when empty.
+  R operator()(Args... args) {
+    LOCAWARE_CHECK(ops_ != nullptr) << "invoking an empty InlineFunction";
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  const Ops* ops_ = nullptr;  ///< null = empty
+  alignas(std::max_align_t) unsigned char storage_[N];
+};
+
+}  // namespace locaware::common

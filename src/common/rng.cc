@@ -1,8 +1,10 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/hash.h"
+#include "common/small_vector.h"
 
 namespace locaware {
 namespace {
@@ -79,16 +81,53 @@ double Rng::Exponential(double rate) {
 
 std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
   LOCAWARE_CHECK_LE(k, n);
-  // Partial Fisher–Yates over an index vector. Fine for the simulation sizes
-  // used here (n in the thousands).
+  // Partial Fisher–Yates over the identity array [0, n). Both branches below
+  // consume exactly k UniformInt(i, n - 1) draws and compute the same swaps,
+  // so the returned sample is bit-identical regardless of which one runs —
+  // the split is purely a cost model.
+  //
+  // The sparse branch never materializes the n-entry array: it tracks only
+  // the O(k) displaced entries in an inline (index, value) list, making the
+  // common catalog-generation call — n in the tens of thousands, k below a
+  // dozen, once per file — O(k) with zero heap traffic instead of an O(n)
+  // fill through a fresh ~200 KB scratch vector per call. The linear scans
+  // are O(k^2) total, so past a small k the dense array is cheaper again.
+  std::vector<size_t> out(k);
+  if (k <= 64) {
+    SmallVector<std::pair<size_t, size_t>, 16> displaced;
+    auto value_at = [&](size_t x) {
+      for (const auto& [idx, v] : displaced) {
+        if (idx == x) return v;
+      }
+      return x;
+    };
+    auto set_value = [&](size_t x, size_t v) {
+      for (auto& [idx, cur] : displaced) {
+        if (idx == x) {
+          cur = v;
+          return;
+        }
+      }
+      displaced.push_back({x, v});
+    };
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = static_cast<size_t>(UniformInt(i, n - 1));
+      const size_t vi = value_at(i);
+      const size_t vj = value_at(j);
+      set_value(i, vj);
+      set_value(j, vi);
+      out[i] = vj;
+    }
+    return out;
+  }
   std::vector<size_t> indices(n);
   for (size_t i = 0; i < n; ++i) indices[i] = i;
   for (size_t i = 0; i < k; ++i) {
     size_t j = static_cast<size_t>(UniformInt(i, n - 1));
     std::swap(indices[i], indices[j]);
   }
-  indices.resize(k);
-  return indices;
+  for (size_t i = 0; i < k; ++i) out[i] = indices[i];
+  return out;
 }
 
 Rng Rng::Split(std::string_view name) const {

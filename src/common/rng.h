@@ -43,9 +43,12 @@ class Rng {
   /// CHECK-fails if rate <= 0. Used for Poisson inter-arrival times.
   double Exponential(double rate);
 
-  /// Fisher–Yates shuffle of `items`.
-  template <typename T>
-  void Shuffle(std::vector<T>* items) {
+  /// Fisher–Yates shuffle of `items` — any random-access container with
+  /// size() and operator[] (std::vector, SmallVector). The draw sequence
+  /// depends only on the element count, so the container type never changes
+  /// results.
+  template <typename Container>
+  void Shuffle(Container* items) {
     if (items->size() < 2) return;
     for (size_t i = items->size() - 1; i > 0; --i) {
       size_t j = static_cast<size_t>(UniformInt(0, i));
@@ -54,6 +57,9 @@ class Rng {
   }
 
   /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  /// O(k) time and no O(n) scratch for small k (sparse Fisher–Yates); the
+  /// draw sequence — and therefore the sample — depends only on (n, k) and
+  /// the stream state, never on which internal branch runs.
   std::vector<size_t> SampleIndices(size_t n, size_t k);
 
   /// Derives an independent child stream keyed by `name`. Children of the same

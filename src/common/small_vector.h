@@ -7,9 +7,13 @@
 // spills to the heap past that, which removes the per-entry allocation on
 // the common path entirely (bench/micro_cache pins the win).
 //
-// Deliberately minimal: trivially copyable element types only (ids and POD
-// structs — a static_assert enforces it), which makes growth a memcpy and
-// the whole container relocatable without element-wise move machinery.
+// Element requirements: T must be nothrow-move-constructible (growth and
+// container moves relocate elements with no strong-exception machinery) and
+// copy-constructible (the self-aliasing push_back/insert guard takes a
+// copy). Trivially copyable types — the data plane's ids and POD structs —
+// take memcpy fast paths selected at compile time; everything else (e.g. a
+// message record that itself holds a SmallVector) is moved element-wise, so
+// nesting SmallVectors is supported and each level keeps its own provenance.
 //
 // Spill buffers can optionally come from a common::Arena (set_arena): the
 // sharded engine binds each peer's hot lists to its shard's arena so growth
@@ -24,7 +28,10 @@
 #include <cstdint>
 #include <cstring>
 #include <initializer_list>
+#include <iterator>
+#include <new>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/arena.h"
@@ -35,8 +42,11 @@ namespace locaware {
 /// \brief Contiguous vector with N inline slots, heap spill past N.
 template <typename T, size_t N>
 class SmallVector {
-  static_assert(std::is_trivially_copyable_v<T>,
-                "SmallVector is restricted to trivially copyable types");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "SmallVector relocates elements during growth and container "
+                "moves with no strong-exception machinery");
+  static_assert(std::is_copy_constructible_v<T>,
+                "push_back/insert guard self-aliasing by copying the value");
   static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
                 "Grow() uses the default operator new; overaligned types "
                 "would get misaligned heap storage");
@@ -46,6 +56,8 @@ class SmallVector {
   using value_type = T;
   using iterator = T*;
   using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<T*>;
+  using const_reverse_iterator = std::reverse_iterator<const T*>;
 
   SmallVector() = default;
 
@@ -67,18 +79,36 @@ class SmallVector {
 
   SmallVector& operator=(SmallVector&& other) noexcept {
     if (this != &other) {
+      DestroyAll();
       FreeHeap();
       MoveFrom(&other);
     }
     return *this;
   }
 
-  ~SmallVector() { FreeHeap(); }
+  /// Assignment from the std types the edge formats and tests use.
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  SmallVector& operator=(const std::vector<T>& other) {
+    assign(other.begin(), other.end());
+    return *this;
+  }
+
+  ~SmallVector() {
+    DestroyAll();
+    FreeHeap();
+  }
 
   T* begin() { return data_; }
   T* end() { return data_ + size_; }
   const T* begin() const { return data_; }
   const T* end() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const { return const_reverse_iterator(end()); }
+  const_reverse_iterator rend() const { return const_reverse_iterator(begin()); }
   T* data() { return data_; }
   const T* data() const { return data_; }
 
@@ -100,7 +130,7 @@ class SmallVector {
       T* fresh = static_cast<T*>(
           arena ? arena->Allocate(capacity_ * sizeof(T), alignof(T))
                 : ::operator new(capacity_ * sizeof(T)));
-      std::memcpy(fresh, data_, size_ * sizeof(T));
+      RelocateInto(fresh);
       FreeHeap();
       data_ = fresh;
     }
@@ -120,23 +150,53 @@ class SmallVector {
   T& back() { return (*this)[size_ - 1]; }
   const T& back() const { return (*this)[size_ - 1]; }
 
-  void clear() { size_ = 0; }
+  void clear() {
+    DestroyAll();
+    size_ = 0;
+  }
 
   void reserve(size_t want) {
     if (want > capacity_) Grow(want);
   }
 
+  /// Shrinks (destroying the tail) or grows (value-initializing) to
+  /// `new_size`, std::vector-style.
+  void resize(size_t new_size) {
+    if (new_size < size_) {
+      if constexpr (!std::is_trivially_destructible_v<T>) {
+        for (size_t i = new_size; i < size_; ++i) data_[i].~T();
+      }
+    } else {
+      if (new_size > capacity_) Grow(new_size);
+      for (size_t i = size_; i < new_size; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T();
+      }
+    }
+    size_ = new_size;
+  }
+
   void push_back(const T& value) {
     // Copy first: `value` may alias an element of this vector, and Grow
     // frees the old buffer (std::vector guarantees this pattern works).
-    const T copy = value;
+    T copy = value;
     if (size_ == capacity_) Grow(size_ + 1);
-    data_[size_++] = copy;
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(copy));
+    ++size_;
+  }
+
+  void push_back(T&& value) {
+    // Move into a local first for the same aliasing reason as the copy
+    // overload (moving out of an element this vector owns must be safe).
+    T moved = std::move(value);
+    if (size_ == capacity_) Grow(size_ + 1);
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(moved));
+    ++size_;
   }
 
   void pop_back() {
     LOCAWARE_CHECK_GT(size_, 0u);
     --size_;
+    data_[size_].~T();
   }
 
   /// Inserts `value` before `pos`, shifting the tail up.
@@ -145,10 +205,18 @@ class SmallVector {
     const size_t at = static_cast<size_t>(pos - data_);
     // Copy first: `value` may alias an element whose slot Grow frees or the
     // tail shift overwrites (std::vector guarantees this pattern works).
-    const T copy = value;
+    T copy = value;
     if (size_ == capacity_) Grow(size_ + 1);  // invalidates pos; reindex below
-    std::memmove(data_ + at + 1, data_ + at, (size_ - at) * sizeof(T));
-    data_[at] = copy;
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memmove(data_ + at + 1, data_ + at, (size_ - at) * sizeof(T));
+    } else if (at < size_) {
+      // Shift [at, size_) up one slot: move-construct into the uninitialized
+      // slot past the tail, then move-assign the rest down-to-up.
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      for (size_t i = size_ - 1; i > at; --i) data_[i] = std::move(data_[i - 1]);
+      data_[at].~T();
+    }
+    ::new (static_cast<void*>(data_ + at)) T(std::move(copy));
     ++size_;
     return data_ + at;
   }
@@ -159,8 +227,14 @@ class SmallVector {
   /// Removes [first, last); returns the iterator past the removal.
   T* erase(T* first, T* last) {
     LOCAWARE_CHECK(begin() <= first && first <= last && last <= end());
-    std::memmove(first, last, static_cast<size_t>(end() - last) * sizeof(T));
-    size_ -= static_cast<size_t>(last - first);
+    const size_t removed = static_cast<size_t>(last - first);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memmove(first, last, static_cast<size_t>(end() - last) * sizeof(T));
+    } else {
+      T* out = std::move(last, end(), first);  // move-assign tail down
+      for (T* p = out; p != end(); ++p) p->~T();
+    }
+    size_ -= removed;
     return first;
   }
 
@@ -188,12 +262,31 @@ class SmallVector {
   T* InlineSlots() { return reinterpret_cast<T*>(inline_storage_); }
   const T* InlineSlots() const { return reinterpret_cast<const T*>(inline_storage_); }
 
+  /// Relocates the live elements into `dst` (raw storage): memcpy for
+  /// trivial T, move-construct + destroy-source otherwise.
+  void RelocateInto(T* dst) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(dst, data_, size_ * sizeof(T));
+    } else {
+      for (size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(dst + i)) T(std::move(data_[i]));
+        data_[i].~T();
+      }
+    }
+  }
+
+  void DestroyAll() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    }
+  }
+
   void Grow(size_t want) {
     size_t next = capacity_ * 2;
     if (next < want) next = want;
     T* heap = static_cast<T*>(arena_ ? arena_->Allocate(next * sizeof(T), alignof(T))
                                      : ::operator new(next * sizeof(T)));
-    std::memcpy(heap, data_, size_ * sizeof(T));
+    RelocateInto(heap);
     FreeHeap();
     data_ = heap;
     capacity_ = next;
@@ -208,7 +301,7 @@ class SmallVector {
     }
   }
 
-  /// Steals `other`'s heap buffer, or memcpys its inline payload; leaves
+  /// Steals `other`'s heap buffer, or relocates its inline payload; leaves
   /// `other` empty and inline either way. The arena travels with the buffer
   /// (the ownership invariant); `other` keeps its binding for reuse.
   void MoveFrom(SmallVector* other) {
@@ -217,7 +310,7 @@ class SmallVector {
       data_ = InlineSlots();
       capacity_ = N;
       size_ = other->size_;
-      std::memcpy(data_, other->data_, size_ * sizeof(T));
+      other->RelocateInto(data_);
     } else {
       data_ = other->data_;
       capacity_ = other->capacity_;

@@ -7,7 +7,7 @@
 
 namespace locaware::core {
 
-std::vector<GroupId> DicasKeysProtocol::QueryGroups(
+GroupVec DicasKeysProtocol::QueryGroups(
     Engine& engine, const overlay::QueryMessage& query) const {
   // Route toward the group of ONE query keyword — the message's designated
   // route_kw (the first *sampled* keyword, i.e. a uniform pick over the
@@ -23,7 +23,7 @@ std::vector<GroupId> DicasKeysProtocol::QueryGroups(
                             params_.num_groups)};
 }
 
-std::vector<GroupId> DicasKeysProtocol::CacheGroups(
+GroupVec DicasKeysProtocol::CacheGroups(
     Engine& engine, const overlay::ResponseMessage& response,
     FileId /*file*/) const {
   // "Caching indexes based on hashing query keywords instead of the whole
@@ -31,7 +31,7 @@ std::vector<GroupId> DicasKeysProtocol::CacheGroups(
   // the response. Duplicated across that query's keyword groups, and
   // misplaced with respect to later queries that use other keyword subsets.
   const catalog::FileCatalog& catalog = engine.catalog();
-  return KeywordGroupsOfIds(
+  return KeywordGroupsOfIds<GroupVec>(
       response.query_keywords,
       [&](KeywordId kw) { return catalog.KeywordFnv(kw); }, params_.num_groups);
 }

@@ -21,11 +21,11 @@ class DicasKeysProtocol final : public DicasProtocol {
   const char* name() const override { return "Dicas-Keys"; }
 
  protected:
-  std::vector<GroupId> QueryGroups(Engine& engine,
-                                   const overlay::QueryMessage& query) const override;
-  std::vector<GroupId> CacheGroups(Engine& engine,
-                                   const overlay::ResponseMessage& response,
-                                   FileId file) const override;
+  GroupVec QueryGroups(Engine& engine,
+                       const overlay::QueryMessage& query) const override;
+  GroupVec CacheGroups(Engine& engine,
+                       const overlay::ResponseMessage& response,
+                       FileId file) const override;
   bool HitVisible(Engine& engine, const NodeState& node, FileId file,
                   const overlay::QueryMessage& query) const override;
 };

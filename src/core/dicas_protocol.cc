@@ -7,23 +7,23 @@
 
 namespace locaware::core {
 
-std::vector<GroupId> DicasProtocol::QueryGroups(
+GroupVec DicasProtocol::QueryGroups(
     Engine& /*engine*/, const overlay::QueryMessage& query) const {
   return {GroupOfSetFnv(query.kw_set_fnv, params_.num_groups)};
 }
 
-std::vector<GroupId> DicasProtocol::CacheGroups(
+GroupVec DicasProtocol::CacheGroups(
     Engine& engine, const overlay::ResponseMessage& /*response*/,
     FileId file) const {
   return {GroupOfSetFnv(engine.catalog().FileSetFnv(file), params_.num_groups)};
 }
 
-std::vector<PeerId> DicasProtocol::ForwardTargets(Engine& engine, PeerId node,
-                                                  const overlay::QueryMessage& query,
-                                                  PeerId from) {
-  const std::vector<GroupId> groups = QueryGroups(engine, query);
-  std::vector<PeerId> matching;
-  std::vector<PeerId> others;
+PeerVec DicasProtocol::ForwardTargets(Engine& engine, PeerId node,
+                                      const overlay::QueryMessage& query,
+                                      PeerId from) {
+  const GroupVec groups = QueryGroups(engine, query);
+  PeerVec matching;
+  PeerVec others;
   for (PeerId nb : engine.graph().Neighbors(node)) {
     if (nb == from) continue;
     const GroupId g = engine.gid_of(nb);
@@ -51,7 +51,7 @@ void DicasProtocol::ObserveResponse(Engine& engine, PeerId node,
   if (state.ri == nullptr) return;
   for (const overlay::ResponseRecord& record : response.records) {
     if (record.providers.empty()) continue;
-    const std::vector<GroupId> groups = CacheGroups(engine, response, record.file);
+    const GroupVec groups = CacheGroups(engine, response, record.file);
     if (std::find(groups.begin(), groups.end(), state.gid) == groups.end()) continue;
     // Dicas caches the response as a single index: file -> the provider
     // that answered (the record's freshest provider).
@@ -69,11 +69,11 @@ bool DicasProtocol::HitVisible(Engine& engine, const NodeState& /*node*/,
   return ContainsAllIds(query.keywords, engine.catalog().sorted_keywords(file));
 }
 
-std::vector<overlay::ResponseRecord> DicasProtocol::AnswerFromIndex(
+overlay::RecordVec DicasProtocol::AnswerFromIndex(
     Engine& engine, PeerId node, const overlay::QueryMessage& query) {
   NodeState& state = engine.node(node);
   if (state.ri == nullptr) return {};
-  std::vector<overlay::ResponseRecord> records;
+  overlay::RecordVec records;
   for (const cache::ResponseIndex::Hit& hit :
        state.ri->LookupByKeywords(query.keywords, engine.Now())) {
     if (!HitVisible(engine, state, hit.file, query)) continue;

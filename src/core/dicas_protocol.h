@@ -21,26 +21,26 @@ class DicasProtocol : public Protocol {
   ProtocolKind kind() const override { return ProtocolKind::kDicas; }
   const char* name() const override { return "Dicas"; }
 
-  std::vector<PeerId> ForwardTargets(Engine& engine, PeerId node,
-                                     const overlay::QueryMessage& query,
-                                     PeerId from) override;
+  PeerVec ForwardTargets(Engine& engine, PeerId node,
+                         const overlay::QueryMessage& query,
+                         PeerId from) override;
   void ObserveResponse(Engine& engine, PeerId node,
                        const overlay::ResponseMessage& response) override;
-  std::vector<overlay::ResponseRecord> AnswerFromIndex(
+  overlay::RecordVec AnswerFromIndex(
       Engine& engine, PeerId node, const overlay::QueryMessage& query) override;
 
  protected:
   /// Groups a query routes toward. Dicas: the whole-query hash (precomputed
   /// as the message's canonical set hash).
-  virtual std::vector<GroupId> QueryGroups(Engine& engine,
-                                           const overlay::QueryMessage& query) const;
+  virtual GroupVec QueryGroups(Engine& engine,
+                               const overlay::QueryMessage& query) const;
   /// Groups a passing response for `file` is cached under. Dicas hashes the
   /// whole filename (the catalog's precomputed set hash); Dicas-Keys hashes
   /// the *query's* keywords (the duplication + placement-mismatch weakness
   /// the paper describes).
-  virtual std::vector<GroupId> CacheGroups(Engine& engine,
-                                           const overlay::ResponseMessage& response,
-                                           FileId file) const;
+  virtual GroupVec CacheGroups(Engine& engine,
+                               const overlay::ResponseMessage& response,
+                               FileId file) const;
 
   /// Whether a cached index for `file` can answer this query. Dicas is
   /// "designed for filename search" (§5.1): the index is keyed by the whole

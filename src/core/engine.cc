@@ -247,28 +247,15 @@ Status Engine::Setup() {
     for (PeerId p = 0; p < config_.num_peers; ++p) {
       const sim::SimTime offset = static_cast<sim::SimTime>(stagger_rng.UniformInt(
           0, static_cast<uint64_t>(config_.params.maintenance_interval)));
-      const auto work = [this, p, caches] {
-        if (!graph_->IsAlive(p)) return;
-        if (caches) protocol_->OnMaintenanceTick(*this, p);
-        if (config_.churn.enabled && graph_->Degree(p) == 0) {
-          StartLinkProbes(p, 1);
-        }
-      };
-      // Queued events own the tick chain (strong refs); the stored closure
-      // holds itself weakly so the chain frees when the queue drains.
-      auto tick = std::make_shared<std::function<void()>>();
-      std::weak_ptr<std::function<void()>> weak = tick;
-      *tick = [this, p, weak, work] {
-        work();
-        if (auto self = weak.lock()) {
-          ScheduleFromNode(p, p, config_.params.maintenance_interval,
-                           [self] { (*self)(); });
-        }
-      };
-      sim_->ScheduleAt(shard_of(p), /*src=*/0, offset, [this, p, tick, work] {
+      // Each queued tick is a plain [this, p] closure that reschedules
+      // itself (MaintenanceTick); the chain lives in the event queue alone,
+      // so ticks allocate nothing and leak nothing when the queue drains.
+      // The initial event schedules before working, matching the historic
+      // per-source sequence order.
+      sim_->ScheduleAt(shard_of(p), /*src=*/0, offset, [this, p] {
         ScheduleFromNode(p, p, config_.params.maintenance_interval,
-                         [tick] { (*tick)(); });
-        work();
+                         [this, p] { MaintenanceTick(p); });
+        MaintenanceWork(p);
       });
     }
   }
@@ -359,6 +346,22 @@ void Engine::ScheduleFromNode(PeerId src, PeerId dst, sim::SimTime delay,
   sim_->ScheduleAt(shard_of(dst), SourceOf(src), sim_->Now() + delay, std::move(fn));
 }
 
+void Engine::MaintenanceWork(PeerId p) {
+  if (!graph_->IsAlive(p)) return;
+  if (config_.protocol != ProtocolKind::kFlooding) {
+    protocol_->OnMaintenanceTick(*this, p);
+  }
+  if (config_.churn.enabled && graph_->Degree(p) == 0) {
+    StartLinkProbes(p, 1);
+  }
+}
+
+void Engine::MaintenanceTick(PeerId p) {
+  MaintenanceWork(p);
+  ScheduleFromNode(p, p, config_.params.maintenance_interval,
+                   [this, p] { MaintenanceTick(p); });
+}
+
 void Engine::Run() {
   const auto& queries = workload_.queries();
   // Pre-register every query's metrics slot in every shard. Slots equal the
@@ -421,12 +424,12 @@ size_t Engine::SlotOf(sim::ShardId shard, QueryId qid) const {
   return it->second;
 }
 
-std::vector<overlay::ResponseRecord> Engine::AnswerFromFileStore(
+overlay::RecordVec Engine::AnswerFromFileStore(
     PeerId node_id, const overlay::QueryMessage& query) {
   // Message keywords are sorted by contract (SubmitQuery canonicalizes);
   // validate once here, then use the unchecked match in the per-file loop.
   LOCAWARE_CHECK(std::is_sorted(query.keywords.begin(), query.keywords.end()));
-  std::vector<overlay::ResponseRecord> records;
+  overlay::RecordVec records;
   const NodeState& n = node(node_id);
   for (FileId f : n.file_store) {
     if (!catalog_.MatchesSorted(f, query.keywords)) continue;
@@ -458,7 +461,7 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
 
   // Canonicalize the query's keyword ids once: sorted + deduplicated for
   // containment checks, canonical set hash for group routing.
-  std::vector<KeywordId> sorted_kws = ev.keywords;
+  overlay::KeywordVec sorted_kws(ev.keywords.begin(), ev.keywords.end());
   std::sort(sorted_kws.begin(), sorted_kws.end());
   sorted_kws.erase(std::unique(sorted_kws.begin(), sorted_kws.end()),
                    sorted_kws.end());
@@ -495,8 +498,7 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
   pq.keywords = std::move(sorted_kws);
 
   // The requester's own response index may already know providers.
-  std::vector<overlay::ResponseRecord> local =
-      protocol_->AnswerFromIndex(*this, ev.requester, query);
+  overlay::RecordVec local = protocol_->AnswerFromIndex(*this, ev.requester, query);
   if (!local.empty()) {
     for (overlay::ResponseRecord& record : local) {
       pq.offers.push_back(PendingQuery::Offer{std::move(record), ev.requester});
@@ -520,8 +522,7 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
 void Engine::ForwardQuery(PeerId node_id, PeerId from,
                           const overlay::QueryMessage& msg) {
   if (msg.ttl == 0) return;
-  const std::vector<PeerId> targets =
-      protocol_->ForwardTargets(*this, node_id, msg, from);
+  const PeerVec targets = protocol_->ForwardTargets(*this, node_id, msg, from);
   if (targets.empty()) return;
 
   // One immutable message shared by every forwarded copy: fan-out costs
@@ -557,7 +558,7 @@ void Engine::DeliverQuery(PeerId to, PeerId from,
 
   // Answer from the shared-file store first, then the response index
   // ("either in its file storage or in its response index", §4.2).
-  std::vector<overlay::ResponseRecord> records = AnswerFromFileStore(to, msg);
+  overlay::RecordVec records = AnswerFromFileStore(to, msg);
   if (records.empty()) records = protocol_->AnswerFromIndex(*this, to, msg);
 
   const bool hit = !records.empty();

@@ -158,7 +158,7 @@ class Engine {
     size_t slot = 0;
     PeerId requester = kInvalidPeer;
     LocId requester_loc = 0;
-    std::vector<KeywordId> keywords;  ///< sorted ascending
+    overlay::KeywordVec keywords;  ///< sorted ascending
     struct Offer {
       overlay::ResponseRecord record;
       PeerId responder = kInvalidPeer;
@@ -213,8 +213,17 @@ class Engine {
 
   /// Records a file-store answer's records for `node` against `query`
   /// (empty when nothing matches).
-  std::vector<overlay::ResponseRecord> AnswerFromFileStore(
-      PeerId node, const overlay::QueryMessage& query);
+  overlay::RecordVec AnswerFromFileStore(PeerId node,
+                                         const overlay::QueryMessage& query);
+
+  /// One peer's recurring maintenance tick: runs the work, then schedules
+  /// the next tick as a plain (node-sourced) event. The chain needs no
+  /// self-referencing shared state — each queued event is one [this, p]
+  /// closure, so ticks never allocate.
+  void MaintenanceTick(PeerId p);
+  /// The tick's work: index expiry / Bloom gossip when the protocol caches,
+  /// orphan re-attachment under churn.
+  void MaintenanceWork(PeerId p);
 
   // --- churn lifecycle (shard-safe: owner events + routed repair links) ---
 

@@ -4,9 +4,9 @@
 
 namespace locaware::core {
 
-std::vector<PeerId> FloodingProtocol::ForwardTargets(
+PeerVec FloodingProtocol::ForwardTargets(
     Engine& engine, PeerId node, const overlay::QueryMessage& /*query*/, PeerId from) {
-  std::vector<PeerId> targets;
+  PeerVec targets;
   for (PeerId nb : engine.graph().Neighbors(node)) {
     if (nb != from) targets.push_back(nb);
   }
@@ -18,7 +18,7 @@ void FloodingProtocol::ObserveResponse(Engine& /*engine*/, PeerId /*node*/,
   // Flooding never caches.
 }
 
-std::vector<overlay::ResponseRecord> FloodingProtocol::AnswerFromIndex(
+overlay::RecordVec FloodingProtocol::AnswerFromIndex(
     Engine& /*engine*/, PeerId /*node*/, const overlay::QueryMessage& /*query*/) {
   return {};  // no index to answer from
 }

@@ -15,12 +15,12 @@ class FloodingProtocol final : public Protocol {
   ProtocolKind kind() const override { return ProtocolKind::kFlooding; }
   const char* name() const override { return "Flooding"; }
 
-  std::vector<PeerId> ForwardTargets(Engine& engine, PeerId node,
-                                     const overlay::QueryMessage& query,
-                                     PeerId from) override;
+  PeerVec ForwardTargets(Engine& engine, PeerId node,
+                         const overlay::QueryMessage& query,
+                         PeerId from) override;
   void ObserveResponse(Engine& engine, PeerId node,
                        const overlay::ResponseMessage& response) override;
-  std::vector<overlay::ResponseRecord> AnswerFromIndex(
+  overlay::RecordVec AnswerFromIndex(
       Engine& engine, PeerId node, const overlay::QueryMessage& query) override;
   bool ForwardAfterHit() const override { return true; }
 };

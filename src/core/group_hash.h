@@ -49,11 +49,14 @@ GroupId GroupOfKeywordFnv(uint64_t keyword_fnv, uint16_t num_groups);
 /// to its precomputed FNV (typically FileCatalog::KeywordFnv) — a callable
 /// rather than the catalog itself, so this low-level hashing header stays
 /// free of catalog dependencies.
-template <typename KeywordFnvFn>
-std::vector<GroupId> KeywordGroupsOfIds(std::span<const KeywordId> kws,
-                                        KeywordFnvFn&& fnv_of,
-                                        uint16_t num_groups) {
-  std::vector<GroupId> groups;
+/// `GroupsOut` is any push_back-able GroupId container — std::vector by
+/// default; the hot data plane passes a SmallVector to keep the per-response
+/// grouping allocation-free.
+template <typename GroupsOut = std::vector<GroupId>, typename KeywordFnvFn>
+GroupsOut KeywordGroupsOfIds(std::span<const KeywordId> kws,
+                             KeywordFnvFn&& fnv_of,
+                             uint16_t num_groups) {
+  GroupsOut groups;
   for (KeywordId kw : kws) {
     const GroupId g = GroupOfKeywordFnv(fnv_of(kw), num_groups);
     if (std::find(groups.begin(), groups.end(), g) == groups.end()) {

@@ -9,9 +9,9 @@
 
 namespace locaware::core {
 
-std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node,
-                                                     const overlay::QueryMessage& query,
-                                                     PeerId from) {
+PeerVec LocawareProtocol::ForwardTargets(Engine& engine, PeerId node,
+                                         const overlay::QueryMessage& query,
+                                         PeerId from) {
   NodeState& state = engine.node(node);
   const auto& neighbors = engine.graph().Neighbors(node);
   const catalog::FileCatalog& catalog = engine.catalog();
@@ -20,29 +20,31 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
   // major order fetches each precomputed probe hash exactly once per query,
   // and the filter map is probed exactly once per neighbor (the working set
   // carries the filter pointers).
-  std::vector<std::pair<PeerId, const bloom::BloomFilter*>> candidates;
+  SmallVector<std::pair<PeerId, const bloom::BloomFilter*>, 8> candidates;
   for (PeerId nb : neighbors) {
     if (nb == from) continue;
     auto it = state.neighbor_filters.find(nb);
-    if (it != state.neighbor_filters.end()) candidates.emplace_back(nb, &it->second);
+    if (it != state.neighbor_filters.end()) candidates.push_back({nb, &it->second});
   }
   for (KeywordId kw : query.keywords) {
     if (candidates.empty()) break;
     const KeyHash128 hash = catalog.KeywordBloomHash(kw);
-    std::erase_if(candidates,
-                  [&](const auto& cand) { return !cand.second->MayContain(hash); });
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&](const auto& cand) { return !cand.second->MayContain(hash); }),
+        candidates.end());
   }
   if (!candidates.empty()) {
-    std::vector<PeerId> bloom_matched;
+    PeerVec bloom_matched;
     bloom_matched.reserve(candidates.size());
     for (const auto& [nb, filter] : candidates) bloom_matched.push_back(nb);
     return bloom_matched;
   }
 
   // Optional §6 extension: prefer same-locality neighbors within a tier.
-  const auto prefer_local = [&](std::vector<PeerId>* tier) {
+  const auto prefer_local = [&](PeerVec* tier) {
     if (!params_.loc_aware_routing || tier->empty()) return;
-    std::vector<PeerId> local;
+    PeerVec local;
     for (PeerId nb : *tier) {
       if (engine.loc_of(nb) == query.origin_loc) local.push_back(nb);
     }
@@ -51,7 +53,7 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
 
   // 2. Neighbors whose Gid matches the query hash.
   const GroupId query_group = GroupOfSetFnv(query.kw_set_fnv, params_.num_groups);
-  std::vector<PeerId> gid_matched;
+  PeerVec gid_matched;
   for (PeerId nb : neighbors) {
     if (nb == from) continue;
     if (engine.gid_of(nb) == query_group) gid_matched.push_back(nb);
@@ -62,7 +64,7 @@ std::vector<PeerId> LocawareProtocol::ForwardTargets(Engine& engine, PeerId node
   // 3. Last resort: the most connected neighbors, "to avoid blocking the
   // query forwarding" (§4.2). With the §6 extension, locality outranks
   // degree.
-  std::vector<PeerId> rest;
+  PeerVec rest;
   for (PeerId nb : neighbors) {
     if (nb != from) rest.push_back(nb);
   }
@@ -134,12 +136,12 @@ void LocawareProtocol::ObserveResponse(Engine& engine, PeerId node,
   }
 }
 
-std::vector<overlay::ResponseRecord> LocawareProtocol::AnswerFromIndex(
+overlay::RecordVec LocawareProtocol::AnswerFromIndex(
     Engine& engine, PeerId node, const overlay::QueryMessage& query) {
   NodeState& state = engine.node(node);
   if (state.ri == nullptr) return {};
 
-  std::vector<overlay::ResponseRecord> records;
+  overlay::RecordVec records;
   for (const cache::ResponseIndex::Hit& hit :
        state.ri->LookupByKeywords(query.keywords, engine.Now())) {
     overlay::ResponseRecord record;
@@ -210,10 +212,8 @@ void LocawareProtocol::OnBloomUpdate(Engine& engine, PeerId node,
   // A full-state bootstrap replaces the copy outright (toggling into a stale
   // copy would corrupt it); clearing first makes the apply absolute.
   if (update.full_state && !inserted) it->second.Clear();
-  bloom::BloomDelta delta;
-  delta.filter_bits = update.filter_bits;
-  delta.positions = update.toggled_positions;
-  const Status st = bloom::ApplyDelta(delta, &it->second);
+  const Status st =
+      bloom::ApplyDelta(update.filter_bits, update.toggled_positions, &it->second);
   if (!st.ok()) {
     // A malformed or shape-mismatched update: drop our copy rather than keep
     // a corrupt view (false negatives would break routing guarantees).

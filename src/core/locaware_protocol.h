@@ -28,12 +28,12 @@ class LocawareProtocol final : public Protocol {
   ProtocolKind kind() const override { return ProtocolKind::kLocaware; }
   const char* name() const override { return "Locaware"; }
 
-  std::vector<PeerId> ForwardTargets(Engine& engine, PeerId node,
-                                     const overlay::QueryMessage& query,
-                                     PeerId from) override;
+  PeerVec ForwardTargets(Engine& engine, PeerId node,
+                         const overlay::QueryMessage& query,
+                         PeerId from) override;
   void ObserveResponse(Engine& engine, PeerId node,
                        const overlay::ResponseMessage& response) override;
-  std::vector<overlay::ResponseRecord> AnswerFromIndex(
+  overlay::RecordVec AnswerFromIndex(
       Engine& engine, PeerId node, const overlay::QueryMessage& query) override;
 
   /// Expires stale index entries (keeping the Bloom filter in sync) and

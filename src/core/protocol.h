@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/types.h"
 #include "core/protocol_params.h"
 #include "overlay/message.h"
@@ -18,6 +19,15 @@
 namespace locaware::core {
 
 class Engine;
+
+/// Forwarding target lists: bounded by a node's degree (typical overlay
+/// degree is a handful) or the routed protocols' fallback fanout. Inline so
+/// the per-delivery forwarding decision does not allocate.
+using PeerVec = SmallVector<PeerId, 8>;
+
+/// Group lists the routed protocols hash toward: one group for Dicas, one
+/// per distinct query keyword for Dicas-Keys (K <= 3 by default).
+using GroupVec = SmallVector<GroupId, 4>;
 
 /// \brief Per-protocol behaviour. Stateless apart from the params copy; all
 /// mutable state lives in the Engine's NodeState array.
@@ -31,9 +41,9 @@ class Protocol {
 
   /// Neighbors of `node` that should receive `query`, never including
   /// `from` (the neighbor it arrived from; kInvalidPeer at the origin).
-  virtual std::vector<PeerId> ForwardTargets(Engine& engine, PeerId node,
-                                             const overlay::QueryMessage& query,
-                                             PeerId from) = 0;
+  virtual PeerVec ForwardTargets(Engine& engine, PeerId node,
+                                 const overlay::QueryMessage& query,
+                                 PeerId from) = 0;
 
   /// Called at every reverse-path hop (including the requester) with a
   /// passing response; implements each protocol's caching rule.
@@ -43,7 +53,7 @@ class Protocol {
   /// Attempts to answer `query` from `node`'s response index. Returns the
   /// records to send back (empty = no index answer). May mutate the index
   /// (Locaware appends the requester as a new provider, §4.1.2).
-  virtual std::vector<overlay::ResponseRecord> AnswerFromIndex(
+  virtual overlay::RecordVec AnswerFromIndex(
       Engine& engine, PeerId node, const overlay::QueryMessage& query) = 0;
 
   /// Whether a node that answered keeps forwarding the query. Flooding does

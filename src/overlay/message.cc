@@ -29,10 +29,9 @@ size_t EstimateSizeBytes(const ResponseMessage& m, const WireNames& names) {
 size_t EstimateSizeBytes(const BloomUpdateMessage& m) {
   // Header + the delta wire format from bloom/bloom_delta.h (16-bit count +
   // ceil(log2(m)) bits per changed position — the paper's 0.132 Kb bound).
-  bloom::BloomDelta delta;
-  delta.filter_bits = m.filter_bits;
-  delta.positions = m.toggled_positions;
-  return kDescriptorHeader + kAddress + (bloom::WireSizeBits(delta) + 7) / 8;
+  const size_t delta_bits =
+      bloom::WireSizeBits(m.filter_bits, m.toggled_positions.size());
+  return kDescriptorHeader + kAddress + (delta_bits + 7) / 8;
 }
 
 size_t EstimateSizeBytes(const ProbeMessage& /*m*/) {

@@ -12,6 +12,13 @@
 // encoding would carry the strings, so EstimateSizeBytes resolves each id's
 // byte length through a WireNames table — traffic metrics are identical to a
 // string-carrying encoding.
+//
+// Message payload lists are SmallVectors with inline capacities chosen from
+// the paper's workload shape, so a typical message is one contiguous value
+// with zero owned heap blocks — which is what lets the event queue hold a
+// by-value message closure entirely inline (sim/event_queue.h). The
+// capacities are a size/latency trade, not a limit: longer lists spill to
+// the heap and everything still works.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +26,18 @@
 #include <vector>
 
 #include "bloom/bloom_filter.h"
+#include "common/small_vector.h"
 #include "common/types.h"
 #include "common/wire_names.h"
 
 namespace locaware::overlay {
+
+/// Query keyword sets: 1..K keywords, K small (the workload generator's
+/// default caps K at 3 — paper §5.1 searches carry a few keywords).
+using KeywordVec = SmallVector<KeywordId, 4>;
+/// Bloom-delta positions: one filename toggles at most k·keywords ≈ 12 bits
+/// (paper §4.2 footnote 1); full-state bootstraps spill.
+using PositionVec = SmallVector<uint32_t, 12>;
 
 /// A provider as carried in responses: address + locId (paper Fig. 1, the
 /// "(D, 1)" entries).
@@ -33,13 +48,17 @@ struct ProviderInfo {
   bool operator==(const ProviderInfo&) const = default;
 };
 
+/// Provider lists: the locId-selected subset of a cached provider list,
+/// capped by ProtocolParams::max_response_providers (default 3).
+using ProviderVec = SmallVector<ProviderInfo, 4>;
+
 /// Forward-direction query. Each forwarded copy is a distinct message; the
 /// payload is immutable except ttl/hops.
 struct QueryMessage {
   QueryId qid = 0;
   PeerId origin = kInvalidPeer;       ///< requesting peer (peer A in Fig. 1)
   LocId origin_loc = 0;               ///< requester's locId, used to pick providers
-  std::vector<KeywordId> keywords;    ///< 1..K keyword ids, sorted ascending
+  KeywordVec keywords;                ///< 1..K keyword ids, sorted ascending
   /// Canonical keyword-set hash (catalog::FileCatalog::CanonicalSetFnv of
   /// `keywords`), computed once at submit time so per-hop group routing is a
   /// modulo instead of a re-hash. Not charged on the wire: a receiver could
@@ -60,11 +79,15 @@ struct ResponseRecord {
   /// Known providers, most recent first. For a file-store answer this is just
   /// the responder; for an index answer it is the locId-selected subset of
   /// the cached provider list.
-  std::vector<ProviderInfo> providers;
+  ProviderVec providers;
   /// True when this record was answered from a response index (cache hit)
   /// rather than the responder's own file store.
   bool from_index = false;
 };
+
+/// Records per response: a responder usually answers with one matching file;
+/// multi-record responses spill.
+using RecordVec = SmallVector<ResponseRecord, 1>;
 
 /// Backward-direction response, relayed along the reverse path.
 struct ResponseMessage {
@@ -72,8 +95,8 @@ struct ResponseMessage {
   PeerId responder = kInvalidPeer;  ///< the peer that answered
   PeerId origin = kInvalidPeer;     ///< final destination (the requester)
   LocId origin_loc = 0;             ///< copied from the query
-  std::vector<KeywordId> query_keywords;  ///< so cachers can match Gid/keywords
-  std::vector<ResponseRecord> records;
+  KeywordVec query_keywords;  ///< so cachers can match Gid/keywords
+  RecordVec records;
   uint32_t hops = 0;  ///< hops traveled back so far
 };
 
@@ -81,7 +104,7 @@ struct ResponseMessage {
 struct BloomUpdateMessage {
   PeerId sender = kInvalidPeer;
   uint32_t filter_bits = 0;
-  std::vector<uint32_t> toggled_positions;
+  PositionVec toggled_positions;
   /// Full-state bootstrap: positions are the sender's complete advertised
   /// filter (receiver replaces its copy instead of toggling). Sent once when
   /// a repaired link completes, so the receiver's delta baseline starts

@@ -29,15 +29,27 @@ void EventQueue::SiftDown(size_t pos, Entry moving) {
   heap_[pos] = std::move(moving);
 }
 
+uint32_t EventQueue::AcquireSlot(EventFn fn) {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+    return slot;
+  }
+  const uint32_t slot = static_cast<uint32_t>(slots_.size());
+  slots_.push_back(std::move(fn));
+  return slot;
+}
+
 void EventQueue::Push(SimTime at, EventFn fn) {
   PushKeyed(at, /*src=*/0, next_seq_++, std::move(fn));
 }
 
 void EventQueue::PushKeyed(SimTime at, SourceId src, uint64_t seq, EventFn fn) {
-  Entry entry{at, src, seq, std::move(fn)};
+  Entry entry{at, src, AcquireSlot(std::move(fn)), seq};
   ++pushed_;
   heap_.emplace_back();  // open a hole at the tail, then sift the entry in
-  SiftUp(heap_.size() - 1, std::move(entry));
+  SiftUp(heap_.size() - 1, entry);
 }
 
 SimTime EventQueue::PeekTime() const {
@@ -47,11 +59,13 @@ SimTime EventQueue::PeekTime() const {
 
 EventFn EventQueue::Pop(SimTime* time) {
   LOCAWARE_CHECK(!heap_.empty()) << "Pop on empty queue";
-  *time = heap_.front().time;
-  EventFn fn = std::move(heap_.front().fn);
-  Entry last = std::move(heap_.back());
+  const Entry root = heap_.front();
+  *time = root.time;
+  EventFn fn = std::move(slots_[root.slot]);
+  free_slots_.push_back(root.slot);
+  const Entry last = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) SiftDown(0, std::move(last));
+  if (!heap_.empty()) SiftDown(0, last);
   return fn;
 }
 

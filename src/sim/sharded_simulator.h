@@ -48,6 +48,16 @@
 // or after T_s and therefore lands at or after end[d] — no event a drain
 // delivers can predate the windowed execution that just finished.
 //
+// Events are *inline values* (see sim/event_queue.h): an EventFn stores its
+// capture inside the entry — move-only, nothrow-movable, no heap fallback —
+// so a mailbox append, a barrier drain, and a heap sift are all plain
+// relocations that never touch the allocator, and a capture that outgrows
+// kEventInlineBytes is a compile error at the ScheduleAt site rather than a
+// silent per-event malloc. Closures crossing shards must therefore carry
+// their payload by value (or share a big immutable one via shared_ptr): the
+// relocation through the mailbox is also what makes the handoff thread-safe,
+// since the capture is owned by exactly one shard's storage at every moment.
+//
 // Determinism contract (the reason this engine can replace the sequential
 // one without changing results): every event carries a (time, source,
 // per-source sequence) key assigned at creation, where `source` is the

@@ -32,17 +32,19 @@ void Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
 
 void Simulator::SchedulePeriodic(SimTime interval, std::function<bool()> fn) {
   LOCAWARE_CHECK_GT(interval, 0);
-  // Self-rescheduling closure; stops rescheduling once fn returns false.
-  // Ownership lives in the queued events (strong refs); the stored closure
-  // only holds itself weakly, so cancelling or draining frees the chain
-  // instead of leaking a reference cycle.
-  auto tick = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak = tick;
-  *tick = [this, interval, fn = std::move(fn), weak]() {
-    if (!fn()) return;
-    if (auto self = weak.lock()) ScheduleAfter(interval, [self] { (*self)(); });
-  };
-  ScheduleAfter(interval, [tick] { (*tick)(); });
+  // One shared slot per periodic schedule, allocated once here; each queued
+  // tick is a small [this, slot] closure that re-queues itself while the
+  // callback keeps returning true. No self-reference, so draining the queue
+  // frees the chain (the last queued tick drops the final strong ref).
+  RunPeriodicTick(std::make_shared<PeriodicSlot>(interval, std::move(fn)));
+}
+
+void Simulator::RunPeriodicTick(std::shared_ptr<PeriodicSlot> slot) {
+  const SimTime interval = slot->interval;
+  ScheduleAfter(interval, [this, slot = std::move(slot)]() mutable {
+    if (!slot->fn()) return;
+    RunPeriodicTick(std::move(slot));
+  });
 }
 
 uint64_t Simulator::Run(SimTime horizon) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "sim/event_queue.h"
 #include "sim/sim_time.h"
@@ -66,6 +67,17 @@ class Simulator {
   static constexpr SimTime kNoHorizon = INT64_MAX;
 
  private:
+  /// One periodic schedule's shared state: allocated once per
+  /// SchedulePeriodic call, owned by whichever tick event is queued.
+  struct PeriodicSlot {
+    PeriodicSlot(SimTime i, std::function<bool()> f)
+        : interval(i), fn(std::move(f)) {}
+    SimTime interval;
+    std::function<bool()> fn;
+  };
+  /// Queues the next tick of `slot` (Now() + interval).
+  void RunPeriodicTick(std::shared_ptr<PeriodicSlot> slot);
+
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t executed_ = 0;

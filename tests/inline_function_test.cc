@@ -1,0 +1,158 @@
+// InlineFunction: the move-only, inline-only closure under every queued
+// event. The load-bearing properties are lifecycle exactness (each capture
+// destroyed exactly once across moves, heap sifts, and invocation), the
+// nothrow-move contract the event heap relies on, and the compile-time
+// rejection of captures that do not fit — std::is_constructible_v is the
+// statically testable face of the "capture-too-big diagnostic".
+#include "common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "sim/event_queue.h"
+
+namespace locaware::common {
+namespace {
+
+using Fn = InlineFunction<void(), 64>;
+using IntFn = InlineFunction<int(int), 64>;
+
+TEST(InlineFunctionTest, DefaultConstructedIsEmpty) {
+  Fn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunctionTest, InvokesCaptureAndForwardsArguments) {
+  int base = 40;
+  IntFn fn = [base](int x) { return base + x; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(2), 42);
+  EXPECT_EQ(fn(-40), 0);  // invocable repeatedly, capture intact
+}
+
+TEST(InlineFunctionTest, HoldsMoveOnlyCaptures) {
+  // The whole point of dropping std::function: a unique_ptr capture is fine.
+  auto owned = std::make_unique<int>(7);
+  Fn fn = [p = std::move(owned), out = 0]() mutable { out = *p; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  Fn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // source emptied by the relocate
+  ASSERT_TRUE(static_cast<bool>(moved));
+  moved();
+}
+
+/// Counts live instances and destructor runs: the double-destroy /
+/// leaked-capture canary.
+struct LifetimeProbe {
+  explicit LifetimeProbe(int* destroyed) : destroyed_(destroyed) {}
+  LifetimeProbe(LifetimeProbe&& other) noexcept
+      : destroyed_(std::exchange(other.destroyed_, nullptr)) {}
+  LifetimeProbe(const LifetimeProbe&) = delete;
+  LifetimeProbe& operator=(const LifetimeProbe&) = delete;
+  LifetimeProbe& operator=(LifetimeProbe&&) = delete;
+  ~LifetimeProbe() {
+    if (destroyed_ != nullptr) ++*destroyed_;
+  }
+  int* destroyed_;
+};
+
+TEST(InlineFunctionTest, DestroysCaptureExactlyOnce) {
+  int destroyed = 0;
+  {
+    Fn fn = [probe = LifetimeProbe(&destroyed)] { (void)probe; };
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunctionTest, MoveChainDestroysCaptureExactlyOnce) {
+  int destroyed = 0;
+  {
+    Fn a = [probe = LifetimeProbe(&destroyed)] { (void)probe; };
+    Fn b = std::move(a);   // move ctor: relocate, a emptied
+    Fn c;
+    c = std::move(b);      // move assign into empty
+    Fn d = [probe = LifetimeProbe(&destroyed)] { (void)probe; };
+    d = std::move(c);      // move assign over a live capture destroys it
+    EXPECT_EQ(destroyed, 1);
+    d();
+  }
+  EXPECT_EQ(destroyed, 2);  // the surviving capture, once, at scope exit
+}
+
+TEST(InlineFunctionTest, MoveAssignFromSelfIsANoOp) {
+  int destroyed = 0;
+  Fn fn = [probe = LifetimeProbe(&destroyed)] { (void)probe; };
+  Fn& alias = fn;
+  fn = std::move(alias);
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(destroyed, 0);
+}
+
+// --- the contracts the event heap depends on, stated statically -------------
+
+// Nothrow-move: heap sift operations relocate entries with no rollback.
+static_assert(std::is_nothrow_move_constructible_v<Fn>);
+static_assert(std::is_nothrow_move_assignable_v<Fn>);
+// Move-only: copying would need a per-type copy op the table omits on purpose.
+static_assert(!std::is_copy_constructible_v<Fn>);
+static_assert(!std::is_copy_assignable_v<Fn>);
+// Footprint: exactly the inline buffer plus the single ops pointer.
+static_assert(sizeof(Fn) <= 64 + alignof(std::max_align_t) + sizeof(void*));
+
+/// A capture one byte past the inline capacity.
+struct TooBig {
+  unsigned char bytes[Fn::kCapacity + 1];
+  void operator()() const {}
+};
+
+/// A capture whose move constructor may throw.
+struct ThrowingMove {
+  ThrowingMove() = default;
+  ThrowingMove(ThrowingMove&&) noexcept(false) {}
+  void operator()() const {}
+};
+
+// The capture-too-big diagnostic, testable form: construction is a
+// constraint failure, not a silent heap spill.
+static_assert(!std::is_constructible_v<Fn, TooBig>);
+static_assert(!std::is_constructible_v<Fn, ThrowingMove>);
+// Wrong signature is rejected the same way.
+static_assert(!std::is_constructible_v<Fn, int (*)(int)>);
+// And a fitting, nothrow capture of the right shape is accepted.
+static_assert(std::is_constructible_v<Fn, void (*)()>);
+
+// The event alias inherits all of it at the engine's capacity.
+static_assert(std::is_nothrow_move_constructible_v<sim::EventFn>);
+static_assert(!std::is_copy_constructible_v<sim::EventFn>);
+struct TooBigForEvent {
+  unsigned char bytes[sim::EventFn::kCapacity + 1];
+  void operator()() const {}
+};
+static_assert(!std::is_constructible_v<sim::EventFn, TooBigForEvent>);
+
+TEST(InlineFunctionTest, EventFnCapacityFitsTheEngineClosures) {
+  // A capture shaped like the engine's biggest (SendResponse: this + two
+  // peer ids + a converted ResponseMessage) must construct, not overflow.
+  struct FakeMessage {
+    unsigned char payload[192];
+  };
+  struct Closure {
+    void* engine;
+    uint32_t next_hop;
+    uint32_t sender;
+    FakeMessage msg;
+    void operator()() const {}
+  };
+  static_assert(std::is_constructible_v<sim::EventFn, Closure>);
+  sim::EventFn fn = Closure{nullptr, 1, 2, {}};
+  EXPECT_TRUE(static_cast<bool>(fn));
+}
+
+}  // namespace
+}  // namespace locaware::common

@@ -112,5 +112,130 @@ TEST(SmallVectorTest, ComparesAgainstStdVector) {
   EXPECT_EQ(v.ToVector(), (std::vector<uint32_t>{1, 2, 3}));
 }
 
+TEST(SmallVectorTest, AssignFromStdVectorAndInitializerList) {
+  // Message construction sites (bloom deltas, trace decode) assign whole
+  // std::vectors into SmallVector payload fields.
+  Vec v;
+  v = std::vector<uint32_t>{7, 8, 9, 10, 11};  // spills
+  EXPECT_EQ(v, (std::vector<uint32_t>{7, 8, 9, 10, 11}));
+  v = {1, 2};  // shrink back over the heap buffer
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(SmallVectorTest, ResizeShrinksAndValueInitializesGrowth) {
+  Vec v{1, 2, 3};
+  v.resize(1);
+  EXPECT_EQ(v, (std::vector<uint32_t>{1}));
+  v.resize(6);  // grows past inline capacity, new slots value-initialized
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 0, 0, 0, 0, 0}));
+}
+
+TEST(SmallVectorTest, ReverseIterationMatchesForward) {
+  Vec v{1, 2, 3};
+  std::vector<uint32_t> reversed(v.rbegin(), v.rend());
+  EXPECT_EQ(reversed, (std::vector<uint32_t>{3, 2, 1}));
+}
+
+// --- non-trivially-copyable elements ----------------------------------------
+// The message payloads hold structs that themselves contain SmallVectors
+// (ResponseRecord: a ProviderVec inside a RecordVec). Every relocation path
+// — growth, container moves, insert shifts, erase compaction — must run real
+// move constructors and destructors instead of memcpy.
+
+/// Element with identity: tracks construction/destruction balance and keeps
+/// a nested SmallVector so relocation exercises the recursive case.
+struct Tracked {
+  static inline int live = 0;
+  uint32_t id = 0;
+  SmallVector<uint32_t, 2> payload;
+
+  Tracked() { ++live; }
+  explicit Tracked(uint32_t i) : id(i) {
+    payload = {i, i + 1, i + 2};  // spilled: relocation must carry the heap
+    ++live;
+  }
+  Tracked(const Tracked& other) : id(other.id), payload(other.payload) { ++live; }
+  Tracked(Tracked&& other) noexcept
+      : id(other.id), payload(std::move(other.payload)) {
+    ++live;
+  }
+  Tracked& operator=(const Tracked&) = default;
+  Tracked& operator=(Tracked&&) noexcept = default;
+  ~Tracked() { --live; }
+
+  friend bool operator==(const Tracked& a, const Tracked& b) {
+    return a.id == b.id && a.payload == b.payload;
+  }
+};
+
+using TrackedVec = SmallVector<Tracked, 2>;
+
+TEST(SmallVectorNonTrivialTest, SpillRunsMovesAndBalancesLifetimes) {
+  ASSERT_EQ(Tracked::live, 0);
+  {
+    TrackedVec v;
+    for (uint32_t i = 0; i < 5; ++i) v.push_back(Tracked(i));  // spills at 3
+    EXPECT_FALSE(v.is_inline());
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_EQ(Tracked::live, 5);
+    for (uint32_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(v[i].id, i);
+      EXPECT_EQ(v[i].payload, (std::vector<uint32_t>{i, i + 1, i + 2}));
+    }
+  }
+  EXPECT_EQ(Tracked::live, 0);  // destructors ran for every element, once
+}
+
+TEST(SmallVectorNonTrivialTest, MoveProvenanceInBothStorageStates) {
+  {
+    TrackedVec inline_src;
+    inline_src.push_back(Tracked(1));
+    TrackedVec from_inline = std::move(inline_src);
+    EXPECT_TRUE(from_inline.is_inline());
+    EXPECT_TRUE(inline_src.empty());
+    ASSERT_EQ(from_inline.size(), 1u);
+    EXPECT_EQ(from_inline[0], Tracked(1));
+
+    TrackedVec heap_src;
+    for (uint32_t i = 0; i < 4; ++i) heap_src.push_back(Tracked(i));
+    const Tracked* heap_data = heap_src.data();
+    TrackedVec from_heap = std::move(heap_src);
+    EXPECT_EQ(from_heap.data(), heap_data);  // buffer stolen, elements untouched
+    EXPECT_TRUE(heap_src.empty());
+    EXPECT_TRUE(heap_src.is_inline());
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(SmallVectorNonTrivialTest, InsertEraseAndClearKeepLifetimesExact) {
+  {
+    TrackedVec v;
+    v.push_back(Tracked(1));
+    v.push_back(Tracked(3));
+    v.insert(v.begin() + 1, Tracked(2));  // spill + middle shift, non-trivial
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0].id, 1u);
+    EXPECT_EQ(v[1].id, 2u);
+    EXPECT_EQ(v[2].id, 3u);
+    v.erase(v.begin());  // move-assign compaction + tail destroy
+    EXPECT_EQ(v[0].id, 2u);
+    EXPECT_EQ(Tracked::live, 2);
+    v.clear();
+    EXPECT_EQ(Tracked::live, 0);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(SmallVectorNonTrivialTest, SelfAliasingPushBackSurvivesGrowth) {
+  TrackedVec v;
+  v.push_back(Tracked(1));
+  v.push_back(Tracked(2));
+  v.push_back(v[0]);  // the push is the spill: value copied out before Grow
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], v[0]);
+  EXPECT_EQ(v[2].payload, (std::vector<uint32_t>{1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace locaware
