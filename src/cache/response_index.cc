@@ -23,6 +23,15 @@ ResponseIndex::ResponseIndex(const ResponseIndexConfig& config)
     : config_(config), eviction_rng_state_(config.eviction_seed | 1) {
   LOCAWARE_CHECK_GT(config.max_filenames, 0u);
   LOCAWARE_CHECK_GT(config.max_providers_per_file, 0u);
+  // The tables draw their flat buffers from the same arena as the per-entry
+  // spill vectors. Deliberately NOT pre-sized to max_filenames: an Entry slot
+  // is fat (inline keyword/provider SmallVectors), the engine builds one
+  // index per peer, and most peers' caches stay far below capacity — eager
+  // full-capacity buffers cost hundreds of MB of cold arena pages at 10k
+  // peers (measured 3x engine slowdown). Growth is amortized and the
+  // discarded power-of-two buffers recycle through the arena's free lists.
+  entries_.set_arena(config_.arena);
+  inverted_.set_arena(config_.arena);
 }
 
 void ResponseIndex::AddPostings(FileId file, std::span<const KeywordId> keywords) {
@@ -66,7 +75,7 @@ ResponseIndex::UpdateOutcome ResponseIndex::AddProvider(
     fresh.providers.set_arena(config_.arena);
     fresh.keywords.assign(sorted_keywords.begin(), sorted_keywords.end());
     fresh.use_pos = std::prev(use_order_.end());
-    it = entries_.emplace(file, std::move(fresh)).first;
+    it = entries_.try_emplace(file, std::move(fresh)).first;
     AddPostings(file, it->second.keywords);
     outcome.file_inserted = true;
   } else {
@@ -124,9 +133,12 @@ std::vector<ResponseIndex::Hit> ResponseIndex::LookupByKeywords(
   std::vector<Hit> hits;
   if (sorted_query.empty()) {
     // An empty query is satisfied by every file (vacuous containment), same
-    // as the string-era semantics.
-    for (auto& [file, entry] : entries_) {
-      ProviderVec live = LiveProviders(entry, now);
+    // as the string-era semantics. Sorted file order, not table order: the
+    // hit list feeds provider selection, so iteration order is observable.
+    for (FileId file : Files()) {
+      auto it = entries_.find(file);
+      LOCAWARE_CHECK(it != entries_.end());
+      ProviderVec live = LiveProviders(it->second, now);
       if (!live.empty()) hits.push_back(Hit{file, std::move(live)});
     }
   } else {
@@ -172,13 +184,17 @@ std::optional<ResponseIndex::Hit> ResponseIndex::LookupFile(FileId file,
 std::vector<ResponseIndex::EvictedFile> ResponseIndex::ExpireStale(sim::SimTime now) {
   std::vector<EvictedFile> removed;
   if (config_.entry_ttl <= 0) return removed;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (PruneStale(&it->second, now)) {
-      ++it;
-    } else {
-      removed.push_back(EvictedFile{it->first, std::move(it->second.keywords)});
-      it = EraseIt(it, removed.back().keywords);
-    }
+  // Collect-and-sort before acting: the table is unordered, so sweeping in
+  // iteration order would let table layout leak into the removal report (and
+  // through it into any order-sensitive consumer). Sorted keys make the
+  // sweep a pure function of the index's *contents*, whatever container
+  // backs it.
+  for (FileId file : Files()) {
+    auto it = entries_.find(file);
+    LOCAWARE_CHECK(it != entries_.end());
+    if (PruneStale(&it->second, now)) continue;
+    removed.push_back(EvictedFile{file, std::move(it->second.keywords)});
+    EraseIt(it, removed.back().keywords);
   }
   return removed;
 }
@@ -186,39 +202,36 @@ std::vector<ResponseIndex::EvictedFile> ResponseIndex::ExpireStale(sim::SimTime 
 std::vector<ResponseIndex::EvictedFile> ResponseIndex::RemoveProvider(
     PeerId provider) {
   std::vector<EvictedFile> removed;
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  // Same collect-and-sort rule as ExpireStale: act in sorted key order, never
+  // table order.
+  for (FileId file : Files()) {
+    auto it = entries_.find(file);
+    LOCAWARE_CHECK(it != entries_.end());
     ProviderVec& providers = it->second.providers;
     auto pos = std::find_if(providers.begin(), providers.end(),
                             [&](const ProviderEntry& p) {
                               return p.provider == provider;
                             });
-    if (pos == providers.end()) {
-      ++it;
-      continue;
-    }
+    if (pos == providers.end()) continue;
     providers.erase(pos);
     ++stats_.invalidations;
-    if (!providers.empty()) {
-      ++it;
-      continue;
+    if (providers.empty()) {
+      removed.push_back(EvictedFile{file, std::move(it->second.keywords)});
+      EraseIt(it, removed.back().keywords);
     }
-    removed.push_back(EvictedFile{it->first, std::move(it->second.keywords)});
-    it = EraseIt(it, removed.back().keywords);
   }
   return removed;
 }
 
-std::unordered_map<FileId, ResponseIndex::Entry>::iterator ResponseIndex::EraseIt(
-    std::unordered_map<FileId, Entry>::iterator it) {
-  return EraseIt(it, it->second.keywords);
+void ResponseIndex::EraseIt(EntryMap::iterator it) {
+  EraseIt(it, it->second.keywords);
 }
 
-std::unordered_map<FileId, ResponseIndex::Entry>::iterator ResponseIndex::EraseIt(
-    std::unordered_map<FileId, Entry>::iterator it,
-    std::span<const KeywordId> keywords) {
+void ResponseIndex::EraseIt(EntryMap::iterator it,
+                            std::span<const KeywordId> keywords) {
   RemovePostings(it->first, keywords);
   use_order_.erase(it->second.use_pos);
-  return entries_.erase(it);
+  entries_.erase(it);
 }
 
 bool ResponseIndex::Erase(FileId file) {
@@ -240,6 +253,9 @@ std::vector<FileId> ResponseIndex::Files() const {
   std::vector<FileId> out;
   out.reserve(entries_.size());
   for (const auto& [file, entry] : entries_) out.push_back(file);
+  // Sorted, not table order: callers act on this list (sweeps, reports), and
+  // the backing table's layout must never leak into observable behavior.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -22,9 +22,9 @@
 #include <list>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/small_vector.h"
 #include "common/types.h"
 #include "sim/sim_time.h"
@@ -121,13 +121,16 @@ class ResponseIndex {
   std::optional<Hit> LookupFile(FileId file, sim::SimTime now);
 
   /// Removes every provider older than the ttl (no-op when ttl = 0); returns
-  /// the files that became empty and were removed.
+  /// the files that became empty and were removed, sorted by FileId — the
+  /// sweep collects keys and processes them in sorted order, so the backing
+  /// table's layout never leaks into the report.
   std::vector<EvictedFile> ExpireStale(sim::SimTime now);
 
   /// Invalidates every entry naming `provider` (a peer known to have left the
   /// network); returns the files that lost their last provider and were
-  /// removed — the owner mirrors those into derived structures (Locaware's
-  /// counting Bloom filter), exactly like an expiry sweep.
+  /// removed (sorted by FileId, like ExpireStale) — the owner mirrors those
+  /// into derived structures (Locaware's counting Bloom filter), exactly like
+  /// an expiry sweep.
   std::vector<EvictedFile> RemoveProvider(PeerId provider);
 
   /// Removes one file outright; returns whether it was present.
@@ -139,7 +142,8 @@ class ResponseIndex {
   /// Total provider entries across all files (the storage-cost metric for
   /// the Dicas-Keys duplication comparison).
   size_t TotalProviderCount() const;
-  /// Cached files in no particular order.
+  /// Cached files, sorted ascending (deterministic whatever table backs the
+  /// index).
   std::vector<FileId> Files() const;
   /// Sorted keyword ids stored for a cached file. CHECK-fails if absent.
   const KeywordVec& KeywordsOf(FileId file) const;
@@ -161,6 +165,7 @@ class ResponseIndex {
     ProviderVec providers;                // most recent first
     std::list<FileId>::iterator use_pos;  // position in use_order_
   };
+  using EntryMap = FlatMap<FileId, Entry>;
 
   /// Moves a file to the most-recently-used position.
   void Touch(FileId file, Entry* entry);
@@ -174,20 +179,19 @@ class ResponseIndex {
   void AddPostings(FileId file, std::span<const KeywordId> keywords);
   void RemovePostings(FileId file, std::span<const KeywordId> keywords);
   /// Removes the entry at `it` (postings + LRU slot + map entry) without a
-  /// second map lookup; returns the iterator past the erased entry. The
-  /// keyword-taking overload is for callers that moved the entry's keywords
-  /// into an eviction report first.
-  std::unordered_map<FileId, Entry>::iterator EraseIt(
-      std::unordered_map<FileId, Entry>::iterator it);
-  std::unordered_map<FileId, Entry>::iterator EraseIt(
-      std::unordered_map<FileId, Entry>::iterator it,
-      std::span<const KeywordId> keywords);
+  /// second map lookup. The keyword-taking overload is for callers that moved
+  /// the entry's keywords into an eviction report first. Invalidates `it`.
+  void EraseIt(EntryMap::iterator it);
+  void EraseIt(EntryMap::iterator it, std::span<const KeywordId> keywords);
 
   ResponseIndexConfig config_;
-  std::unordered_map<FileId, Entry> entries_;
-  /// KeywordId -> files carrying it (insertion order). Sized by residency
-  /// (max ~3 keywords x max_filenames keys), not by vocabulary.
-  std::unordered_map<KeywordId, FilePostingVec> inverted_;
+  /// Flat tables (single allocation each, arena-bound like the per-entry
+  /// vectors). Iteration is table order — every list the index exposes is
+  /// sorted first (the collect-and-sort rule, see common/flat_map.h).
+  EntryMap entries_;
+  /// KeywordId -> files carrying it (posting order = insertion order). Sized
+  /// by residency (max ~3 keywords x max_filenames keys), not by vocabulary.
+  FlatMap<KeywordId, FilePostingVec> inverted_;
   /// LRU/FIFO order: front = next victim, back = most recent.
   std::list<FileId> use_order_;
   uint64_t eviction_rng_state_;

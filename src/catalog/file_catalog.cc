@@ -35,7 +35,7 @@ Result<FileCatalog> FileCatalog::Generate(const CatalogConfig& config, Rng* rng)
   // now; views stay valid because the catalog is move-only.
   cat.keyword_ids_.reserve(cat.keyword_table_.size());
   for (KeywordId kw = 0; kw < cat.keyword_table_.size(); ++kw) {
-    cat.keyword_ids_.emplace(cat.keyword_table_[kw], kw);
+    cat.keyword_ids_.try_emplace(cat.keyword_table_[kw], kw);
   }
   cat.postings_.resize(cat.keyword_table_.size());
   cat.files_.reserve(config.num_files);
@@ -67,7 +67,7 @@ Result<FileCatalog> FileCatalog::Generate(const CatalogConfig& config, Rng* rng)
       entry.set_fnv = cat.CanonicalSetFnv(entry.keywords);
       for (KeywordId kw : entry.keywords) cat.postings_[kw].push_back(fid);
       cat.files_.push_back(std::move(entry));
-      cat.filename_index_.emplace(cat.files_.back().filename, fid);
+      cat.filename_index_.try_emplace(cat.files_.back().filename, fid);
       placed = true;
       break;
     }
@@ -188,7 +188,7 @@ Result<FileCatalog> FileCatalog::LoadBinary(const std::string& path) {
   }
   cat.keyword_ids_.reserve(keywords);
   for (KeywordId kw = 0; kw < cat.keyword_table_.size(); ++kw) {
-    cat.keyword_ids_.emplace(cat.keyword_table_[kw], kw);
+    cat.keyword_ids_.try_emplace(cat.keyword_table_[kw], kw);
   }
   cat.postings_.resize(keywords);
   // Reserved for the full count up front: filename_index_ holds views into
@@ -224,7 +224,7 @@ Result<FileCatalog> FileCatalog::LoadBinary(const std::string& path) {
     const FileId fid = static_cast<FileId>(f);
     for (KeywordId kw : entry.keywords) cat.postings_[kw].push_back(fid);
     cat.files_.push_back(std::move(entry));
-    if (!cat.filename_index_.emplace(cat.files_.back().filename, fid).second) {
+    if (!cat.filename_index_.try_emplace(cat.files_.back().filename, fid).second) {
       return Status::InvalidArgument(path + ": duplicate filename '" +
                                      cat.files_.back().filename + "'");
     }
@@ -323,7 +323,7 @@ KeywordId FileCatalog::InternKeyword(std::string_view word) {
   keyword_fnv_.push_back(Fnv1a64(stored));
   keyword_bloom_.push_back(BloomKeyHash(stored));
   postings_.emplace_back();  // no generated filename carries it
-  keyword_ids_.emplace(stored, kw);
+  keyword_ids_.try_emplace(stored, kw);
   return kw;
 }
 

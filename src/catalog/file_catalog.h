@@ -17,9 +17,9 @@
 #include <deque>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "common/keyword_set.h"
 #include "common/rng.h"
@@ -176,10 +176,14 @@ class FileCatalog : public WireNames {
   std::deque<std::string> keyword_table_;
   std::vector<uint64_t> keyword_fnv_;        // KeywordId -> FNV-1a(word)
   std::vector<KeyHash128> keyword_bloom_;    // KeywordId -> Murmur3(word)
-  std::unordered_map<std::string_view, KeywordId> keyword_ids_;  // word -> id
+  /// Flat interning tables (single allocation each; heterogeneous lookup, so
+  /// callers probe with whatever string type they hold). Pre-sized from the
+  /// generation config or the binary header's counts, so loading never
+  /// rehashes. The views key into keyword_table_ / files_ storage.
+  FlatMap<std::string_view, KeywordId> keyword_ids_;  // word -> id
   std::vector<FileEntry> files_;
   std::vector<std::vector<FileId>> postings_;  // KeywordId -> resident FileIds
-  std::unordered_map<std::string_view, FileId> filename_index_;
+  FlatMap<std::string_view, FileId> filename_index_;
 };
 
 }  // namespace locaware::catalog

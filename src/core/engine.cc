@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_set>
 
 #include "common/check.h"
 #include "common/hash.h"
@@ -163,6 +162,11 @@ Status Engine::Setup() {
   for (uint32_t s = 0; s < num_shards_; ++s) {
     arenas_.push_back(std::make_unique<common::Arena>());
     arenas_[s]->Reserve(shard_peers[s] * kArenaBytesPerPeer);
+    // The shard's tracking tables draw their flat buffers from its arena;
+    // arenas_ is declared before shards_, so the arenas outlive the tables.
+    shards_[s].pending.set_arena(arenas_[s].get());
+    shards_[s].slot_of.set_arena(arenas_[s].get());
+    shards_[s].touched.set_arena(arenas_[s].get());
   }
 
   // 3d. Overlay.
@@ -188,12 +192,20 @@ Status Engine::Setup() {
     n.id = p;
     n.loc_id = loc_ids[p];
     n.gid = static_cast<GroupId>(gid_rng.UniformInt(0, config_.params.num_groups - 1));
-    n.file_store.set_arena(arenas_[shard_of(p)].get());
+    common::Arena* arena = arenas_[shard_of(p)].get();
+    n.file_store.set_arena(arena);
     n.file_store.assign(initial_files[p].begin(), initial_files[p].end());
+    // Flat per-peer tables draw their buffers from the owner shard's arena
+    // too (same provenance rule as the spill vectors above).
+    n.neighbor_filters.set_arena(arena);
+    n.neighbor_gids.set_arena(arena);
+    n.neighbor_degree.set_arena(arena);
+    n.seen_queries.set_arena(arena);
+    n.reverse_path.set_arena(arena);
     if (caches) {
       cache::ResponseIndexConfig ri_cfg = config_.params.ri;
       ri_cfg.eviction_seed = config_.seed ^ (0x9e3779b97f4a7c15ULL * (p + 1));
-      ri_cfg.arena = arenas_[shard_of(p)].get();
+      ri_cfg.arena = arena;
       n.ri = std::make_unique<cache::ResponseIndex>(ri_cfg);
     }
     if (is_locaware) {
@@ -381,7 +393,7 @@ void Engine::Run() {
     for (const catalog::QueryEvent& ev : queries) {
       const size_t slot = shard.metrics.BeginQuery(ev.id, ev.requester, ev.submit_time);
       shard.metrics.Record(slot)->target_rank = workload_.RankOfFile(ev.target);
-      shard.slot_of.emplace(ev.id, slot);
+      shard.slot_of.try_emplace(ev.id, slot);
     }
   }
 
@@ -503,14 +515,14 @@ void Engine::SubmitQuery(const catalog::QueryEvent& ev) {
     for (overlay::ResponseRecord& record : local) {
       pq.offers.push_back(PendingQuery::Offer{std::move(record), ev.requester});
     }
-    shard.pending.emplace(ev.id, std::move(pq));
+    shard.pending.try_emplace(ev.id, std::move(pq));
     FinalizeQuery(ev.requester, ev.id);
     return;
   }
 
-  shard.pending.emplace(ev.id, std::move(pq));
+  shard.pending.try_emplace(ev.id, std::move(pq));
   origin.seen_queries.insert(ev.id);
-  shard.touched[ev.id].push_back(ev.requester);
+  TouchPeer(shard_of(ev.requester), ev.id, ev.requester);
 
   ForwardQuery(ev.requester, kInvalidPeer, query);
   ScheduleFromNode(ev.requester, ev.requester, config_.params.query_deadline,
@@ -525,15 +537,16 @@ void Engine::ForwardQuery(PeerId node_id, PeerId from,
   const PeerVec targets = protocol_->ForwardTargets(*this, node_id, msg, from);
   if (targets.empty()) return;
 
-  // One immutable message shared by every forwarded copy: fan-out costs
-  // O(targets) shared_ptr bumps, not O(targets) deep copies.
-  auto fwd = std::make_shared<overlay::QueryMessage>(msg);
-  fwd->ttl -= 1;
-  fwd->hops += 1;
+  // One immutable pooled message shared by every forwarded copy: fan-out
+  // costs O(targets) refcount bumps, and the node (with its keyword vector's
+  // capacity) is recycled when the last delivery runs — zero allocations in
+  // steady state, where make_shared paid one per hop.
+  QueryPayloadRef shared = query_pool_.Acquire(msg);
+  shared.mutable_msg()->ttl -= 1;
+  shared.mutable_msg()->hops += 1;
 
   const size_t slot = SlotOf(shard_of(node_id), msg.qid);
-  const size_t wire_bytes = EstimateSizeBytes(*fwd, catalog_);
-  std::shared_ptr<const overlay::QueryMessage> shared = std::move(fwd);
+  const size_t wire_bytes = EstimateSizeBytes(*shared, catalog_);
   for (PeerId target : targets) {
     if (slot != SIZE_MAX) {
       metrics::QueryRecord* record = CollectorAt(node_id).Record(slot);
@@ -547,14 +560,13 @@ void Engine::ForwardQuery(PeerId node_id, PeerId from,
   }
 }
 
-void Engine::DeliverQuery(PeerId to, PeerId from,
-                          std::shared_ptr<const overlay::QueryMessage> msg_ptr) {
+void Engine::DeliverQuery(PeerId to, PeerId from, const QueryPayloadRef& msg_ref) {
   if (!graph_->IsAlive(to)) return;  // lost on a dead peer
-  const overlay::QueryMessage& msg = *msg_ptr;
+  const overlay::QueryMessage& msg = *msg_ref;
   NodeState& n = node(to);
   if (!n.seen_queries.insert(msg.qid).second) return;  // duplicate: dropped
   n.reverse_path[msg.qid] = from;
-  shards_[shard_of(to)].touched[msg.qid].push_back(to);
+  TouchPeer(shard_of(to), msg.qid, to);
 
   // Answer from the shared-file store first, then the response index
   // ("either in its file storage or in its response index", §4.2).
@@ -633,14 +645,18 @@ void Engine::FinalizeQuery(PeerId origin, QueryId qid) {
 
   // Distinct candidate providers, preserving offer order (earliest response
   // first; freshest providers first within a record). The requester itself is
-  // never a candidate.
-  std::vector<Candidate> candidates;
-  std::unordered_set<PeerId> candidate_peers;
+  // never a candidate. Dedup is a linear scan over the list itself —
+  // candidate counts are a handful (bounded by providers-per-file times
+  // responders), so scanning beats a side hash set and allocates nothing.
+  SmallVector<Candidate, 8> candidates;
   bool filtered_dead = false;
   for (const PendingQuery::Offer& offer : pq.offers) {
     for (const overlay::ProviderInfo& p : offer.record.providers) {
       if (p.peer == pq.requester) continue;
-      if (!candidate_peers.insert(p.peer).second) continue;
+      const bool seen = std::any_of(
+          candidates.begin(), candidates.end(),
+          [&](const Candidate& c) { return c.provider == p.peer; });
+      if (seen) continue;
       Candidate cand;
       cand.provider = p.peer;
       cand.loc_id = p.loc_id;
@@ -654,18 +670,20 @@ void Engine::FinalizeQuery(PeerId origin, QueryId qid) {
 
   // A provider that has gone offline cannot serve the download (stale index).
   // Liveness comes from the immutable churn timeline: the provider may live
-  // on any shard, and its mutable state is unreadable from here.
+  // on any shard, and its mutable state is unreadable from here. Filtered
+  // in place (order preserved) — no second list.
   if (config_.churn.enabled) {
-    std::vector<Candidate> alive;
+    const sim::SimTime now = sim_->Now();
+    Candidate* keep = candidates.begin();
     for (Candidate& c : candidates) {
-      if (churn_timeline_.IsOnlineAt(c.provider, sim_->Now())) {
-        alive.push_back(std::move(c));
+      if (churn_timeline_.IsOnlineAt(c.provider, now)) {
+        *keep++ = std::move(c);
       } else {
         filtered_dead = true;
         shard.metrics.AddStaleProviderHit();
       }
     }
-    candidates = std::move(alive);
+    candidates.erase(keep, candidates.end());
   }
 
   if (candidates.empty()) {
@@ -715,6 +733,12 @@ void Engine::ScheduleCleanup(PeerId origin, QueryId qid) {
     sim_->ScheduleAt(s, SourceOf(origin), at,
                      [this, s, qid] { CleanupShard(s, qid); });
   }
+}
+
+void Engine::TouchPeer(sim::ShardId shard_id, QueryId qid, PeerId p) {
+  auto [it, inserted] = shards_[shard_id].touched.try_emplace(qid);
+  if (inserted) it->second.set_arena(arenas_[shard_id].get());
+  it->second.push_back(p);
 }
 
 void Engine::CleanupShard(sim::ShardId shard_id, QueryId qid) {

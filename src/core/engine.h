@@ -28,18 +28,19 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "catalog/file_catalog.h"
 #include "catalog/workload.h"
 #include "common/arena.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/experiment_config.h"
 #include "core/node_state.h"
 #include "core/protocol.h"
+#include "core/query_payload_pool.h"
 #include "metrics/metrics.h"
 #include "net/underlay.h"
 #include "overlay/churn.h"
@@ -170,10 +171,12 @@ class Engine {
   /// executing on the owning shard touch an instance, so the hot path needs
   /// no locks; the metrics collectors are merged after the run.
   struct ShardState {
-    std::unordered_map<QueryId, PendingQuery> pending;
-    std::unordered_map<QueryId, size_t> slot_of;
+    /// Flat tables, arena-bound to the shard's arena at setup; no call path
+    /// iterates them (find/insert/erase only), so table order never shows.
+    FlatMap<QueryId, PendingQuery> pending;
+    FlatMap<QueryId, size_t> slot_of;
     /// Peers of this shard whose seen/reverse-path tables mention a query.
-    std::unordered_map<QueryId, std::vector<PeerId>> touched;
+    FlatMap<QueryId, SmallVector<PeerId, 8>> touched;
     metrics::MetricsCollector metrics;
   };
 
@@ -194,16 +197,19 @@ class Engine {
   /// Must run inside an event executing at a peer of src's shard.
   void ScheduleFromNode(PeerId src, PeerId dst, sim::SimTime delay, sim::EventFn fn);
 
-  // Query lifecycle. Forwarded queries share one immutable message per hop
-  // (shared_ptr), so fan-out costs O(targets) pointer copies.
+  // Query lifecycle. Forwarded queries share one immutable pooled message
+  // per hop (QueryPayloadRef), so fan-out costs O(targets) refcount bumps
+  // and steady state allocates nothing (the pool recycles nodes).
   void SubmitQuery(const catalog::QueryEvent& ev);
-  void DeliverQuery(PeerId to, PeerId from,
-                    std::shared_ptr<const overlay::QueryMessage> msg);
+  void DeliverQuery(PeerId to, PeerId from, const QueryPayloadRef& msg);
   void DeliverResponse(PeerId to, PeerId from, overlay::ResponseMessage msg);
   void ForwardQuery(PeerId node, PeerId from, const overlay::QueryMessage& msg);
   void SendResponse(PeerId responder, PeerId next_hop,
                     overlay::ResponseMessage msg);
   void FinalizeQuery(PeerId origin, QueryId qid);
+  /// Appends `p` to shard `shard_id`'s touched-peers list for `qid`,
+  /// arena-binding the list on first touch.
+  void TouchPeer(sim::ShardId shard_id, QueryId qid, PeerId p);
   /// Erases one shard's tracking state for `qid` (its peers' seen/reverse
   /// entries, the slot mapping). The full cleanup is one such event per
   /// shard, scheduled by the origin at finalize + deadline.
@@ -274,9 +280,13 @@ class Engine {
   uint64_t churn_seed_ = 0;
 
   /// One arena per shard. Declared before every arena-backed structure
-  /// (graph_, nodes_) so it is destroyed last: their destructors return
-  /// spill buffers into these arenas.
+  /// (graph_, nodes_, shards_) so it is destroyed last: their destructors
+  /// return spill buffers into these arenas.
   std::vector<std::unique_ptr<common::Arena>> arenas_;
+
+  /// Forwarded-query payload slabs. Declared before sim_ so the pool
+  /// outlives any queued delivery closure still holding a QueryPayloadRef.
+  QueryPayloadPool query_pool_;
 
   std::unique_ptr<sim::ShardedSimulator> sim_;
   std::unique_ptr<net::Underlay> underlay_;

@@ -3,13 +3,11 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 #include "bloom/bloom_filter.h"
 #include "bloom/counting_bloom.h"
 #include "cache/response_index.h"
+#include "common/flat_map.h"
 #include "common/small_vector.h"
 #include "common/types.h"
 
@@ -37,18 +35,20 @@ struct NodeState {
   std::unique_ptr<bloom::CountingBloomFilter> keyword_filter;
   /// Last projection actually gossiped; deltas are computed against it.
   std::unique_ptr<bloom::BloomFilter> advertised_filter;
-  /// Our copy of each neighbor's advertised filter.
-  std::unordered_map<PeerId, bloom::BloomFilter> neighbor_filters;
+  /// Our copy of each neighbor's advertised filter. Flat tables (one
+  /// allocation, arena-bound at setup); iteration is table order, so
+  /// order-sensitive walks must collect-and-sort (common/flat_map.h).
+  FlatMap<PeerId, bloom::BloomFilter> neighbor_filters;
   /// Neighbors' group ids as learned at link establishment ("neighboring
   /// peers exchange their group Ids as well as their Bloom filters").
-  std::unordered_map<PeerId, GroupId> neighbor_gids;
+  FlatMap<PeerId, GroupId> neighbor_gids;
 
   // --- churn (message-routed link lifecycle) ---
   /// Neighbor degree as announced in the last link handshake. Under churn,
   /// remote adjacency is unreadable (shard-partitioned), so degree-ranked
   /// forwarding uses these possibly stale hints — the knowledge a real peer
   /// would actually have.
-  std::unordered_map<PeerId, uint32_t> neighbor_degree;
+  FlatMap<PeerId, uint32_t> neighbor_degree;
   /// Count of link-probe rounds this peer has started; keys the candidate
   /// draw (DecisionRng) so every round has a unique, shard-count-invariant
   /// stream.
@@ -56,9 +56,9 @@ struct NodeState {
 
   // --- message plumbing ---
   /// Query GUIDs already seen (duplicate suppression).
-  std::unordered_set<QueryId> seen_queries;
+  FlatSet<QueryId> seen_queries;
   /// Reverse-path routing: query GUID -> the neighbor it arrived from.
-  std::unordered_map<QueryId, PeerId> reverse_path;
+  FlatMap<QueryId, PeerId> reverse_path;
 
   /// Convenience: does this peer share a file (linear scan; stores are tiny).
   bool SharesFile(FileId f) const {

@@ -8,7 +8,7 @@ namespace {
 
 /// Probes every candidate and returns the index of the smallest RTT.
 /// Ties break toward the earlier (more recent / earlier-arrived) candidate.
-size_t ProbeForClosest(const std::vector<Candidate>& candidates, PeerId requester,
+size_t ProbeForClosest(std::span<const Candidate> candidates, PeerId requester,
                        const net::Underlay& underlay, uint64_t* probe_msgs) {
   size_t best = 0;
   double best_rtt = underlay.RttMs(requester, candidates[0].provider);
@@ -27,7 +27,7 @@ size_t ProbeForClosest(const std::vector<Candidate>& candidates, PeerId requeste
 }  // namespace
 
 SelectionOutcome SelectProvider(SelectionStrategy strategy,
-                                const std::vector<Candidate>& candidates,
+                                std::span<const Candidate> candidates,
                                 PeerId requester, LocId requester_loc,
                                 const net::Underlay& underlay, Rng* rng) {
   LOCAWARE_CHECK(!candidates.empty()) << "SelectProvider with no candidates";

@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -34,9 +34,10 @@ struct SelectionOutcome {
   uint64_t probe_msgs = 0;
 };
 
-/// Applies `strategy` to non-empty `candidates`. CHECK-fails on empty input.
+/// Applies `strategy` to non-empty `candidates` (any contiguous candidate
+/// storage — the engine passes a SmallVector). CHECK-fails on empty input.
 SelectionOutcome SelectProvider(SelectionStrategy strategy,
-                                const std::vector<Candidate>& candidates,
+                                std::span<const Candidate> candidates,
                                 PeerId requester, LocId requester_loc,
                                 const net::Underlay& underlay, Rng* rng);
 

@@ -242,6 +242,45 @@ TEST(ResponseIndexTest, FilesAndKeywordsAccessors) {
   EXPECT_DEATH(ri.KeywordsOf(999), "absent");
 }
 
+TEST(ResponseIndexTest, SweepsAndReportsAreSortedNotTableOrder) {
+  // The backing table is unordered; everything the index *reports as a list*
+  // must be deterministic regardless of table layout. The contract: Files(),
+  // the expiry sweep, and the departed-provider sweep all act in sorted
+  // FileId order. Insertion order here is deliberately scrambled so that a
+  // container whose iteration order follows insertion (or a hash layout
+  // correlated with it) would fail without the collect-and-sort rule.
+  ResponseIndexConfig cfg;
+  cfg.max_filenames = 16;
+  cfg.entry_ttl = 10;
+  ResponseIndex ri(cfg);
+  const std::vector<FileId> scrambled = {9, 3, 14, 1, 12, 7, 5, 11};
+  for (FileId f : scrambled) {
+    ri.AddProvider(f, FKws(static_cast<KeywordId>(f)), P(42), /*now=*/0);
+  }
+
+  std::vector<FileId> expected = scrambled;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(ri.Files(), expected);
+
+  // Everything is stale at t=100: the sweep must report in sorted order.
+  const auto expired = ri.ExpireStale(100);
+  ASSERT_EQ(expired.size(), scrambled.size());
+  for (size_t i = 0; i < expired.size(); ++i) {
+    EXPECT_EQ(expired[i].file, expected[i]) << "expiry sweep not sorted at " << i;
+  }
+
+  // Same for the departure sweep.
+  for (FileId f : scrambled) {
+    ri.AddProvider(f, FKws(static_cast<KeywordId>(f)), P(42), /*now=*/200);
+  }
+  const auto invalidated = ri.RemoveProvider(42);
+  ASSERT_EQ(invalidated.size(), scrambled.size());
+  for (size_t i = 0; i < invalidated.size(); ++i) {
+    EXPECT_EQ(invalidated[i].file, expected[i])
+        << "departure sweep not sorted at " << i;
+  }
+}
+
 TEST(ResponseIndexTest, StatsCountHitsAndMisses) {
   ResponseIndex ri(SmallConfig());
   ri.AddProvider(kAbc, kAbcKws, P(1), 0);
