@@ -79,6 +79,8 @@ Result<ProtocolKind> ParseProtocolKind(const std::string& name) {
   if (v == "dicas") return ProtocolKind::kDicas;
   if (v == "dicas-keys" || v == "dicaskeys") return ProtocolKind::kDicasKeys;
   if (v == "locaware") return ProtocolKind::kLocaware;
+  if (v == "dht") return ProtocolKind::kDht;
+  if (v == "hybrid") return ProtocolKind::kHybrid;
   return Status::InvalidArgument("unknown protocol '" + name + "'");
 }
 
@@ -162,6 +164,11 @@ std::string FormatConfig(const ExperimentConfig& c) {
   if (c.params.selection.has_value()) {
     out << "params.selection = " << SelectionStrategyName(*c.params.selection) << "\n";
   }
+  out << "\n# chord dht (dht / hybrid protocols only)\n";
+  out << "dht.successors = " << c.params.dht_successors << "\n";
+  out << "dht.fingers = " << c.params.dht_fingers << "\n";
+  out << "dht.republish_interval_ms = "
+      << static_cast<uint64_t>(sim::ToMs(c.params.dht_republish_interval)) << "\n";
   out << "\n# response index\n";
   out << "ri.max_filenames = " << c.params.ri.max_filenames << "\n";
   out << "ri.max_providers_per_file = " << c.params.ri.max_providers_per_file << "\n";
@@ -319,6 +326,15 @@ Result<ExperimentConfig> ParseConfig(const std::string& text) {
       auto v = ParseSelectionStrategy(kv.value);
       if (!v.ok()) return v.status();
       c.params.selection = v.ValueOrDie();
+    } else if (kv.key == "dht.successors") {
+      LOCAWARE_ASSIGN(u64, c.params.dht_successors, size_t)
+    } else if (kv.key == "dht.fingers") {
+      LOCAWARE_ASSIGN(u64, c.params.dht_fingers, size_t)
+    } else if (kv.key == "dht.republish_interval_ms") {
+      auto v = u64();
+      if (!v.ok()) return v.status();
+      c.params.dht_republish_interval =
+          sim::FromMs(static_cast<double>(v.ValueOrDie()));
     } else if (kv.key == "ri.max_filenames") {
       LOCAWARE_ASSIGN(u64, c.params.ri.max_filenames, size_t)
     } else if (kv.key == "ri.max_providers_per_file") {
@@ -401,6 +417,23 @@ std::string ResultToJson(const ExperimentResult& result) {
   w.Uint(result.summary.repair_bytes);
   w.Key("churn_events");
   w.Uint(result.summary.churn_events);
+  // DHT counters exist only for the dht/hybrid protocols; emitting them
+  // conditionally keeps the paper protocols' JSON byte-identical to pre-DHT
+  // output.
+  if (result.summary.dht_lookups != 0 || result.summary.dht_hops != 0 ||
+      result.summary.dht_store_msgs != 0 || result.summary.dht_store_bytes != 0 ||
+      result.summary.hybrid_escalations != 0) {
+    w.Key("dht_lookups");
+    w.Uint(result.summary.dht_lookups);
+    w.Key("dht_hops");
+    w.Uint(result.summary.dht_hops);
+    w.Key("dht_store_msgs");
+    w.Uint(result.summary.dht_store_msgs);
+    w.Key("dht_store_bytes");
+    w.Uint(result.summary.dht_store_bytes);
+    w.Key("hybrid_escalations");
+    w.Uint(result.summary.hybrid_escalations);
+  }
   w.EndObject();
 
   w.Key("series");

@@ -1,0 +1,26 @@
+#include "core/dht_protocol.h"
+
+#include "core/engine.h"
+
+namespace locaware::core {
+
+PeerVec DhtProtocol::ForwardTargets(Engine& /*engine*/, PeerId /*node*/,
+                                    const overlay::QueryMessage& /*query*/,
+                                    PeerId /*from*/) {
+  return {};
+}
+
+void DhtProtocol::ObserveResponse(Engine& /*engine*/, PeerId /*node*/,
+                                  const overlay::ResponseMessage& /*response*/) {}
+
+overlay::RecordVec DhtProtocol::AnswerFromIndex(Engine& /*engine*/, PeerId /*node*/,
+                                                const overlay::QueryMessage& /*query*/) {
+  return {};
+}
+
+void DhtProtocol::OnQuerySubmitted(Engine& engine, const overlay::QueryMessage& query,
+                                   size_t /*fanout*/) {
+  engine.StartDhtQueryLookup(query, /*count_as_escalation=*/false);
+}
+
+}  // namespace locaware::core

@@ -41,6 +41,7 @@
 #include "core/node_state.h"
 #include "core/protocol.h"
 #include "core/query_payload_pool.h"
+#include "dht/ring.h"
 #include "metrics/metrics.h"
 #include "net/underlay.h"
 #include "overlay/churn.h"
@@ -143,6 +144,15 @@ class Engine {
   /// The immutable per-peer on/off schedule (empty unless churn is enabled).
   const overlay::ChurnTimeline& churn_timeline() const { return churn_timeline_; }
 
+  /// The immutable DHT ring order (meaningful only for dht/hybrid runs).
+  const dht::Ring& dht_ring() const { return dht_ring_; }
+
+  /// Starts an iterative DHT lookup resolving providers for `query`'s routing
+  /// keyword, at the query's origin. Called by DhtProtocol (every query) and
+  /// HybridProtocol (on unstructured fan-out miss; counted as an escalation).
+  void StartDhtQueryLookup(const overlay::QueryMessage& query,
+                           bool count_as_escalation);
+
   /// Shard `s`'s arena — the spill source for every arena-aware container
   /// its peers own (overlay rows, file stores, response-index lists).
   /// Exposed for bench counters and tests.
@@ -203,7 +213,8 @@ class Engine {
   void SubmitQuery(const catalog::QueryEvent& ev);
   void DeliverQuery(PeerId to, PeerId from, const QueryPayloadRef& msg);
   void DeliverResponse(PeerId to, PeerId from, overlay::ResponseMessage msg);
-  void ForwardQuery(PeerId node, PeerId from, const overlay::QueryMessage& msg);
+  /// Returns the number of neighbors the query was forwarded to.
+  size_t ForwardQuery(PeerId node, PeerId from, const overlay::QueryMessage& msg);
   void SendResponse(PeerId responder, PeerId next_hop,
                     overlay::ResponseMessage msg);
   void FinalizeQuery(PeerId origin, QueryId qid);
@@ -262,6 +273,30 @@ class Engine {
   void DeliverLinkProbe(PeerId to, const overlay::LinkProbeMessage& msg);
   void DeliverLinkAccept(PeerId to, const overlay::LinkAcceptMessage& msg);
 
+  // --- Chord DHT (engine_dht.cc; dht/hybrid protocols only) ---
+
+  /// Begins a store-purpose lookup routing (kw, file) to the key's owner.
+  void StartDhtStore(PeerId publisher, KeywordId kw, FileId file);
+  /// Sends one DhtLookup request for session `session` and charges it.
+  void DhtSendLookup(PeerId initiator, uint64_t session, PeerId to,
+                     overlay::DhtLookupMode mode);
+  void DeliverDhtLookup(PeerId to, const overlay::DhtLookupMessage& msg);
+  void DeliverDhtResponse(PeerId to, overlay::DhtResponseMessage msg);
+  void DeliverDhtStore(PeerId to, const overlay::DhtStoreMessage& msg);
+  /// Installs/refreshes a provider record in `owner`'s store.
+  void DhtStoreLocal(PeerId owner, KeywordId kw, FileId file,
+                     const overlay::ProviderInfo& provider);
+  /// Appends the initiator's own owner-held providers for `kw` into the
+  /// pending query (initiator-owns-key short circuit: no wire traffic, no
+  /// responses_received bump — FinalizeQuery classifies it kLocalIndex).
+  void DhtServeFromOwnStore(PeerId initiator, KeywordId kw, QueryId qid);
+  /// Per-tick DHT work: stabilize under churn, republish, expire records.
+  void DhtMaintenance(PeerId p);
+  /// Recomputes p's successor/finger tables against the current online set.
+  void DhtStabilize(PeerId p);
+  /// Publishes every (keyword, file) of p's file store toward its owner.
+  void DhtPublish(PeerId p);
+
   /// Metrics slot of a query in `shard`, or SIZE_MAX after cleanup.
   size_t SlotOf(sim::ShardId shard, QueryId qid) const;
 
@@ -296,6 +331,12 @@ class Engine {
   std::unique_ptr<Protocol> protocol_;
   overlay::ChurnModel churn_model_;
   overlay::ChurnTimeline churn_timeline_;
+
+  /// True for kDht/kHybrid: peers carry RoutingState and the maintenance
+  /// tick runs stabilization + republish.
+  bool dht_family_ = false;
+  /// Immutable population-wide ring order (empty unless dht_family_).
+  dht::Ring dht_ring_;
 
   std::vector<NodeState> nodes_;
   std::vector<ShardState> shards_;

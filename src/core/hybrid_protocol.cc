@@ -1,0 +1,23 @@
+#include "core/hybrid_protocol.h"
+
+#include "core/engine.h"
+
+namespace locaware::core {
+
+PeerVec HybridProtocol::ForwardTargets(Engine& engine, PeerId node,
+                                       const overlay::QueryMessage& query,
+                                       PeerId from) {
+  return BloomMatchedNeighbors(engine, node, query, from);
+}
+
+void HybridProtocol::OnQuerySubmitted(Engine& engine,
+                                      const overlay::QueryMessage& query,
+                                      size_t fanout) {
+  // fanout > 0: some neighbor's filter claims the keywords — trust the cache
+  // path. fanout == 0: local index missed (or we would not be here) and no
+  // neighbor advertises the keywords — the unstructured half is out of
+  // ideas, escalate.
+  if (fanout == 0) engine.StartDhtQueryLookup(query, /*count_as_escalation=*/true);
+}
+
+}  // namespace locaware::core

@@ -9,19 +9,16 @@
 
 namespace locaware::core {
 
-PeerVec LocawareProtocol::ForwardTargets(Engine& engine, PeerId node,
-                                         const overlay::QueryMessage& query,
-                                         PeerId from) {
+PeerVec LocawareProtocol::BloomMatchedNeighbors(Engine& engine, PeerId node,
+                                                const overlay::QueryMessage& query,
+                                                PeerId from) const {
   NodeState& state = engine.node(node);
-  const auto& neighbors = engine.graph().Neighbors(node);
   const catalog::FileCatalog& catalog = engine.catalog();
-
-  // 1. Neighbors whose Bloom filter matches every query keyword. Keyword-
-  // major order fetches each precomputed probe hash exactly once per query,
-  // and the filter map is probed exactly once per neighbor (the working set
-  // carries the filter pointers).
+  // Keyword-major order fetches each precomputed probe hash exactly once per
+  // query, and the filter map is probed exactly once per neighbor (the
+  // working set carries the filter pointers).
   SmallVector<std::pair<PeerId, const bloom::BloomFilter*>, 8> candidates;
-  for (PeerId nb : neighbors) {
+  for (PeerId nb : engine.graph().Neighbors(node)) {
     if (nb == from) continue;
     auto it = state.neighbor_filters.find(nb);
     if (it != state.neighbor_filters.end()) candidates.push_back({nb, &it->second});
@@ -34,12 +31,20 @@ PeerVec LocawareProtocol::ForwardTargets(Engine& engine, PeerId node,
                        [&](const auto& cand) { return !cand.second->MayContain(hash); }),
         candidates.end());
   }
-  if (!candidates.empty()) {
-    PeerVec bloom_matched;
-    bloom_matched.reserve(candidates.size());
-    for (const auto& [nb, filter] : candidates) bloom_matched.push_back(nb);
-    return bloom_matched;
-  }
+  PeerVec bloom_matched;
+  bloom_matched.reserve(candidates.size());
+  for (const auto& [nb, filter] : candidates) bloom_matched.push_back(nb);
+  return bloom_matched;
+}
+
+PeerVec LocawareProtocol::ForwardTargets(Engine& engine, PeerId node,
+                                         const overlay::QueryMessage& query,
+                                         PeerId from) {
+  const auto& neighbors = engine.graph().Neighbors(node);
+
+  // 1. Neighbors whose Bloom filter matches every query keyword.
+  PeerVec bloom_matched = BloomMatchedNeighbors(engine, node, query, from);
+  if (!bloom_matched.empty()) return bloom_matched;
 
   // Optional §6 extension: prefer same-locality neighbors within a tier.
   const auto prefer_local = [&](PeerVec* tier) {

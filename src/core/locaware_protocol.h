@@ -21,7 +21,7 @@
 
 namespace locaware::core {
 
-class LocawareProtocol final : public Protocol {
+class LocawareProtocol : public Protocol {
  public:
   using Protocol::Protocol;
 
@@ -57,7 +57,13 @@ class LocawareProtocol final : public Protocol {
     return SelectionStrategy::kLocIdThenRtt;
   }
 
- private:
+ protected:
+  /// Routing tier 1: neighbors of `node` (minus `from`) whose gossiped Bloom
+  /// filter matches every query keyword. Shared with HybridProtocol, whose
+  /// unstructured half is *only* this tier.
+  PeerVec BloomMatchedNeighbors(Engine& engine, PeerId node,
+                                const overlay::QueryMessage& query, PeerId from) const;
+
   /// Inserts one provider into `node`'s index, keeping the counting Bloom
   /// filter consistent with file insertions and evictions. `sorted_keywords`
   /// is the file's keyword-id set (ascending); Bloom updates use the

@@ -10,6 +10,7 @@
 #include "common/flat_map.h"
 #include "common/small_vector.h"
 #include "common/types.h"
+#include "dht/routing.h"
 
 namespace locaware::core {
 
@@ -42,6 +43,11 @@ struct NodeState {
   /// Neighbors' group ids as learned at link establishment ("neighboring
   /// peers exchange their group Ids as well as their Bloom filters").
   FlatMap<PeerId, GroupId> neighbor_gids;
+
+  // --- Chord DHT only (dht / hybrid protocols) ---
+  /// Successor list, finger table, owned store and in-flight lookups. Null
+  /// under the four unstructured protocols.
+  std::unique_ptr<dht::RoutingState> dht;
 
   // --- churn (message-routed link lifecycle) ---
   /// Neighbor degree as announced in the last link handshake. Under churn,

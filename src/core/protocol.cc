@@ -1,10 +1,12 @@
 #include "core/protocol.h"
 
 #include "common/check.h"
+#include "core/dht_protocol.h"
 #include "core/dicas_keys_protocol.h"
 #include "core/dicas_protocol.h"
 #include "core/engine.h"
 #include "core/flooding_protocol.h"
+#include "core/hybrid_protocol.h"
 #include "core/locaware_protocol.h"
 
 namespace locaware::core {
@@ -19,8 +21,20 @@ const char* ProtocolKindName(ProtocolKind kind) {
       return "Dicas-Keys";
     case ProtocolKind::kLocaware:
       return "Locaware";
+    case ProtocolKind::kDht:
+      return "DHT";
+    case ProtocolKind::kHybrid:
+      return "Hybrid";
   }
   return "?";
+}
+
+std::span<const ProtocolKind> AllProtocolKinds() {
+  static constexpr ProtocolKind kAll[] = {
+      ProtocolKind::kFlooding, ProtocolKind::kDicas, ProtocolKind::kDicasKeys,
+      ProtocolKind::kLocaware, ProtocolKind::kDht,   ProtocolKind::kHybrid,
+  };
+  return kAll;
 }
 
 const char* SelectionStrategyName(SelectionStrategy strategy) {
@@ -53,6 +67,13 @@ ProtocolParams MakeDefaultParams(ProtocolKind kind) {
     case ProtocolKind::kLocaware:
       params.ri.max_providers_per_file = 8;
       break;
+    case ProtocolKind::kDht:
+      // Pure structured lookup: no response index at all.
+      break;
+    case ProtocolKind::kHybrid:
+      // The unstructured half is Locaware's cache, same shape.
+      params.ri.max_providers_per_file = 8;
+      break;
   }
   return params;
 }
@@ -79,6 +100,10 @@ void Protocol::OnPeerDeparted(Engine& engine, PeerId node, PeerId departed) {
   if (state.ri != nullptr) state.ri->RemoveProvider(departed);
 }
 
+void Protocol::OnQuerySubmitted(Engine& /*engine*/,
+                                const overlay::QueryMessage& /*query*/,
+                                size_t /*fanout*/) {}
+
 std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind, const ProtocolParams& params) {
   switch (kind) {
     case ProtocolKind::kFlooding:
@@ -89,6 +114,10 @@ std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind, const ProtocolParams& 
       return std::make_unique<DicasKeysProtocol>(params);
     case ProtocolKind::kLocaware:
       return std::make_unique<LocawareProtocol>(params);
+    case ProtocolKind::kDht:
+      return std::make_unique<DhtProtocol>(params);
+    case ProtocolKind::kHybrid:
+      return std::make_unique<HybridProtocol>(params);
   }
   LOCAWARE_CHECK(false) << "unknown protocol kind";
   return nullptr;

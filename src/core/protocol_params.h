@@ -1,23 +1,32 @@
-// Protocol selection and tunables shared by the four search/caching systems.
+// Protocol selection and tunables shared by the search/caching systems.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "cache/response_index.h"
 #include "sim/sim_time.h"
 
 namespace locaware::core {
 
-/// The four systems the paper evaluates (§5.1).
+/// The four systems the paper evaluates (§5.1) plus the PR 10 structured
+/// extensions (src/dht/).
 enum class ProtocolKind {
   kFlooding,   ///< blind Gnutella flooding, no caching
   kDicas,      ///< Dicas [16]: filename-hash groups, single-provider indexes
   kDicasKeys,  ///< Dicas-Keys [16]: per-keyword-hash groups (duplicating)
   kLocaware,   ///< the paper's contribution (§4)
+  kDht,        ///< pure Chord-style keyword->provider lookups (src/dht/)
+  kHybrid,     ///< Locaware cache first, DHT escalation on an index miss
 };
 
 const char* ProtocolKindName(ProtocolKind kind);
+
+/// Every registered protocol kind, in registry order (the paper's four, then
+/// the structured extensions). Benches/examples that sweep "all protocols"
+/// iterate this instead of hard-coding the list.
+std::span<const ProtocolKind> AllProtocolKinds();
 
 /// How a requester picks a provider among the candidates its responses offer.
 enum class SelectionStrategy {
@@ -87,6 +96,18 @@ struct ProtocolParams {
   /// requester. Off by default — the paper's evaluated system does not route
   /// by location.
   bool loc_aware_routing = false;
+
+  /// Chord DHT shape (kDht/kHybrid only; inert for the paper's four).
+  /// Successor-list length: how many online clockwise neighbors a peer
+  /// tracks. 4 survives the default churn model's correlated departures.
+  size_t dht_successors = 4;
+  /// Finger-table size: the top `dht_fingers` finger indices (targets
+  /// self + 2^i for i in [64 - dht_fingers, 64)). 24 covers distinct
+  /// fingers for populations up to ~2^24 peers.
+  size_t dht_fingers = 24;
+  /// Provider-record re-publish period; owners hold records for twice this,
+  /// so a dead publisher's records expire after at most two intervals.
+  sim::SimTime dht_republish_interval = 600 * sim::kSecond;
 };
 
 /// Paper-faithful parameter defaults for a protocol kind (e.g. Dicas keeps a

@@ -1,0 +1,111 @@
+// Chord-style 64-bit identifier ring (PR 10).
+//
+// The ring is keyed off the catalog's precomputed hashes, never strings: a
+// keyword's ring position is a bit-mix of `FileCatalog::KeywordFnv`, and a
+// peer's position is a bit-mix of its PeerId. Mix64 is a bijection on
+// uint64_t, so distinct peers always land on distinct ring points — no
+// collision handling, no rehash, no per-lookup string work.
+//
+// The `Ring` class is the simulation's *bootstrap directory*: the sorted
+// (ring id, peer) order over the whole population, built once at engine
+// setup and immutable for the run. Like `overlay::ChurnTimeline`, it is
+// readable from any shard at any time; which members are *online* at a given
+// instant is a predicate the caller supplies (the engine passes
+// `ChurnTimeline::IsOnlineAt`). Per-peer routing state derived from it lives
+// in dht/routing.h and is only ever mutated by its owner shard.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace locaware::dht {
+
+/// A position on the 2^64 identifier circle.
+using RingId = uint64_t;
+
+/// Peer -> ring position. Mix64 is bijective, so the map is collision-free;
+/// the salt decorrelates ring order from PeerId order (consecutive ids
+/// scatter uniformly instead of clustering).
+inline RingId RingIdOfPeer(PeerId p) {
+  constexpr uint64_t kPeerSalt = 0xd1c4'0c1e'ab1e'5a1dULL;
+  return Mix64(kPeerSalt ^ (static_cast<uint64_t>(p) + 1));
+}
+
+/// Keyword-FNV -> ring position. The input is the catalog's precomputed
+/// 64-bit FNV-1a of the keyword string (`FileCatalog::KeywordFnv`); the
+/// finalizer spreads FNV's weaker low bits over the whole circle.
+inline RingId RingIdOfKey(uint64_t keyword_fnv) { return Mix64(keyword_fnv); }
+
+/// True iff `x` lies in the half-open ring interval (a, b], walking
+/// clockwise from `a`. An empty span (a == b) denotes the *full* circle (the
+/// single-node ring owns every key), matching Chord's convention.
+inline bool InInterval(RingId x, RingId a, RingId b) {
+  if (a == b) return true;
+  if (a < b) return a < x && x <= b;
+  return x > a || x <= b;  // wrapped interval
+}
+
+/// The i-th finger target of ring position `n`: n + 2^i (mod 2^64).
+inline RingId FingerTarget(RingId n, uint32_t i) {
+  LOCAWARE_CHECK_LT(i, 64u);
+  return n + (static_cast<RingId>(1) << i);
+}
+
+/// Clockwise distance from `from` to `to` (how far a key must travel).
+/// Unsigned subtraction handles the wrap.
+inline RingId RingDistance(RingId from, RingId to) { return to - from; }
+
+/// \brief The immutable, population-wide ring order.
+///
+/// Built once at setup from the peer count alone; O(log n) successor queries
+/// filter by an online predicate so the same structure serves the static
+/// setup path, churn stabilization, and the tests' ground-truth oracle.
+class Ring {
+ public:
+  static Ring Build(size_t num_peers) {
+    Ring ring;
+    ring.order_.reserve(num_peers);
+    for (PeerId p = 0; p < num_peers; ++p) ring.order_.emplace_back(RingIdOfPeer(p), p);
+    std::sort(ring.order_.begin(), ring.order_.end());
+    return ring;
+  }
+
+  size_t size() const { return order_.size(); }
+  RingId IdAt(size_t i) const { return order_[i].first; }
+  PeerId PeerAt(size_t i) const { return order_[i].second; }
+
+  /// Index of the first member at or clockwise-after `id` (wraps to 0 when
+  /// `id` is past the largest member).
+  size_t IndexOfFirstAtOrAfter(RingId id) const {
+    const auto it = std::lower_bound(
+        order_.begin(), order_.end(), id,
+        [](const std::pair<RingId, PeerId>& e, RingId v) { return e.first < v; });
+    return it == order_.end() ? 0 : static_cast<size_t>(it - order_.begin());
+  }
+
+  /// The owner of `key` among members satisfying `online`: the first online
+  /// member at or after `key`, walking clockwise. kInvalidPeer if no member
+  /// is online.
+  template <typename OnlinePred>
+  PeerId SuccessorOf(RingId key, OnlinePred&& online) const {
+    const size_t n = order_.size();
+    if (n == 0) return kInvalidPeer;
+    size_t i = IndexOfFirstAtOrAfter(key);
+    for (size_t step = 0; step < n; ++step, i = (i + 1 == n) ? 0 : i + 1) {
+      if (online(order_[i].second)) return order_[i].second;
+    }
+    return kInvalidPeer;
+  }
+
+ private:
+  std::vector<std::pair<RingId, PeerId>> order_;  // ascending by ring id
+};
+
+}  // namespace locaware::dht

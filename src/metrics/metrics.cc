@@ -34,6 +34,11 @@ MetricsCollector MetricsCollector::MergeShards(
     merged.stale_provider_hits_ += part->stale_provider_hits_;
     merged.repair_msgs_ += part->repair_msgs_;
     merged.repair_bytes_ += part->repair_bytes_;
+    merged.dht_lookups_ += part->dht_lookups_;
+    merged.dht_hops_ += part->dht_hops_;
+    merged.dht_store_msgs_ += part->dht_store_msgs_;
+    merged.dht_store_bytes_ += part->dht_store_bytes_;
+    merged.hybrid_escalations_ += part->hybrid_escalations_;
   }
   merged.records_.reserve(num_slots);
   for (size_t slot = 0; slot < num_slots; ++slot) {

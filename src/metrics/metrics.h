@@ -111,6 +111,30 @@ class MetricsCollector {
   uint64_t repair_msgs() const { return repair_msgs_; }
   uint64_t repair_bytes() const { return repair_bytes_; }
 
+  // --- Chord DHT counters (kDht/kHybrid only; all-zero otherwise) ---
+  /// One query-driven iterative lookup started.
+  void AddDhtLookup() { ++dht_lookups_; }
+  uint64_t dht_lookups() const { return dht_lookups_; }
+
+  /// Request messages a completed query-driven lookup sent (route steps +
+  /// the final provider fetch); the mean hops metric is hops/lookups.
+  void AddDhtHops(uint64_t hops) { dht_hops_ += hops; }
+  uint64_t dht_hops() const { return dht_hops_; }
+
+  /// Publish-path traffic: store-routing requests/replies plus the final
+  /// DhtStore installs (maintenance cost of the structured index).
+  void AddDhtStoreTraffic(uint64_t messages, uint64_t bytes) {
+    dht_store_msgs_ += messages;
+    dht_store_bytes_ += bytes;
+  }
+  uint64_t dht_store_msgs() const { return dht_store_msgs_; }
+  uint64_t dht_store_bytes() const { return dht_store_bytes_; }
+
+  /// Hybrid-protocol queries that missed the cache path and escalated to the
+  /// DHT.
+  void AddHybridEscalation() { ++hybrid_escalations_; }
+  uint64_t hybrid_escalations() const { return hybrid_escalations_; }
+
   /// Parallel-scheduler counters the engine copies in after a run: windows
   /// and steals are deterministic functions of (config, seed, shards,
   /// workers); idle_ns is wall-clock. All are execution-shape diagnostics —
@@ -134,6 +158,11 @@ class MetricsCollector {
   uint64_t stale_provider_hits_ = 0;
   uint64_t repair_msgs_ = 0;
   uint64_t repair_bytes_ = 0;
+  uint64_t dht_lookups_ = 0;
+  uint64_t dht_hops_ = 0;
+  uint64_t dht_store_msgs_ = 0;
+  uint64_t dht_store_bytes_ = 0;
+  uint64_t hybrid_escalations_ = 0;
   uint64_t scheduler_windows_ = 0;
   uint64_t scheduler_steals_ = 0;
   uint64_t scheduler_idle_ns_ = 0;

@@ -114,6 +114,11 @@ Summary Summarize(const MetricsCollector& collector) {
   s.repair_msgs = collector.repair_msgs();
   s.repair_bytes = collector.repair_bytes();
   s.churn_events = collector.churn_events();
+  s.dht_lookups = collector.dht_lookups();
+  s.dht_hops = collector.dht_hops();
+  s.dht_store_msgs = collector.dht_store_msgs();
+  s.dht_store_bytes = collector.dht_store_bytes();
+  s.hybrid_escalations = collector.hybrid_escalations();
   s.scheduler_windows = collector.scheduler_windows();
   s.scheduler_steals = collector.scheduler_steals();
   s.scheduler_idle_ns = collector.scheduler_idle_ns();

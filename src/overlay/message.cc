@@ -61,4 +61,25 @@ size_t EstimateSizeBytes(const LinkAcceptMessage& m) {
   return kDescriptorHeader + AnnounceBytes(m.from) + 4;  // + echoed epoch
 }
 
+size_t EstimateSizeBytes(const DhtLookupMessage& m, const WireNames& names) {
+  // initiator + epoch + session + ring key + keyword string + mode byte.
+  return kDescriptorHeader + kAddress + 4 + 8 + 8 + names.KeywordWireBytes(m.kw) + 1 + 1;
+}
+
+size_t EstimateSizeBytes(const DhtResponseMessage& m, const WireNames& names) {
+  // responder + session + done/next, then records like a ResponseMessage.
+  size_t bytes = kDescriptorHeader + kAddress + 8 + 1 + kAddress;
+  for (const ResponseRecord& r : m.records) {
+    bytes += names.FilenameWireBytes(r.file) + 1;
+    bytes += r.providers.size() * (kAddress + kLocId);
+  }
+  return bytes;
+}
+
+size_t EstimateSizeBytes(const DhtStoreMessage& m, const WireNames& names) {
+  // publisher + epoch + keyword + filename + the provider record.
+  return kDescriptorHeader + kAddress + 4 + names.KeywordWireBytes(m.kw) + 1 +
+         names.FilenameWireBytes(m.file) + 1 + (kAddress + kLocId);
+}
+
 }  // namespace locaware::overlay

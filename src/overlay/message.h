@@ -170,6 +170,64 @@ struct LinkAcceptMessage {
   uint32_t prober_epoch = 0;
 };
 
+// --- Chord-style DHT (src/dht/, PR 10) --------------------------------------
+//
+// Iterative lookups: the initiator sends every request and processes every
+// response, so session state never leaves the initiator's shard. Messages
+// carry the keyword *id* (interning invariant) plus the sender's session
+// epoch so receivers can reject requests from ended sessions
+// (ChurnTimeline::SessionEpochAt — the DeliverLinkProbe pattern).
+
+/// What a DhtLookupMessage asks of the receiver.
+enum class DhtLookupMode : uint8_t {
+  kRoute = 0,         ///< "is the key yours, or who do I ask next?"
+  kGetProviders = 1,  ///< "send me the records you hold for this keyword"
+};
+
+/// Which kind of session a DHT lookup serves; decides where its traffic is
+/// charged (query slot vs. the global dht_store counters).
+enum class DhtSessionPurpose : uint8_t {
+  kQuery = 0,  ///< resolving providers for a submitted query
+  kStore = 1,  ///< routing a publish to the key's owner
+};
+
+/// One iterative routing/fetch request, initiator -> queried node.
+struct DhtLookupMessage {
+  PeerId initiator = kInvalidPeer;
+  /// Initiator's session epoch at send time; receivers drop stale sessions.
+  uint32_t initiator_epoch = 0;
+  uint64_t session = 0;           ///< (initiator << 32) | node-local counter
+  uint64_t key = 0;               ///< ring position being resolved
+  KeywordId kw = kInvalidKeyword; ///< the keyword the key was derived from
+  QueryId qid = 0;                ///< meaningful iff purpose == kQuery
+  DhtLookupMode mode = DhtLookupMode::kRoute;
+  DhtSessionPurpose purpose = DhtSessionPurpose::kQuery;
+};
+
+/// Reply to a DhtLookupMessage, queried node -> initiator.
+struct DhtResponseMessage {
+  PeerId responder = kInvalidPeer;
+  uint64_t session = 0;
+  /// Route resolved: `next` is the key's owner. False: `next` is the next
+  /// node to ask (kInvalidPeer aborts the lookup — the responder had no
+  /// routing state).
+  bool done = false;
+  PeerId next = kInvalidPeer;
+  /// kGetProviders reply payload: the owner's records for the keyword,
+  /// from_index = true (they are index entries, not the responder's files).
+  RecordVec records;
+};
+
+/// Install one provider record at the resolved owner, publisher -> owner.
+struct DhtStoreMessage {
+  PeerId publisher = kInvalidPeer;
+  /// Publisher's session epoch; the owner drops stores from ended sessions.
+  uint32_t publisher_epoch = 0;
+  KeywordId kw = kInvalidKeyword;
+  FileId file = kInvalidFile;
+  ProviderInfo provider;  ///< the publisher itself (address + locId)
+};
+
 /// Estimated wire sizes in bytes, for the bandwidth metric. The constants
 /// follow Gnutella 0.4 framing: 23-byte descriptor header, 4-byte IPv4 + 2-byte
 /// port per address. Keyword/filename payloads are charged at the byte length
@@ -181,5 +239,8 @@ size_t EstimateSizeBytes(const ProbeMessage& m);
 size_t EstimateSizeBytes(const LinkDropMessage& m);
 size_t EstimateSizeBytes(const LinkProbeMessage& m);
 size_t EstimateSizeBytes(const LinkAcceptMessage& m);
+size_t EstimateSizeBytes(const DhtLookupMessage& m, const WireNames& names);
+size_t EstimateSizeBytes(const DhtResponseMessage& m, const WireNames& names);
+size_t EstimateSizeBytes(const DhtStoreMessage& m, const WireNames& names);
 
 }  // namespace locaware::overlay

@@ -57,6 +57,9 @@ TEST(ConfigIoTest, RoundTripNonDefaultEverything) {
   original.params.requester_becomes_provider = false;
   original.params.loc_aware_routing = true;
   original.params.selection = SelectionStrategy::kMinRtt;
+  original.params.dht_successors = 6;
+  original.params.dht_fingers = 16;
+  original.params.dht_republish_interval = 120 * sim::kSecond;
   original.params.ri.max_filenames = 99;
   original.params.ri.max_providers_per_file = 3;
   original.params.ri.entry_ttl = 77 * sim::kSecond;
@@ -95,6 +98,9 @@ TEST(ConfigIoTest, RoundTripNonDefaultEverything) {
   EXPECT_TRUE(c.params.loc_aware_routing);
   ASSERT_TRUE(c.params.selection.has_value());
   EXPECT_EQ(*c.params.selection, SelectionStrategy::kMinRtt);
+  EXPECT_EQ(c.params.dht_successors, 6u);
+  EXPECT_EQ(c.params.dht_fingers, 16u);
+  EXPECT_EQ(c.params.dht_republish_interval, 120 * sim::kSecond);
   EXPECT_EQ(c.params.ri.max_filenames, 99u);
   EXPECT_EQ(c.params.ri.entry_ttl, 77 * sim::kSecond);
   EXPECT_EQ(c.params.ri.eviction, cache::EvictionPolicy::kRandom);
@@ -205,7 +211,21 @@ TEST(ParseProtocolKindTest, AllNamesAndCases) {
   EXPECT_EQ(ParseProtocolKind("DICAS-KEYS").ValueOrDie(), ProtocolKind::kDicasKeys);
   EXPECT_EQ(ParseProtocolKind("dicaskeys").ValueOrDie(), ProtocolKind::kDicasKeys);
   EXPECT_EQ(ParseProtocolKind("Locaware").ValueOrDie(), ProtocolKind::kLocaware);
+  EXPECT_EQ(ParseProtocolKind("dht").ValueOrDie(), ProtocolKind::kDht);
+  EXPECT_EQ(ParseProtocolKind("DHT").ValueOrDie(), ProtocolKind::kDht);
+  EXPECT_EQ(ParseProtocolKind("Hybrid").ValueOrDie(), ProtocolKind::kHybrid);
   EXPECT_FALSE(ParseProtocolKind("napster").ok());
+}
+
+TEST(ConfigIoTest, DhtProtocolsRoundTripThroughSerialization) {
+  for (ProtocolKind kind : {ProtocolKind::kDht, ProtocolKind::kHybrid}) {
+    ExperimentConfig original = MakePaperConfig(kind, 50, 11);
+    original.params.dht_republish_interval = 90 * sim::kSecond;
+    auto parsed = ParseConfig(FormatConfig(original));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.ValueOrDie().protocol, kind);
+    EXPECT_EQ(parsed.ValueOrDie().params.dht_republish_interval, 90 * sim::kSecond);
+  }
 }
 
 TEST(ParseSelectionStrategyTest, AllNames) {

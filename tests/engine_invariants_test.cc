@@ -97,7 +97,8 @@ TEST_P(EngineInvariantsTest, IndexContentsRespectProtocolRules) {
 
   for (PeerId p = 0; p < e->num_peers(); ++p) {
     const NodeState& n = e->node(p);
-    if (param.kind == ProtocolKind::kFlooding) {
+    if (param.kind == ProtocolKind::kFlooding || param.kind == ProtocolKind::kDht) {
+      // Pure flooding and pure DHT run without any response index.
       EXPECT_EQ(n.ri, nullptr);
       continue;
     }
@@ -125,11 +126,13 @@ TEST_P(EngineInvariantsTest, IndexContentsRespectProtocolRules) {
           break;
         }
         case ProtocolKind::kLocaware:
+        case ProtocolKind::kHybrid:  // hybrid's cache plane is Locaware's
           EXPECT_EQ(GroupOfSetFnv(e->catalog().FileSetFnv(f), e->params().num_groups),
                     n.gid)
               << "peer " << p << " file " << f;
           break;
         case ProtocolKind::kFlooding:
+        case ProtocolKind::kDht:
           break;
       }
       // No index ever names the impossible: all providers are real peers.
@@ -145,7 +148,9 @@ TEST_P(EngineInvariantsTest, IndexContentsRespectProtocolRules) {
 
 TEST_P(EngineInvariantsTest, LocawareBloomStaysConsistent) {
   const SweepParam param = GetParam();
-  if (param.kind != ProtocolKind::kLocaware) GTEST_SKIP();
+  if (param.kind != ProtocolKind::kLocaware && param.kind != ProtocolKind::kHybrid) {
+    GTEST_SKIP();
+  }
   auto e = std::move(Engine::Create(Config(param))).ValueOrDie();
   e->Run();
   for (PeerId p = 0; p < e->num_peers(); ++p) {
@@ -209,7 +214,11 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{ProtocolKind::kDicasKeys, 3, true},
                       SweepParam{ProtocolKind::kLocaware, 1, false},
                       SweepParam{ProtocolKind::kLocaware, 2, false},
-                      SweepParam{ProtocolKind::kLocaware, 3, true}),
+                      SweepParam{ProtocolKind::kLocaware, 3, true},
+                      SweepParam{ProtocolKind::kDht, 1, false},
+                      SweepParam{ProtocolKind::kDht, 2, true},
+                      SweepParam{ProtocolKind::kHybrid, 1, false},
+                      SweepParam{ProtocolKind::kHybrid, 2, true}),
     ParamName);
 
 }  // namespace

@@ -398,7 +398,8 @@ TEST_P(AllProtocolsTest, ChurnVariantAlsoCompletes) {
 INSTANTIATE_TEST_SUITE_P(Kinds, AllProtocolsTest,
                          ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
                                            ProtocolKind::kDicasKeys,
-                                           ProtocolKind::kLocaware),
+                                           ProtocolKind::kLocaware, ProtocolKind::kDht,
+                                           ProtocolKind::kHybrid),
                          [](const auto& info) {
                            std::string name = ProtocolKindName(info.param);
                            return name == "Dicas-Keys" ? "DicasKeys" : name;
@@ -474,7 +475,8 @@ TEST_P(ShardInvarianceTest, OddShardCountAlsoMatches) {
 INSTANTIATE_TEST_SUITE_P(Kinds, ShardInvarianceTest,
                          ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
                                            ProtocolKind::kDicasKeys,
-                                           ProtocolKind::kLocaware),
+                                           ProtocolKind::kLocaware, ProtocolKind::kDht,
+                                           ProtocolKind::kHybrid),
                          [](const auto& info) {
                            std::string name = ProtocolKindName(info.param);
                            return name == "Dicas-Keys" ? "DicasKeys" : name;
@@ -562,7 +564,8 @@ TEST_P(SkewedShardInvarianceTest, StealingOnAndOffMatchSequentialPerQuery) {
 INSTANTIATE_TEST_SUITE_P(Kinds, SkewedShardInvarianceTest,
                          ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
                                            ProtocolKind::kDicasKeys,
-                                           ProtocolKind::kLocaware),
+                                           ProtocolKind::kLocaware, ProtocolKind::kDht,
+                                           ProtocolKind::kHybrid),
                          [](const auto& info) {
                            std::string name = ProtocolKindName(info.param);
                            return name == "Dicas-Keys" ? "DicasKeys" : name;
@@ -650,7 +653,8 @@ TEST_P(PlacementShardInvarianceTest, ClusteredMatchesSequentialModuloPerQuery) {
 INSTANTIATE_TEST_SUITE_P(Kinds, PlacementShardInvarianceTest,
                          ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
                                            ProtocolKind::kDicasKeys,
-                                           ProtocolKind::kLocaware),
+                                           ProtocolKind::kLocaware, ProtocolKind::kDht,
+                                           ProtocolKind::kHybrid),
                          [](const auto& info) {
                            std::string name = ProtocolKindName(info.param);
                            return name == "Dicas-Keys" ? "DicasKeys" : name;
@@ -784,7 +788,8 @@ TEST_P(ChurnShardInvarianceTest, OddShardCountAlsoMatches) {
 INSTANTIATE_TEST_SUITE_P(Kinds, ChurnShardInvarianceTest,
                          ::testing::Values(ProtocolKind::kFlooding, ProtocolKind::kDicas,
                                            ProtocolKind::kDicasKeys,
-                                           ProtocolKind::kLocaware),
+                                           ProtocolKind::kLocaware, ProtocolKind::kDht,
+                                           ProtocolKind::kHybrid),
                          [](const auto& info) {
                            std::string name = ProtocolKindName(info.param);
                            return name == "Dicas-Keys" ? "DicasKeys" : name;

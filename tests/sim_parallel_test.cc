@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -355,6 +356,74 @@ TEST(SimParallelTest, RepairHandshakeAcrossLookaheadWindowBoundary) {
 
   const auto baseline = run(1);
   ASSERT_EQ(baseline[1].size(), 2u);  // drop then accept
+  for (uint32_t shards : {2u, 3u}) {
+    const auto sharded = run(shards);
+    for (size_t p = 0; p < baseline.size(); ++p) {
+      EXPECT_EQ(sharded[p], baseline[p]) << "peer " << p << " shards " << shards;
+    }
+  }
+}
+
+// PR 10: a DHT iterative lookup is a request/reply ping-pong between one
+// initiator and a changing set of remote nodes — session state (hops, the
+// node currently asked) lives only at the initiator, and every half-trip
+// lands exactly at now + lookahead. The hop sequence recorded at each peer
+// must be shard-count invariant, and the final fetch must not be lost at the
+// window boundary.
+TEST(SimParallelTest, IterativeLookupPingPongAcrossLookaheadBoundary) {
+  struct Step {
+    SimTime time;
+    std::string what;
+    bool operator==(const Step&) const = default;
+  };
+  // peer 0 initiates; the route walks 1 -> 2 -> 3; 3 owns the key.
+  auto run = [&](uint32_t num_shards) {
+    ShardedSimulator sim(Config(num_shards, 4));
+    std::vector<std::vector<Step>> log(4);  // owner-appended only
+    auto shard_of = [&](uint32_t p) { return p % num_shards; };
+    // Initiator-side session state, mutated only on shard_of(0).
+    struct Session {
+      uint32_t hops = 0;
+      bool got_records = false;
+    } session;
+
+    // Each queried node replies "ask next" until 3, which replies "done";
+    // the initiator then fetches from 3. All hops land at now + kLook.
+    std::function<void(uint32_t)> ask = [&](uint32_t node) {
+      sim.ScheduleAt(shard_of(node), 0, sim.Now() + kLook, [&, node] {
+        log[node].push_back({sim.Now(), "asked"});
+        const bool done = node == 3;
+        sim.ScheduleAt(shard_of(0), node, sim.Now() + kLook, [&, node, done] {
+          log[0].push_back({sim.Now(), done ? "route-done" : "route-next"});
+          ++session.hops;
+          if (!done) {
+            ask(node + 1);
+            return;
+          }
+          // Final fetch from the owner, one more round trip.
+          sim.ScheduleAt(shard_of(3), 0, sim.Now() + kLook, [&] {
+            log[3].push_back({sim.Now(), "fetch"});
+            sim.ScheduleAt(shard_of(0), 3, sim.Now() + kLook, [&] {
+              log[0].push_back({sim.Now(), "records"});
+              session.got_records = true;
+            });
+          });
+        });
+      });
+    };
+    sim.ScheduleAt(shard_of(0), 0, kLook, [&] {
+      log[0].push_back({sim.Now(), "start"});
+      ask(1);
+    });
+    sim.Run();
+    EXPECT_TRUE(session.got_records) << num_shards << " shards: fetch lost";
+    EXPECT_EQ(session.hops, 3u) << num_shards << " shards";
+    return log;
+  };
+
+  const auto baseline = run(1);
+  ASSERT_EQ(baseline[0].size(), 5u);  // start, 3 route replies, records
+  ASSERT_EQ(baseline[3].size(), 2u);  // asked, fetch
   for (uint32_t shards : {2u, 3u}) {
     const auto sharded = run(shards);
     for (size_t p = 0; p < baseline.size(); ++p) {
